@@ -1,0 +1,121 @@
+// Ablation over the paper's optimization axes (Sec. IV): starting from
+// the baseline, enable one ingredient at a time and report what each
+// buys at a fixed box size and thread count:
+//   baseline (series of loops)            -> no optimization
+//   + shift & fuse                        -> locality, fewer temporaries
+//   + tiling with wavefront parallelism   -> cache-sized working sets,
+//                                            but pipeline fill/drain
+//   + overlapped tiles (recomputation)    -> full parallelism back
+// plus the component-loop axis (CLO vs CLI) for each family where both
+// exist. This quantifies the tradeoff triangle of the title.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+
+using namespace fluxdiv;
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+using core::VariantConfig;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  bench::addCommonOptions(args);
+  args.addInt("boxsize", 128, "box side N");
+  args.addInt("tilesize", 8, "tile side for the tiled steps");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  const int t = static_cast<int>(args.getInt("tilesize"));
+  bench::printHeader("Ablation of the optimization axes, N=" +
+                         std::to_string(n),
+                     args);
+  const int nWork = bench::workUnits(args);
+  const int reps = static_cast<int>(args.getInt("reps"));
+  const int threads = bench::threadSweep(args).back();
+  std::cout << "threads: " << threads << ", tile: " << t << "\n\n";
+
+  struct Step {
+    const char* axis;
+    VariantConfig cfg;
+  };
+  const Step steps[] = {
+      {"baseline (series of loops), CLI",
+       core::makeBaseline(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Inside)},
+      {"axis 1: component loop outside (CLO)",
+       core::makeBaseline(ParallelGranularity::OverBoxes)},
+      {"axis 2: + shift & fuse (CLO)",
+       core::makeShiftFuse(ParallelGranularity::OverBoxes)},
+      {"axis 2': shift & fuse, CLI",
+       core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                           ComponentLoop::Inside)},
+      {"axis 3: + tiling, wavefront parallel (CLI)",
+       core::makeBlockedWF(t, ParallelGranularity::WithinBox,
+                           ComponentLoop::Inside)},
+      {"axis 4: + overlap/recompute (Shift-Fuse OT)",
+       core::makeOverlapped(IntraTileSchedule::ShiftFuse, t,
+                            ParallelGranularity::WithinBox)},
+      {"axis 4': overlap without fusion (Basic OT)",
+       core::makeOverlapped(IntraTileSchedule::Basic, t,
+                            ParallelGranularity::WithinBox)},
+  };
+
+  harness::Table table({"step", "schedule", "seconds", "vs baseline",
+                        "temp/thread"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"step", "schedule", "seconds", "speedup",
+                          "temp_bytes"});
+
+  bench::Problem problem(n, nWork);
+  double baselineSecs = 0.0;
+  for (const Step& step : steps) {
+    if (!step.cfg.validFor(n)) {
+      continue;
+    }
+    core::FluxDivRunner runner(step.cfg, threads);
+    problem.resetOutput();
+    runner.run(problem.phi0, problem.phi1); // warm-up + temp accounting
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      problem.resetOutput();
+      harness::Timer timer;
+      runner.run(problem.phi0, problem.phi1);
+      const double s = timer.seconds();
+      if (r == 0 || s < best) {
+        best = s;
+      }
+    }
+    if (baselineSecs == 0.0) {
+      baselineSecs = best;
+    }
+    table.addRow({step.axis, step.cfg.name(),
+                  harness::formatSeconds(best),
+                  harness::formatDouble(baselineSecs / best, 2) + "x",
+                  harness::formatBytes(runner.maxPeakWorkspaceBytes())});
+    csv.writeRow({step.axis, step.cfg.name(),
+                  harness::formatSeconds(best),
+                  harness::formatDouble(baselineSecs / best, 3),
+                  std::to_string(runner.maxPeakWorkspaceBytes())});
+    std::cerr << "  " << step.axis << ": " << harness::formatSeconds(best)
+              << "s\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nreading: each axis trades among the title's three "
+               "quantities —\nparallelism (wavefront loses it, overlap "
+               "restores it), locality\n(fusion and tiling), and "
+               "recomputation (overlap's price).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Sec. VII's concluding direction, made runnable: "it would be beneficial
+// to determine ways to automate the automatic implementation, selection,
+// and tuning of such inter-loop program optimizations". This bench runs
+// the empirical auto-tuner at each box size, with and without
+// traffic-model pruning, and reports how close pruned search gets to
+// exhaustive search at what fraction of the tuning cost.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+#include "tuner/autotuner.hpp"
+
+using namespace fluxdiv;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  bench::addCommonOptions(args);
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  bench::printHeader("Auto-tuned schedule selection (Sec. VII direction)",
+                     args);
+  const int nWork = bench::workUnits(args);
+  const int reps = static_cast<int>(args.getInt("reps"));
+  const int threads = bench::threadSweep(args).back();
+
+  harness::Table table({"N", "mode", "winner", "seconds", "candidates",
+                        "pruned", "tuning time (s)"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"N", "mode", "winner", "seconds", "candidates",
+                          "pruned", "tuning_seconds"});
+
+  for (int n : {16, 32, 64, 128}) {
+    bench::Problem problem(n, nWork);
+    for (bool prune : {false, true}) {
+      tuner::TuneOptions opts;
+      opts.threads = threads;
+      opts.reps = reps;
+      opts.modelPruning = prune;
+      harness::Timer t;
+      const tuner::TuneResult result =
+          tuner::autotune(problem.phi0, problem.phi1, opts);
+      const double tuningSecs = t.seconds();
+      table.addRow(
+          {std::to_string(n), prune ? "model-pruned" : "exhaustive",
+           result.best.name(), harness::formatSeconds(result.bestSeconds),
+           std::to_string(result.measurements.size()),
+           std::to_string(result.prunedCount),
+           harness::formatSeconds(tuningSecs)});
+      csv.writeRow(
+          {std::to_string(n), prune ? "pruned" : "exhaustive",
+           result.best.name(), harness::formatSeconds(result.bestSeconds),
+           std::to_string(result.measurements.size()),
+           std::to_string(result.prunedCount),
+           harness::formatSeconds(tuningSecs)});
+      std::cerr << "  N=" << n << (prune ? " pruned" : " exhaustive")
+                << " -> " << result.best.name() << '\n';
+    }
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nreading: model-based pruning should cut tuning time "
+               "substantially while\nselecting a winner within noise of "
+               "the exhaustive search's.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Sec. VI-B reproduction (bandwidth analysis): the paper measured DRAM
+// bandwidth with VTune/PCM on a 4-core Ivy Bridge desktop (6 MiB LLC) —
+// baseline N=16 ~4.9 GB/s vs N=128 ~18.3 GB/s (saturating the 21 GB/s
+// bus); shift-fuse cut N=128 demand to ~9.4/<6 GB/s. Hardware counters
+// are not available here, so this bench reports the same comparison as
+// DRAM *bytes per cell update* from (a) the exact trace-driven cache
+// simulator at small N and (b) the analytic traffic model across the full
+// size range, using the desktop's 6 MiB LLC geometry.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+#include "memmodel/trace.hpp"
+#include "memmodel/traffic_model.hpp"
+
+using namespace fluxdiv;
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+using core::VariantConfig;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("sim-max-n", 32,
+              "largest box side replayed through the exact cache sim");
+  args.addInt("llc-mib", 6, "last-level cache size (paper desktop: 6)");
+  args.addString("csv", "", "also write results to this CSV file");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const std::size_t llc =
+      std::size_t(args.getInt("llc-mib")) * 1024 * 1024;
+  const int simMaxN = static_cast<int>(args.getInt("sim-max-n"));
+  std::cout << "=== Sec. VI-B: DRAM traffic per schedule (LLC = "
+            << harness::formatBytes(llc) << ") ===\n"
+            << "substitute for the paper's VTune bandwidth counters; see\n"
+            << "DESIGN.md (substitutions table)\n\n";
+
+  const VariantConfig schedules[] = {
+      core::makeBaseline(ParallelGranularity::OverBoxes),
+      core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Inside),
+      core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Outside),
+      core::makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                           ParallelGranularity::WithinBox),
+      core::makeOverlapped(IntraTileSchedule::Basic, 8,
+                           ParallelGranularity::WithinBox),
+  };
+
+  harness::Table table({"schedule", "N", "model B/cell", "sim B/cell",
+                        "working set", "fits LLC"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"schedule", "N", "model_bytes_per_cell",
+                          "sim_bytes_per_cell", "working_set_bytes",
+                          "fits"});
+
+  for (const VariantConfig& cfg : schedules) {
+    for (int n : {16, 32, 64, 128}) {
+      if (!cfg.validFor(n)) {
+        continue;
+      }
+      const auto est = memmodel::estimateTraffic(cfg, n, llc);
+      std::string simCell = "-";
+      if (n <= simMaxN) {
+        memmodel::CacheSim sim =
+            memmodel::CacheSim::makeTypical(32 * 1024, 256 * 1024, llc);
+        memmodel::traceBoxEvaluation(sim, cfg, n);
+        simCell = harness::formatDouble(
+            double(sim.dramBytes()) / (double(n) * n * n), 1);
+      }
+      table.addRow({cfg.name(), std::to_string(n),
+                    harness::formatDouble(est.bytesPerCell, 1), simCell,
+                    harness::formatBytes(std::size_t(est.workingSetBytes)),
+                    est.workingSetFits ? "yes" : "no"});
+      csv.writeRow({cfg.name(), std::to_string(n),
+                    harness::formatDouble(est.bytesPerCell, 1), simCell,
+                    harness::formatDouble(est.workingSetBytes, 0),
+                    est.workingSetFits ? "1" : "0"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\npaper shape check (Sec. VI-B): baseline traffic jumps ~4x\n"
+         "once its temporaries exceed the LLC (4.9 -> 18.3 GB/s on the\n"
+         "paper's desktop); shift-fuse cuts the large-N demand sharply;\n"
+         "tiled schedules stay near the compulsory floor at every N.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 9 reproduction: fastest execution time over all schedule variants
+// for each box size (16, 32, 64, 128) at the full thread count, reported
+// separately for parallelization over boxes (P>=Box) and within boxes
+// (P<Box). The paper's finding: P>=Box wins for small boxes (too little
+// within-box work), the two converge for large boxes.
+
+#include <iostream>
+#include <limits>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+
+using namespace fluxdiv;
+using core::ParallelGranularity;
+using core::VariantConfig;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  bench::addCommonOptions(args);
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  bench::printHeader("Fig. 9: best performance vs box size", args);
+  const int nWork = bench::workUnits(args);
+  const int reps = static_cast<int>(args.getInt("reps"));
+  const int threads = bench::threadSweep(args).back();
+  std::cout << "running every registered variant at " << threads
+            << " thread(s)\n\n";
+
+  harness::Table table({"box size", "best P>=Box", "schedule",
+                        "best P<Box", "schedule"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"box_size", "granularity", "schedule", "seconds",
+                          "is_best"});
+
+  for (int n : {16, 32, 64, 128}) {
+    bench::Problem problem(n, nWork);
+    double best[2] = {std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity()};
+    std::string bestName[2];
+    for (const VariantConfig& cfg : core::enumerateVariants(n)) {
+      const double secs = bench::timeVariant(cfg, problem, threads, reps);
+      const int g = cfg.par == ParallelGranularity::OverBoxes ? 0 : 1;
+      std::cerr << "  N=" << n << ' ' << cfg.name() << ": "
+                << harness::formatSeconds(secs) << "s\n";
+      csv.writeRow({std::to_string(n), g == 0 ? "P>=Box" : "P<Box",
+                    cfg.name(), harness::formatSeconds(secs), ""});
+      if (secs < best[g]) {
+        best[g] = secs;
+        bestName[g] = cfg.name();
+      }
+    }
+    table.addRow({std::to_string(n), harness::formatSeconds(best[0]),
+                  bestName[0], harness::formatSeconds(best[1]),
+                  bestName[1]});
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\npaper shape check (Fig. 9): P>=Box clearly faster at "
+               "N=16 (a 16^3 box\nhas ~1 tile worth of within-box work); "
+               "the granularities converge by N=128,\nand N=32/64 fall "
+               "smoothly between the extremes.\n";
+  return 0;
+}

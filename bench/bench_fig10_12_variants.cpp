@@ -1,0 +1,93 @@
+// Figs. 10-12 reproduction: the seven highlighted schedules at N=128 vs
+// thread count. Legend (matching the paper's):
+//   Baseline: P>=Box            Shift-Fuse: P>=Box
+//   Blocked WF-CLO-16: P<Box    Blocked WF-CLI-4: P<Box
+//   Shift-Fuse OT-8: P<Box      Basic-Sched OT-16: P<Box
+//   Shift-Fuse OT-16: P>=Box    Basic-Sched OT-16: P>=Box
+// The paper marks the per-machine best tile size with a diamond; here we
+// include both of the commonly-winning tile sizes (8 and 16).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+
+using namespace fluxdiv;
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+using core::VariantConfig;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  bench::addCommonOptions(args);
+  args.addInt("boxsize", 128, "box side (the paper plots N=128)");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  bench::printHeader("Figs. 10-12: highlighted schedules at N=" +
+                         std::to_string(n),
+                     args);
+  const int nWork = bench::workUnits(args);
+  const int reps = static_cast<int>(args.getInt("reps"));
+  const auto threads = bench::threadSweep(args);
+
+  const VariantConfig schedules[] = {
+      core::makeBaseline(ParallelGranularity::OverBoxes),
+      core::makeShiftFuse(ParallelGranularity::OverBoxes),
+      core::makeBlockedWF(16, ParallelGranularity::WithinBox,
+                          ComponentLoop::Outside),
+      core::makeBlockedWF(4, ParallelGranularity::WithinBox,
+                          ComponentLoop::Inside),
+      core::makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                           ParallelGranularity::WithinBox),
+      core::makeOverlapped(IntraTileSchedule::Basic, 16,
+                           ParallelGranularity::WithinBox),
+      core::makeOverlapped(IntraTileSchedule::ShiftFuse, 16,
+                           ParallelGranularity::OverBoxes),
+      core::makeOverlapped(IntraTileSchedule::Basic, 16,
+                           ParallelGranularity::OverBoxes),
+  };
+
+  std::vector<std::string> header = {"schedule"};
+  for (int t : threads) {
+    header.push_back("t=" + std::to_string(t));
+  }
+  harness::Table table(header);
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"schedule", "threads", "seconds"});
+
+  bench::Problem problem(n, nWork);
+  for (const VariantConfig& cfg : schedules) {
+    if (!cfg.validFor(n)) {
+      continue;
+    }
+    std::vector<std::string> row = {cfg.name()};
+    for (int t : threads) {
+      const double secs = bench::timeVariant(cfg, problem, t, reps);
+      row.push_back(harness::formatSeconds(secs));
+      csv.writeRow({cfg.name(), std::to_string(t),
+                    harness::formatSeconds(secs)});
+      std::cerr << "  " << cfg.name() << " t=" << t << ": "
+                << harness::formatSeconds(secs) << "s\n";
+    }
+    table.addRow(std::move(row));
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout
+      << "\npaper shape check (Figs. 10-12): overlapped tiling variants\n"
+         "scale best and win outright; blocked wavefronts scale but sit\n"
+         "offset above (pipeline fill/drain cost); baseline flattens\n"
+         "after a few threads; shift-fuse alone lands in between.\n";
+  return 0;
+}

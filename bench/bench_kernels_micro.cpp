@@ -1,0 +1,180 @@
+// google-benchmark microbenchmarks of the kernel building blocks and the
+// per-box schedule executors: cost per face of EvalFlux1/EvalFlux2 and
+// per-cell cost of each schedule family on a single box. These are the
+// numbers the inter-loop scheduling tradeoffs move around.
+
+#include <benchmark/benchmark.h>
+
+#include "core/runner.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+#include "kernels/gradient.hpp"
+#include "kernels/layout.hpp"
+#include "kernels/reference.hpp"
+
+namespace {
+
+using namespace fluxdiv;
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+
+void BM_EvalFlux1(benchmark::State& state) {
+  std::vector<grid::Real> col(1024, 1.5);
+  std::size_t i = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::evalFlux1(col.data() + i, 1));
+    i = (i + 1) % 1020 + 2;
+  }
+}
+BENCHMARK(BM_EvalFlux1);
+
+void BM_EvalFlux1Strided(benchmark::State& state) {
+  const std::int64_t stride = state.range(0);
+  std::vector<grid::Real> data(
+      static_cast<std::size_t>(stride) * 8 + 16, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::evalFlux1(data.data() + 2 * stride, stride));
+  }
+}
+BENCHMARK(BM_EvalFlux1Strided)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_FaceFlux(benchmark::State& state) {
+  std::vector<grid::Real> c(64, 1.1), v(64, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::faceFlux(c.data() + 8, v.data() + 8, 1));
+  }
+}
+BENCHMARK(BM_FaceFlux);
+
+/// One serial box evaluation per schedule family; reports ns/cell.
+void BM_BoxEvaluation(benchmark::State& state,
+                      const core::VariantConfig& cfg) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::Box valid = grid::Box::cube(n);
+  grid::FArrayBox phi0(valid.grow(kernels::kNumGhost), kernels::kNumComp);
+  grid::FArrayBox phi1(valid, kernels::kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+  core::FluxDivRunner runner(cfg, 1);
+  for (auto _ : state) {
+    runner.runBox(phi0, phi1, valid);
+    benchmark::DoNotOptimize(phi1.dataPtr(0)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * valid.numPts());
+}
+
+void BM_Baseline(benchmark::State& state) {
+  BM_BoxEvaluation(state,
+                   core::makeBaseline(ParallelGranularity::OverBoxes));
+}
+BENCHMARK(BM_Baseline)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ShiftFuseCLI(benchmark::State& state) {
+  BM_BoxEvaluation(state,
+                   core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                                       ComponentLoop::Inside));
+}
+BENCHMARK(BM_ShiftFuseCLI)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ShiftFuseCLO(benchmark::State& state) {
+  BM_BoxEvaluation(state,
+                   core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                                       ComponentLoop::Outside));
+}
+BENCHMARK(BM_ShiftFuseCLO)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_OverlappedShiftFuse8(benchmark::State& state) {
+  BM_BoxEvaluation(state,
+                   core::makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                                        ParallelGranularity::OverBoxes));
+}
+BENCHMARK(BM_OverlappedShiftFuse8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BlockedWF8(benchmark::State& state) {
+  BM_BoxEvaluation(state,
+                   core::makeBlockedWF(8, ParallelGranularity::OverBoxes,
+                                       ComponentLoop::Inside));
+}
+BENCHMARK(BM_BlockedWF8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Sec. III-C implementation claim: accessor-per-element indexing vs the
+/// pointer-cached kernels. Run next to BM_Baseline for the same N.
+void BM_NaiveIndexing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::Box valid = grid::Box::cube(n);
+  grid::FArrayBox phi0(valid.grow(kernels::kNumGhost), kernels::kNumComp);
+  grid::FArrayBox phi1(valid, kernels::kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+  for (auto _ : state) {
+    kernels::referenceFluxDivNaive(phi0, phi1, valid);
+    benchmark::DoNotOptimize(phi1.dataPtr(0)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * valid.numPts());
+}
+BENCHMARK(BM_NaiveIndexing)->Arg(16)->Arg(32);
+
+void BM_PointerCachedReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::Box valid = grid::Box::cube(n);
+  grid::FArrayBox phi0(valid.grow(kernels::kNumGhost), kernels::kNumComp);
+  grid::FArrayBox phi1(valid, kernels::kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+  for (auto _ : state) {
+    kernels::referenceFluxDiv(phi0, phi1, valid);
+    benchmark::DoNotOptimize(phi1.dataPtr(0)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * valid.numPts());
+}
+BENCHMARK(BM_PointerCachedReference)->Arg(16)->Arg(32);
+
+/// Gradient on the component-major layout (its good case, Sec. III-C)...
+void BM_GradientSoA(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::Box valid = grid::Box::cube(n);
+  grid::FArrayBox phi(valid.grow(kernels::kNumGhost), kernels::kNumComp);
+  grid::FArrayBox grad(valid, 3);
+  kernels::initializeExemplar(phi, valid);
+  for (auto _ : state) {
+    kernels::gradient(phi, grad, valid, 0);
+    benchmark::DoNotOptimize(grad.dataPtr(0)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * valid.numPts());
+}
+BENCHMARK(BM_GradientSoA)->Arg(32)->Arg(64);
+
+/// ...vs the interleaved layout (strided component columns).
+void BM_GradientAoS(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::Box valid = grid::Box::cube(n);
+  grid::FArrayBox phi(valid.grow(kernels::kNumGhost), kernels::kNumComp);
+  kernels::initializeExemplar(phi, valid);
+  kernels::AosFab aosPhi(phi.box(), kernels::kNumComp);
+  kernels::packAos(phi, aosPhi, phi.box());
+  kernels::AosFab grad(valid, 3);
+  for (auto _ : state) {
+    kernels::aosGradient(aosPhi, grad, valid, 0);
+    benchmark::DoNotOptimize(grad.data()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * valid.numPts());
+}
+BENCHMARK(BM_GradientAoS)->Arg(32)->Arg(64);
+
+void BM_GhostExchange(benchmark::State& state) {
+  const int boxSize = static_cast<int>(state.range(0));
+  grid::DisjointBoxLayout dbl(grid::ProblemDomain(grid::Box::cube(64)),
+                              boxSize);
+  grid::LevelData phi(dbl, kernels::kNumComp, kernels::kNumGhost);
+  kernels::initializeExemplar(phi);
+  for (auto _ : state) {
+    phi.exchange();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(phi.exchangeBytes()));
+}
+BENCHMARK(BM_GhostExchange)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Sec. III-C layout ablation: Chombo's [x,y,z,c] layout puts a cell's
+// components far apart, which the paper notes is "somewhat
+// disadvantageous" for flux kernels; changing it requires "repack[ing]
+// all the cell data for some segment of code". This bench prices that
+// option: component-major compute in place (the reference kernel's
+// access pattern) vs pack-to-interleaved + AoS compute + unpack, with
+// the kernel-only and end-to-end times separated so the repack overhead
+// is visible.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+#include "kernels/init.hpp"
+#include "kernels/layout.hpp"
+#include "kernels/reference.hpp"
+
+using namespace fluxdiv;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("reps", 3, "timed repetitions (minimum reported)");
+  args.addString("csv", "", "also write results to this CSV file");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  const int reps = static_cast<int>(args.getInt("reps"));
+
+  std::cout << "=== Sec. III-C layout ablation: [x,y,z,c] vs interleaved "
+               "[c,x,y,z] ===\n\n";
+  harness::Table table({"N", "SoA in place (s)", "AoS kernel (s)",
+                        "pack+unpack (s)", "AoS total (s)", "verdict"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"N", "soa_seconds", "aos_kernel_seconds",
+                          "repack_seconds", "aos_total_seconds"});
+
+  for (int n : {16, 32, 64}) {
+    const grid::Box valid = grid::Box::cube(n);
+    grid::FArrayBox phi0(valid.grow(kernels::kNumGhost),
+                         kernels::kNumComp);
+    grid::FArrayBox phi1(valid, kernels::kNumComp);
+    kernels::initializeExemplar(phi0, valid);
+
+    auto minOver = [&](auto&& f) {
+      double best = 0.0;
+      for (int r = 0; r < reps + 1; ++r) {
+        harness::Timer t;
+        f();
+        const double s = t.seconds();
+        if (r == 1 || (r > 1 && s < best)) {
+          best = s;
+        }
+      }
+      return best;
+    };
+
+    const double soa = minOver([&] {
+      phi1.setVal(0.0);
+      kernels::referenceFluxDiv(phi0, phi1, valid);
+    });
+
+    kernels::AosFab aosPhi0(phi0.box(), kernels::kNumComp);
+    kernels::AosFab aosPhi1(valid, kernels::kNumComp);
+    const double aosKernel = minOver([&] {
+      kernels::aosFluxDiv(aosPhi0, aosPhi1, valid, 1.0);
+    });
+    const double repack = minOver([&] {
+      kernels::packAos(phi0, aosPhi0, phi0.box());
+      kernels::unpackAos(aosPhi1, phi1, valid);
+    });
+
+    const double total = aosKernel + repack;
+    table.addRow({std::to_string(n), harness::formatSeconds(soa),
+                  harness::formatSeconds(aosKernel),
+                  harness::formatSeconds(repack),
+                  harness::formatSeconds(total),
+                  total < soa ? "repack pays off" : "stay in place"});
+    csv.writeRow({std::to_string(n), harness::formatSeconds(soa),
+                  harness::formatSeconds(aosKernel),
+                  harness::formatSeconds(repack),
+                  harness::formatSeconds(total)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the interleaved kernel touches the velocity "
+               "component\nadjacent to each value, but the pack/unpack "
+               "passes stream the whole\nbox twice — the paper's reason "
+               "for leaving the layout alone.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Sec. VI's explanation for why wavefront schedules lose: "During the
+// first several wavefronts, there are not enough tiles available to keep
+// every core busy." This bench quantifies that analytically from the
+// tile-wavefront structure (average available parallelism, fraction of
+// fronts narrower than the machine) and measures the blocked-WF vs OT
+// gap that results.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/csv.hpp"
+#include "harness/table.hpp"
+#include "sched/tiles.hpp"
+
+using namespace fluxdiv;
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  bench::addCommonOptions(args);
+  args.addInt("boxsize", 128, "box side N");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  bench::printHeader("Wavefront pipeline fill/drain analysis, N=" +
+                         std::to_string(n),
+                     args);
+  const int nWork = bench::workUnits(args);
+  const int reps = static_cast<int>(args.getInt("reps"));
+  const int threads = bench::threadSweep(args).back();
+  std::cout << "threads: " << threads << "\n\n";
+
+  harness::Table table({"T", "tiles", "fronts", "mean tiles/front",
+                        "fronts < threads", "WF seconds", "OT seconds",
+                        "WF/OT"});
+  harness::CsvWriter csv(args.getString("csv"),
+                         {"tile", "tiles", "fronts", "mean_width",
+                          "narrow_fronts", "wf_seconds", "ot_seconds"});
+
+  bench::Problem problem(n, nWork);
+  for (int t : core::kTileSizes) {
+    if (t >= n) {
+      continue;
+    }
+    const sched::TileSet tiles(grid::Box::cube(n), t);
+    const sched::TileWavefronts fronts(tiles);
+    std::size_t narrow = 0;
+    for (std::size_t w = 0; w < fronts.count(); ++w) {
+      if (fronts.front(w).size() < static_cast<std::size_t>(threads)) {
+        ++narrow;
+      }
+    }
+    const double meanWidth =
+        double(tiles.size()) / double(fronts.count());
+
+    const auto wfCfg = core::makeBlockedWF(
+        t, ParallelGranularity::WithinBox, ComponentLoop::Inside);
+    const auto otCfg = core::makeOverlapped(
+        IntraTileSchedule::ShiftFuse, t, ParallelGranularity::WithinBox);
+    const double wfSecs = bench::timeVariant(wfCfg, problem, threads, reps);
+    const double otSecs = bench::timeVariant(otCfg, problem, threads, reps);
+
+    table.addRow({std::to_string(t), std::to_string(tiles.size()),
+                  std::to_string(fronts.count()),
+                  harness::formatDouble(meanWidth, 1),
+                  std::to_string(narrow) + "/" +
+                      std::to_string(fronts.count()),
+                  harness::formatSeconds(wfSecs),
+                  harness::formatSeconds(otSecs),
+                  harness::formatDouble(wfSecs / otSecs, 2) + "x"});
+    csv.writeRow({std::to_string(t), std::to_string(tiles.size()),
+                  std::to_string(fronts.count()),
+                  harness::formatDouble(meanWidth, 2),
+                  std::to_string(narrow), harness::formatSeconds(wfSecs),
+                  harness::formatSeconds(otSecs)});
+    std::cerr << "  T=" << t << " WF " << harness::formatSeconds(wfSecs)
+              << "s vs OT " << harness::formatSeconds(otSecs) << "s\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nreading: smaller tiles widen the average front (more "
+               "parallelism)\nbut multiply synchronization; overlapped "
+               "tiles avoid both costs by\nrecomputing boundary fluxes — "
+               "the paper's Sec. VI conclusion that\nwavefront schedules "
+               "'scaled well but still had a high time cost'.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// A real time-dependent finite-volume solver built on the exemplar: the
+// conservation-law structure of paper Sec. II (Eq. 1/4) advanced with
+// forward Euler. Each step exchanges ghosts (the per-step communication
+// the paper's box-size tradeoff is about), evaluates the flux divergence
+// with a chosen schedule variant, and verifies discrete conservation —
+// the finite-volume property Sec. II highlights.
+//
+//   ./examples/advection [--steps S] [--boxsize N] [--variant ot|baseline]
+
+#include <omp.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <iostream>
+#include <utility>
+
+#include "core/runner.hpp"
+#include "harness/args.hpp"
+#include "harness/timer.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+
+using namespace fluxdiv;
+
+namespace {
+
+/// Global sum of every component (the conserved totals).
+std::array<grid::Real, kernels::kNumComp> totals(const grid::LevelData& u) {
+  std::array<grid::Real, kernels::kNumComp> sums{};
+  for (std::size_t b = 0; b < u.size(); ++b) {
+    for (int c = 0; c < kernels::kNumComp; ++c) {
+      sums[static_cast<std::size_t>(c)] += u[b].sum(u.validBox(b), c);
+    }
+  }
+  return sums;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("boxsize", 32, "box side length");
+  args.addInt("nboxes", 2, "boxes per direction");
+  args.addInt("steps", 10, "time steps");
+  args.addDouble("cfl", 0.2, "CFL-like dt/dx factor");
+  args.addString("variant", "ot",
+                 "schedule: 'baseline', 'shiftfuse', or 'ot'");
+  args.addInt("threads", omp_get_max_threads(), "OpenMP threads");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  const int nb = static_cast<int>(args.getInt("nboxes"));
+  const int steps = static_cast<int>(args.getInt("steps"));
+  const double dtOverDx = args.getDouble("cfl");
+  const int threads = static_cast<int>(args.getInt("threads"));
+
+  core::VariantConfig cfg;
+  const std::string variant = args.getString("variant");
+  if (variant == "baseline") {
+    cfg = core::makeBaseline(core::ParallelGranularity::OverBoxes);
+  } else if (variant == "shiftfuse") {
+    cfg = core::makeShiftFuse(core::ParallelGranularity::OverBoxes);
+  } else if (variant == "ot") {
+    cfg = core::makeOverlapped(core::IntraTileSchedule::ShiftFuse,
+                               std::min(8, n),
+                               core::ParallelGranularity::WithinBox);
+  } else {
+    std::cerr << "unknown --variant '" << variant << "'\n";
+    return 1;
+  }
+
+  grid::ProblemDomain domain(grid::Box::cube(n * nb));
+  grid::DisjointBoxLayout layout(domain, n);
+  grid::LevelData u(layout, kernels::kNumComp, kernels::kNumGhost);
+  grid::LevelData uNext(layout, kernels::kNumComp, kernels::kNumGhost);
+  kernels::initializeExemplar(u);
+
+  const auto initial = totals(u);
+  std::cout << "advecting " << domain.box().numPts() << " cells for "
+            << steps << " steps with '" << cfg.name() << "'\n";
+
+  core::FluxDivRunner runner(cfg, threads);
+  harness::Timer wall;
+  for (int s = 0; s < steps; ++s) {
+    // Forward Euler: u^{n+1} = u^n - (dt/dx) * sum_d (F_hi - F_lo).
+    // The runner accumulates into its output, so seeding uNext with u^n
+    // and accumulating with a negative scale is exactly the update. The
+    // per-step exchange is the ghost communication whose cost the paper's
+    // box-size tradeoff is about.
+    u.exchange();
+    for (std::size_t b = 0; b < u.size(); ++b) {
+      uNext[b].copy(u[b], u.validBox(b), 0, 0, kernels::kNumComp);
+    }
+    runner.run(u, uNext, -dtOverDx);
+    std::swap(u, uNext);
+  }
+  const double seconds = wall.seconds();
+
+  const auto finals = totals(u);
+  double worstDrift = 0.0;
+  for (int c = 0; c < kernels::kNumComp; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    worstDrift = std::max(worstDrift,
+                          std::abs(finals[ci] - initial[ci]) /
+                              std::abs(initial[ci]));
+  }
+  std::cout << steps << " steps in " << seconds << " s ("
+            << seconds / steps << " s/step incl. exchange)\n"
+            << "relative conservation drift (worst component): "
+            << worstDrift << '\n';
+  if (worstDrift > 1e-11) {
+    std::cerr << "conservation violated!\n";
+    return 1;
+  }
+  std::cout << "discrete conservation holds (finite-volume property, "
+               "Sec. II)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Wall-bounded solve: the exemplar advanced in a box with slip walls on x
+// (ReflectiveWall boundary conditions) and periodic y/z. The odd
+// reflection of the normal velocity makes the 4th-order face-interpolated
+// wall velocity *exactly* zero, so no flux crosses the walls and every
+// component is conserved to round-off even though the domain is closed —
+// the finite-volume property of Sec. II at a physical boundary. Writes a
+// VTK plotfile of the final state.
+//
+//   ./examples/wall_bounded [--steps S] [--boxsize N] [--vtk out.vtk]
+
+#include <omp.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "grid/bc.hpp"
+#include "grid/norms.hpp"
+#include "grid/vtk_io.hpp"
+#include "harness/args.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+#include "solvers/integrator.hpp"
+
+using namespace fluxdiv;
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("boxsize", 16, "box side length");
+  args.addInt("nboxes", 2, "boxes per direction");
+  args.addInt("steps", 8, "RK2 time steps");
+  args.addDouble("cfl", 0.1, "dt/dx factor");
+  args.addString("vtk", "", "write the final state to this VTK file");
+  args.addInt("threads", omp_get_max_threads(), "OpenMP threads");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  const int nb = static_cast<int>(args.getInt("nboxes"));
+  const int steps = static_cast<int>(args.getInt("steps"));
+  const auto dt = static_cast<grid::Real>(args.getDouble("cfl"));
+  const int threads = static_cast<int>(args.getInt("threads"));
+
+  // Periodic in y/z, walls on the two x faces.
+  grid::ProblemDomain domain(grid::Box::cube(n * nb),
+                             std::array<bool, 3>{false, true, true});
+  grid::DisjointBoxLayout layout(domain, n);
+  grid::BoundarySpec spec;
+  spec.type[0] = {grid::BCType::ReflectiveWall,
+                  grid::BCType::ReflectiveWall};
+  grid::BoundaryFiller walls(layout, spec);
+
+  grid::LevelData u(layout, kernels::kNumComp, kernels::kNumGhost);
+  kernels::initializeExemplar(u);
+  walls.fill(u);
+
+  const auto initial = grid::levelSums(u);
+  std::cout << "wall-bounded channel: " << domain.box() << ", walls on x, "
+            << steps << " RK2 steps\n";
+
+  solvers::FluxDivRhs rhs(
+      core::makeOverlapped(core::IntraTileSchedule::ShiftFuse,
+                           std::min(8, n),
+                           core::ParallelGranularity::WithinBox),
+      threads, /*invDx=*/1.0, &walls);
+  solvers::TimeIntegrator integ(solvers::Scheme::Midpoint, layout);
+  for (int s = 0; s < steps; ++s) {
+    integ.advance(u, dt, rhs);
+  }
+
+  const auto finals = grid::levelSums(u);
+  double worst = 0.0;
+  for (int c = 0; c < kernels::kNumComp; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    worst = std::max(worst, std::abs(finals[ci] - initial[ci]) /
+                                std::abs(initial[ci]));
+  }
+  std::cout << "relative conservation drift with closed walls: " << worst
+            << '\n';
+
+  const std::string vtkPath = args.getString("vtk");
+  if (!vtkPath.empty()) {
+    grid::VtkWriteOptions opts;
+    opts.componentNames = {"rho", "u", "v", "w", "e"};
+    grid::writeVtk(vtkPath, u, opts);
+    std::cout << "wrote " << vtkPath << '\n';
+  }
+
+  if (worst > 1e-11) {
+    std::cerr << "wall flux leaked!\n";
+    return 1;
+  }
+  std::cout << "walls are exactly flux-free (odd reflection zeroes the "
+               "4th-order face velocity)\n";
+  return 0;
+}

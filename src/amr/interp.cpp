@@ -1,0 +1,112 @@
+#include "amr/interp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fluxdiv::amr {
+
+namespace {
+
+int floorDiv(int a, int b) { return (a >= 0) ? a / b : -((-a + b - 1) / b); }
+
+} // namespace
+
+Box refine(const Box& coarse, int ratio) {
+  assert(ratio >= 1);
+  if (coarse.empty()) {
+    return {};
+  }
+  return {coarse.lo() * ratio,
+          (coarse.hi() + IntVect::unit(1)) * ratio - IntVect::unit(1)};
+}
+
+Box coarsen(const Box& fine, int ratio) {
+  assert(ratio >= 1);
+  if (fine.empty()) {
+    return {};
+  }
+  IntVect lo, hi;
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    if (fine.lo(d) % ratio != 0 || (fine.hi(d) + 1) % ratio != 0) {
+      throw std::invalid_argument(
+          "coarsen: fine box is not aligned to the refinement ratio");
+    }
+    lo[d] = floorDiv(fine.lo(d), ratio);
+    hi[d] = floorDiv(fine.hi(d) + 1, ratio) - 1;
+  }
+  return {lo, hi};
+}
+
+IntVect coarsenIndex(const IntVect& fine, int ratio) {
+  return {floorDiv(fine[0], ratio), floorDiv(fine[1], ratio),
+          floorDiv(fine[2], ratio)};
+}
+
+void prolongConstant(const FArrayBox& coarse, FArrayBox& fine,
+                     const Box& fineRegion, int ratio) {
+  assert(fine.box().contains(fineRegion));
+  assert(fine.nComp() == coarse.nComp());
+  for (int c = 0; c < fine.nComp(); ++c) {
+    const Real* pc = coarse.dataPtr(c);
+    Real* pf = fine.dataPtr(c);
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+      const IntVect cc = coarsenIndex(IntVect(i, j, k), ratio);
+      pf[fine.offset(i, j, k)] = pc[coarse.offset(cc[0], cc[1], cc[2])];
+    });
+  }
+}
+
+void prolongLinear(const FArrayBox& coarse, FArrayBox& fine,
+                   const Box& fineRegion, int ratio) {
+  assert(fine.box().contains(fineRegion));
+  assert(fine.nComp() == coarse.nComp());
+  const Real r = ratio;
+  for (int c = 0; c < fine.nComp(); ++c) {
+    const Real* pc = coarse.dataPtr(c);
+    Real* pf = fine.dataPtr(c);
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+      const IntVect cc = coarsenIndex(IntVect(i, j, k), ratio);
+      const std::int64_t at = coarse.offset(cc[0], cc[1], cc[2]);
+      Real value = pc[at];
+      for (int d = 0; d < grid::SpaceDim; ++d) {
+        const IntVect e = IntVect::basis(d);
+        const Real slope =
+            0.5 * (pc[coarse.offset(cc[0] + e[0], cc[1] + e[1],
+                                    cc[2] + e[2])] -
+                   pc[coarse.offset(cc[0] - e[0], cc[1] - e[1],
+                                    cc[2] - e[2])]);
+        // Offset of the fine cell center from the parent's center, in
+        // coarse cell widths: (sub + 1/2)/r - 1/2.
+        const int sub = IntVect(i, j, k)[d] - cc[d] * ratio;
+        const Real xi = (sub + 0.5) / r - 0.5;
+        value += slope * xi;
+      }
+      pf[fine.offset(i, j, k)] = value;
+    });
+  }
+}
+
+void restrictAverage(const FArrayBox& fine, FArrayBox& coarse,
+                     const Box& coarseRegion, int ratio) {
+  assert(coarse.box().contains(coarseRegion));
+  assert(fine.nComp() == coarse.nComp());
+  const Real inv = 1.0 / (Real(ratio) * ratio * ratio);
+  for (int c = 0; c < fine.nComp(); ++c) {
+    const Real* pf = fine.dataPtr(c);
+    Real* pc = coarse.dataPtr(c);
+    forEachCell(coarseRegion, [&](int i, int j, int k) {
+      Real total = 0.0;
+      for (int kk = 0; kk < ratio; ++kk) {
+        for (int jj = 0; jj < ratio; ++jj) {
+          for (int ii = 0; ii < ratio; ++ii) {
+            total += pf[fine.offset(i * ratio + ii, j * ratio + jj,
+                                    k * ratio + kk)];
+          }
+        }
+      }
+      pc[coarse.offset(i, j, k)] = total * inv;
+    });
+  }
+}
+
+} // namespace fluxdiv::amr

@@ -1,0 +1,48 @@
+#pragma once
+// Coarse-fine grid-transfer operators — the framework substrate paper
+// Sec. II describes around the exemplar ("inter-patch interpolation
+// routines, mesh refinement algorithms"; Chombo's Berger-Oliger-Colella
+// AMR). This reproduction's benchmark itself is single-level, but the
+// framework it models is an AMR framework, so the box calculus and the
+// standard prolongation/restriction operators are provided and tested.
+
+#include "grid/farraybox.hpp"
+
+namespace fluxdiv::amr {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::Real;
+
+/// The fine-index image of a coarse box under refinement by `ratio`.
+[[nodiscard]] Box refine(const Box& coarse, int ratio);
+
+/// The coarse-index image of a fine box (requires exact alignment:
+/// lo/hi+1 divisible by ratio, as produced by refine()).
+[[nodiscard]] Box coarsen(const Box& fine, int ratio);
+
+/// Coarse cell containing fine cell `fine` under refinement `ratio`
+/// (floor division, correct for negative indices).
+[[nodiscard]] IntVect coarsenIndex(const IntVect& fine, int ratio);
+
+/// Piecewise-constant prolongation: every fine cell of `fineRegion`
+/// receives its coarse parent's value. All components.
+void prolongConstant(const FArrayBox& coarse, FArrayBox& fine,
+                     const Box& fineRegion, int ratio);
+
+/// Piecewise-linear (trilinear-slope) prolongation: the coarse value plus
+/// central-difference slopes evaluated at the fine cell center. Exact for
+/// fields linear in the coordinates; preserves the coarse cell averages
+/// (the fine average over a parent equals the parent's value). The
+/// coarse fab must cover the coarsened fineRegion grown by 1.
+void prolongLinear(const FArrayBox& coarse, FArrayBox& fine,
+                   const Box& fineRegion, int ratio);
+
+/// Conservative restriction: each coarse cell of `coarseRegion` becomes
+/// the mean of its ratio^3 fine children (the volume-weighted average on
+/// a uniform grid — discretely conservative).
+void restrictAverage(const FArrayBox& fine, FArrayBox& coarse,
+                     const Box& coarseRegion, int ratio);
+
+} // namespace fluxdiv::amr

@@ -1,0 +1,147 @@
+// Blocked wavefront schedule (paper Sec. IV-C, Fig. 8b): the box is tiled,
+// each tile runs the shifted-and-fused sweep, and tiles *share* boundary
+// fluxes through co-dimension caches — which induces dependencies along
+// +x/+y/+z between tiles and forces wavefront execution over tiles.
+// Within one tile wavefront, tiles have pairwise-distinct orthogonal
+// coordinates in every direction, so their cache slots are disjoint and
+// they can execute concurrently.
+
+#include <omp.h>
+
+#include "core/exec_fused.hpp"
+
+namespace fluxdiv::core::detail {
+
+namespace {
+
+/// Fused sweep of one tile, component loop inside, low-face fluxes drawn
+/// from (and high-face fluxes deposited into) the box-global co-dimension
+/// caches. `fresh` applies only on the *box* boundary; on interior tile
+/// boundaries the cache slot was written by the -d neighbor tile.
+void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
+                  const Box& valid, Real* cacheX, Real* cacheY,
+                  Real* cacheZ, Real scale) {
+  const Idx ip(phi0);
+  const Idx io(phi1);
+  const ConstComps p(phi0);
+  const MutComps out(phi1);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  for (int k = tb.lo(2); k <= tb.hi(2); ++k) {
+    const int kk = k - valid.lo(2);
+    for (int j = tb.lo(1); j <= tb.hi(1); ++j) {
+      const int jj = j - valid.lo(1);
+      for (int i = tb.lo(0); i <= tb.hi(0); ++i) {
+        const int ii = i - valid.lo(0);
+        fusedCellCLI(
+            p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz, ii == 0,
+            jj == 0, kk == 0,
+            cacheX + (static_cast<std::size_t>(kk) * ny + jj) * kNumComp,
+            cacheY + (static_cast<std::size_t>(kk) * nx + ii) * kNumComp,
+            cacheZ + (static_cast<std::size_t>(jj) * nx + ii) * kNumComp,
+            scale);
+      }
+    }
+  }
+}
+
+/// Fused sweep of one tile for a single component (component loop outside
+/// the whole tile-wavefront execution — the "3D flux cache" variant).
+void sweepTileCLO(const FArrayBox& phi0, FArrayBox& phi1, int c,
+                  const FArrayBox& vel, const Box& tb, const Box& valid,
+                  Real* cacheX, Real* cacheY, Real* cacheZ, Real scale) {
+  const Idx ip(phi0);
+  const Idx io(phi1);
+  const Idx iv(vel);
+  const Real* pc = phi0.dataPtr(c);
+  Real* outc = phi1.dataPtr(c);
+  const Real* velx = vel.dataPtr(0);
+  const Real* vely = vel.dataPtr(1);
+  const Real* velz = vel.dataPtr(2);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  for (int k = tb.lo(2); k <= tb.hi(2); ++k) {
+    const int kk = k - valid.lo(2);
+    for (int j = tb.lo(1); j <= tb.hi(1); ++j) {
+      const int jj = j - valid.lo(1);
+      for (int i = tb.lo(0); i <= tb.hi(0); ++i) {
+        const int ii = i - valid.lo(0);
+        fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
+                     velx, vely, velz, iv(i, j, k), iv.sy, iv.sz, ii == 0,
+                     jj == 0, kk == 0,
+                     cacheX + static_cast<std::size_t>(kk) * ny + jj,
+                     cacheY + static_cast<std::size_t>(kk) * nx + ii,
+                     cacheZ + static_cast<std::size_t>(jj) * nx + ii,
+                     scale);
+      }
+    }
+  }
+}
+
+/// Shared implementation: nThreads == 1 runs the tiles serially in
+/// lexicographic order (a valid topological order of the tile dependences);
+/// otherwise tiles execute wavefront-by-wavefront with an OpenMP team.
+void blockedWFCore(const VariantConfig& cfg, const FArrayBox& phi0,
+                   FArrayBox& phi1, const Box& valid, Workspace& shared,
+                   int nThreads, Real scale) {
+  const sched::TileSet tiles = makeTileSet(cfg, valid);
+  const sched::TileWavefronts fronts(tiles);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  const int nz = valid.size(2);
+  const std::size_t entries = cfg.comp == ComponentLoop::Inside
+                                  ? static_cast<std::size_t>(kNumComp)
+                                  : 1u;
+  Real* cacheX = shared.buffer(
+      Slot::CarryX, static_cast<std::size_t>(ny) * nz * entries);
+  Real* cacheY = shared.buffer(
+      Slot::CarryY, static_cast<std::size_t>(nx) * nz * entries);
+  Real* cacheZ = shared.buffer(
+      Slot::CarryZ, static_cast<std::size_t>(nx) * ny * entries);
+
+  if (cfg.comp == ComponentLoop::Inside) {
+#pragma omp parallel num_threads(nThreads) if (nThreads > 1)
+    for (std::size_t w = 0; w < fronts.count(); ++w) {
+      const auto& front = fronts.front(w);
+#pragma omp for schedule(dynamic)
+      for (std::size_t t = 0; t < front.size(); ++t) {
+        sweepTileCLI(phi0, phi1, tiles.tileBox(front[t]), valid, cacheX,
+                     cacheY, cacheZ, scale);
+      }
+    }
+  } else {
+    FArrayBox& vel = shared.fab(Slot::Velocity, faceSupersetBox(valid), 3);
+#pragma omp parallel num_threads(nThreads) if (nThreads > 1)
+    {
+      precomputeFaceVelocity(phi0, vel, valid, omp_get_num_threads(),
+                             omp_get_thread_num());
+#pragma omp barrier
+      for (int c = 0; c < kNumComp; ++c) {
+        for (std::size_t w = 0; w < fronts.count(); ++w) {
+          const auto& front = fronts.front(w);
+#pragma omp for schedule(dynamic)
+          for (std::size_t t = 0; t < front.size(); ++t) {
+            sweepTileCLO(phi0, phi1, c, vel, tiles.tileBox(front[t]),
+                         valid, cacheX, cacheY, cacheZ, scale);
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void blockedWFBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                        FArrayBox& phi1, const Box& valid, Workspace& ws,
+                        Real scale) {
+  blockedWFCore(cfg, phi0, phi1, valid, ws, 1, scale);
+}
+
+void blockedWFBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
+                          FArrayBox& phi1, const Box& valid,
+                          WorkspacePool& pool, int nThreads, Real scale) {
+  blockedWFCore(cfg, phi0, phi1, valid, pool[0], nThreads, scale);
+}
+
+} // namespace fluxdiv::core::detail

@@ -1,0 +1,140 @@
+#pragma once
+// Internal helpers shared by the schedule-family executors. Not part of the
+// public API (include only from src/core/*.cpp and white-box tests).
+
+#include <array>
+#include <cstdint>
+
+#include "core/variant.hpp"
+#include "core/workspace.hpp"
+#include "grid/farraybox.hpp"
+#include "kernels/exemplar.hpp"
+#include "sched/tiles.hpp"
+
+namespace fluxdiv::core::detail {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::Real;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+/// Linear-offset calculator for one FArrayBox, hoisting the box origin and
+/// strides out of hot loops (the paper's cached-pointer-offset idiom).
+struct Idx {
+  std::int64_t sy = 0;
+  std::int64_t sz = 0;
+  int lo0 = 0, lo1 = 0, lo2 = 0;
+
+  explicit Idx(const FArrayBox& f)
+      : sy(f.strideY()), sz(f.strideZ()), lo0(f.box().lo(0)),
+        lo1(f.box().lo(1)), lo2(f.box().lo(2)) {}
+
+  [[nodiscard]] std::int64_t operator()(int i, int j, int k) const {
+    return (i - lo0) + sy * static_cast<std::int64_t>(j - lo1) +
+           sz * static_cast<std::int64_t>(k - lo2);
+  }
+
+  /// Stride of direction d.
+  [[nodiscard]] std::int64_t stride(int d) const {
+    return d == 0 ? 1 : (d == 1 ? sy : sz);
+  }
+};
+
+/// Component base pointers of a const solution fab.
+struct ConstComps {
+  std::array<const Real*, kNumComp> p{};
+  explicit ConstComps(const FArrayBox& f) {
+    for (int c = 0; c < kNumComp; ++c) {
+      p[static_cast<std::size_t>(c)] = f.dataPtr(c);
+    }
+  }
+  const Real* operator[](int c) const {
+    return p[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Component base pointers of a mutable fab.
+struct MutComps {
+  std::array<Real*, kNumComp> p{};
+  explicit MutComps(FArrayBox& f) {
+    for (int c = 0; c < kNumComp; ++c) {
+      p[static_cast<std::size_t>(c)] = f.dataPtr(c);
+    }
+  }
+  Real* operator[](int c) const { return p[static_cast<std::size_t>(c)]; }
+};
+
+/// Tile decomposition of a valid region under a tiled config, honoring the
+/// TileAspect extension (pencil/slab tiles keep leading directions whole).
+inline sched::TileSet makeTileSet(const VariantConfig& cfg,
+                                  const Box& valid) {
+  IntVect tile;
+  switch (cfg.aspect) {
+  case TileAspect::Pencil:
+    tile = IntVect(valid.size(0), cfg.tileSize, cfg.tileSize);
+    break;
+  case TileAspect::Slab:
+    tile = IntVect(valid.size(0), valid.size(1), cfg.tileSize);
+    break;
+  case TileAspect::Cube:
+  default:
+    tile = IntVect::unit(cfg.tileSize);
+    break;
+  }
+  return sched::TileSet(valid, tile);
+}
+
+/// The face-centered superset box [lo, hi+1] that contains faceBox(d) for
+/// every direction d. Baseline and basic-OT flux temporaries are allocated
+/// on it — exactly Table I's (N+1)^3 (or (T+1)^3) footprint.
+inline Box faceSupersetBox(const Box& b) {
+  return {b.lo(), b.hi() + IntVect::unit(1)};
+}
+
+// ---------------------------------------------------------------------------
+// Per-box entry points implemented in the exec_*.cpp files. All assume:
+//   - phi0 covers valid.grow(kNumGhost) with ghosts filled,
+//   - phi1 covers valid,
+//   - both have kNumComp components.
+// Serial variants take the calling thread's workspace. Parallel-within-box
+// variants open their own OpenMP region with `nThreads` threads and draw
+// per-thread scratch from `pool`.
+// ---------------------------------------------------------------------------
+
+void baselineBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                       FArrayBox& phi1, const Box& valid, Workspace& ws,
+                       Real scale);
+void baselineBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
+                         FArrayBox& phi1, const Box& valid,
+                         WorkspacePool& pool, int nThreads, Real scale);
+
+void shiftFuseBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                        FArrayBox& phi1, const Box& valid, Workspace& ws,
+                        Real scale);
+void shiftFuseBoxWavefront(const VariantConfig& cfg, const FArrayBox& phi0,
+                           FArrayBox& phi1, const Box& valid,
+                           WorkspacePool& pool, int nThreads, Real scale);
+
+void blockedWFBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                        FArrayBox& phi1, const Box& valid, Workspace& ws,
+                        Real scale);
+void blockedWFBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
+                          FArrayBox& phi1, const Box& valid,
+                          WorkspacePool& pool, int nThreads, Real scale);
+
+/// One overlapped tile, runnable from any parallel context (used by the
+/// hybrid box-x-tile granularity in the runner).
+void overlappedRunTile(const VariantConfig& cfg, const FArrayBox& phi0,
+                       FArrayBox& phi1, const Box& tileBox, Workspace& ws,
+                       Real scale);
+
+void overlappedBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                         FArrayBox& phi1, const Box& valid, Workspace& ws,
+                         Real scale);
+void overlappedBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
+                           FArrayBox& phi1, const Box& valid,
+                           WorkspacePool& pool, int nThreads, Real scale);
+
+} // namespace fluxdiv::core::detail

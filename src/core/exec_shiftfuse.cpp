@@ -1,0 +1,217 @@
+// Shifted-and-fused schedule (paper Sec. IV-B): the per-direction face and
+// cell loops are shifted and fused into a single sweep over cells. Serial
+// sweeps carry flux values in a scalar/row/plane set of temporaries (Table
+// I row 2); the within-box parallelization recovers parallelism with a
+// per-iteration wavefront over the cell diagonal, which requires
+// co-dimension flux caches instead.
+
+#include <omp.h>
+
+#include "core/exec_fused.hpp"
+#include "sched/partition.hpp"
+
+namespace fluxdiv::core::detail {
+
+void precomputeFaceVelocity(const FArrayBox& phi0, FArrayBox& vel,
+                            const Box& valid, int nth, int tid) {
+  const Idx ip(phi0);
+  const Idx iv(vel);
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const Box fb = sched::zSlab(valid.faceBox(d), nth, tid);
+    if (fb.empty()) {
+      continue;
+    }
+    const std::int64_t s = ip.stride(d);
+    const Real* pv = phi0.dataPtr(kernels::velocityComp(d));
+    Real* out = vel.dataPtr(d);
+    const int nx = fb.size(0);
+    for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
+      for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
+        const Real* prow = pv + ip(fb.lo(0), j, k);
+        Real* orow = out + iv(fb.lo(0), j, k);
+        for (int i = 0; i < nx; ++i) {
+          orow[i] = kernels::evalFlux1(prow + i, s);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Serial fused sweep, component loop inside: one pass over the cells with
+/// carry temporaries of size C, C*nx, and C*nx*ny (2 + 2N + 2N^2 scaling of
+/// Table I).
+void serialCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
+               Workspace& ws, Real scale) {
+  const Idx ip(phi0);
+  const Idx io(phi1);
+  const ConstComps p(phi0);
+  const MutComps out(phi1);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  Real* carryX = ws.buffer(Slot::CarryX, kNumComp);
+  Real* rowY = ws.buffer(Slot::CarryY,
+                         static_cast<std::size_t>(nx) * kNumComp);
+  Real* planeZ = ws.buffer(
+      Slot::CarryZ, static_cast<std::size_t>(nx) * ny * kNumComp);
+  for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+    for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+      for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
+        const int ii = i - valid.lo(0);
+        const int jj = j - valid.lo(1);
+        fusedCellCLI(p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
+                     /*freshX=*/i == valid.lo(0),
+                     /*freshY=*/j == valid.lo(1),
+                     /*freshZ=*/k == valid.lo(2), carryX,
+                     rowY + static_cast<std::size_t>(ii) * kNumComp,
+                     planeZ + (static_cast<std::size_t>(jj) * nx + ii) *
+                                  kNumComp,
+                     scale);
+      }
+    }
+  }
+}
+
+/// Serial fused sweep, component loop outside: per component, a fused pass
+/// with scalar carries; the face-averaged velocities for all three
+/// directions are precomputed (the 3(N+1)^3 velocity temporary of Table I).
+void serialCLO(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
+               Workspace& ws, Real scale) {
+  const Idx ip(phi0);
+  const Idx io(phi1);
+  FArrayBox& vel = ws.fab(Slot::Velocity, faceSupersetBox(valid), 3);
+  precomputeFaceVelocity(phi0, vel, valid, 1, 0);
+  const Idx iv(vel);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  Real* carryX = ws.buffer(Slot::CarryX, 1);
+  Real* rowY = ws.buffer(Slot::CarryY, static_cast<std::size_t>(nx));
+  Real* planeZ =
+      ws.buffer(Slot::CarryZ, static_cast<std::size_t>(nx) * ny);
+  const Real* velx = vel.dataPtr(0);
+  const Real* vely = vel.dataPtr(1);
+  const Real* velz = vel.dataPtr(2);
+  for (int c = 0; c < kNumComp; ++c) {
+    const Real* pc = phi0.dataPtr(c);
+    Real* outc = phi1.dataPtr(c);
+    for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+      for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+        for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
+          const int ii = i - valid.lo(0);
+          const int jj = j - valid.lo(1);
+          fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
+                       velx, vely, velz, iv(i, j, k), iv.sy, iv.sz,
+                       i == valid.lo(0), j == valid.lo(1),
+                       k == valid.lo(2), carryX, rowY + ii,
+                       planeZ + static_cast<std::size_t>(jj) * nx + ii,
+                       scale);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void shiftFuseBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
+                        FArrayBox& phi1, const Box& valid, Workspace& ws,
+                        Real scale) {
+  if (cfg.comp == ComponentLoop::Inside) {
+    serialCLI(phi0, phi1, valid, ws, scale);
+  } else {
+    serialCLO(phi0, phi1, valid, ws, scale);
+  }
+}
+
+void shiftFuseBoxWavefront(const VariantConfig& cfg, const FArrayBox& phi0,
+                           FArrayBox& phi1, const Box& valid,
+                           WorkspacePool& pool, int nThreads, Real scale) {
+  const Idx ip(phi0);
+  const Idx io(phi1);
+  const int nx = valid.size(0);
+  const int ny = valid.size(1);
+  const int nz = valid.size(2);
+  const int nFronts = nx + ny + nz - 2;
+  const std::size_t entries = cfg.comp == ComponentLoop::Inside
+                                  ? static_cast<std::size_t>(kNumComp)
+                                  : 1u;
+  // Co-dimension flux caches shared by the team: cacheX[j][k] holds the
+  // most recent x-face flux of the (j,k) pencil, and so on. Cells on one
+  // wavefront touch pairwise-distinct slots of every cache.
+  Workspace& shared = pool[0];
+  Real* cacheX = shared.buffer(
+      Slot::CarryX, static_cast<std::size_t>(ny) * nz * entries);
+  Real* cacheY = shared.buffer(
+      Slot::CarryY, static_cast<std::size_t>(nx) * nz * entries);
+  Real* cacheZ = shared.buffer(
+      Slot::CarryZ, static_cast<std::size_t>(nx) * ny * entries);
+
+  if (cfg.comp == ComponentLoop::Inside) {
+    const ConstComps p(phi0);
+    const MutComps out(phi1);
+#pragma omp parallel num_threads(nThreads)
+    for (int w = 0; w < nFronts; ++w) {
+      // Each (j,k) pair contributes at most one cell to wavefront w.
+#pragma omp for collapse(2)
+      for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+        for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+          const int ii = w - (k - valid.lo(2)) - (j - valid.lo(1));
+          if (ii < 0 || ii >= nx) {
+            continue;
+          }
+          const int i = valid.lo(0) + ii;
+          const int jj = j - valid.lo(1);
+          const int kk = k - valid.lo(2);
+          fusedCellCLI(
+              p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz, ii == 0,
+              jj == 0, kk == 0,
+              cacheX + (static_cast<std::size_t>(kk) * ny + jj) * kNumComp,
+              cacheY + (static_cast<std::size_t>(kk) * nx + ii) * kNumComp,
+              cacheZ + (static_cast<std::size_t>(jj) * nx + ii) * kNumComp,
+              scale);
+        }
+      }
+      // implicit barrier of the omp for separates wavefronts
+    }
+  } else {
+    FArrayBox& vel = shared.fab(Slot::Velocity, faceSupersetBox(valid), 3);
+    const Idx iv(vel);
+    const Real* velx = vel.dataPtr(0);
+    const Real* vely = vel.dataPtr(1);
+    const Real* velz = vel.dataPtr(2);
+#pragma omp parallel num_threads(nThreads)
+    {
+      precomputeFaceVelocity(phi0, vel, valid, omp_get_num_threads(),
+                             omp_get_thread_num());
+#pragma omp barrier
+      for (int c = 0; c < kNumComp; ++c) {
+        const Real* pc = phi0.dataPtr(c);
+        Real* outc = phi1.dataPtr(c);
+        for (int w = 0; w < nFronts; ++w) {
+#pragma omp for collapse(2)
+          for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+            for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+              const int ii = w - (k - valid.lo(2)) - (j - valid.lo(1));
+              if (ii < 0 || ii >= nx) {
+                continue;
+              }
+              const int i = valid.lo(0) + ii;
+              const int jj = j - valid.lo(1);
+              const int kk = k - valid.lo(2);
+              fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy,
+                           ip.sz, velx, vely, velz, iv(i, j, k), iv.sy,
+                           iv.sz, ii == 0, jj == 0, kk == 0,
+                           cacheX + static_cast<std::size_t>(kk) * ny + jj,
+                           cacheY + static_cast<std::size_t>(kk) * nx + ii,
+                           cacheZ + static_cast<std::size_t>(jj) * nx + ii,
+                           scale);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace fluxdiv::core::detail

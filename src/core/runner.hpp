@@ -1,0 +1,60 @@
+#pragma once
+// FluxDivRunner: the public entry point that executes one flux-divergence
+// evaluation (one "time step" of the exemplar's stencil pipeline) over a
+// LevelData under a chosen scheduling variant and thread count. This is
+// the object the examples, tests, and every figure bench drive.
+
+#include "core/variant.hpp"
+#include "core/workspace.hpp"
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::core {
+
+/// Executes the exemplar under one VariantConfig.
+///
+/// Usage:
+///   FluxDivRunner runner(makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+///                                       ParallelGranularity::WithinBox),
+///                        nThreads);
+///   phi0.exchange();                    // ghosts must be current
+///   runner.run(phi0, phi1);             // phi1 += div(F(phi0))
+class FluxDivRunner {
+public:
+  FluxDivRunner(VariantConfig cfg, int nThreads);
+
+  [[nodiscard]] const VariantConfig& config() const { return cfg_; }
+  [[nodiscard]] int nThreads() const { return nThreads_; }
+
+  /// Accumulate scale * (flux differences of phi0) into phi1 over every
+  /// valid cell. phi0's ghost cells must already be exchanged; phi1's
+  /// ghosts (if any) are not touched. Levels must share a layout and have
+  /// kNumComp components.
+  void run(const grid::LevelData& phi0, grid::LevelData& phi1,
+           grid::Real scale = 1.0);
+
+  /// Single-box entry point: phi0 must cover valid.grow(kNumGhost) with
+  /// ghosts filled; phi1 must cover `valid`. Uses the configured parallel
+  /// granularity (WithinBox parallelizes inside this one box).
+  void runBox(const grid::FArrayBox& phi0, grid::FArrayBox& phi1,
+              const grid::Box& valid, grid::Real scale = 1.0);
+
+  /// Scratch-storage accounting for the Table I experiment: the largest
+  /// per-thread peak and the sum of per-thread peaks since construction.
+  [[nodiscard]] std::size_t maxPeakWorkspaceBytes() const {
+    return pool_.maxPeakBytes();
+  }
+  [[nodiscard]] std::size_t totalPeakWorkspaceBytes() const {
+    return pool_.totalPeakBytes();
+  }
+
+private:
+  void runBoxSerial(const grid::FArrayBox& phi0, grid::FArrayBox& phi1,
+                    const grid::Box& valid, Workspace& ws,
+                    grid::Real scale);
+
+  VariantConfig cfg_;
+  int nThreads_;
+  WorkspacePool pool_;
+};
+
+} // namespace fluxdiv::core

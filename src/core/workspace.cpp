@@ -1,0 +1,67 @@
+#include "core/workspace.hpp"
+
+namespace fluxdiv::core {
+
+grid::FArrayBox& Workspace::fab(Slot slot, const grid::Box& box, int ncomp) {
+  auto& f = fabs_[static_cast<std::size_t>(slot)];
+  if (!f.defined() || f.box() != box || f.nComp() != ncomp) {
+    f.define(box, ncomp);
+    notePeak();
+  }
+  return f;
+}
+
+grid::Real* Workspace::buffer(Slot slot, std::size_t n) {
+  auto& b = buffers_[static_cast<std::size_t>(slot)];
+  if (b.size() < n) {
+    b.resize(n);
+    notePeak();
+  }
+  return b.data();
+}
+
+std::size_t Workspace::bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : fabs_) {
+    total += f.bytes();
+  }
+  for (const auto& b : buffers_) {
+    total += b.size() * sizeof(grid::Real);
+  }
+  return total;
+}
+
+void Workspace::clear() {
+  for (auto& f : fabs_) {
+    f = grid::FArrayBox();
+  }
+  for (auto& b : buffers_) {
+    b.clear();
+    b.shrink_to_fit();
+  }
+}
+
+void Workspace::notePeak() {
+  const std::size_t now = bytes();
+  if (now > peak_) {
+    peak_ = now;
+  }
+}
+
+std::size_t WorkspacePool::maxPeakBytes() const {
+  std::size_t worst = 0;
+  for (const auto& ws : pool_) {
+    worst = std::max(worst, ws.peakBytes());
+  }
+  return worst;
+}
+
+std::size_t WorkspacePool::totalPeakBytes() const {
+  std::size_t total = 0;
+  for (const auto& ws : pool_) {
+    total += ws.peakBytes();
+  }
+  return total;
+}
+
+} // namespace fluxdiv::core

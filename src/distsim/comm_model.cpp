@@ -1,0 +1,46 @@
+#include "distsim/comm_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fluxdiv::distsim {
+
+ExchangeCost analyzeExchange(const RankDecomposition& ranks,
+                             const grid::Copier& copier, int ncomp,
+                             const NetworkParams& net) {
+  ExchangeCost cost;
+  const auto n = static_cast<std::size_t>(ranks.nRanks());
+  std::vector<std::int64_t> recvMessages(n, 0);
+  std::vector<std::uint64_t> recvBytes(n, 0);
+
+  for (const grid::CopyOp& op : copier.ops()) {
+    const int src = ranks.rankOf(op.srcBox);
+    const int dst = ranks.rankOf(op.destBox);
+    const std::int64_t cells = op.destRegion.numPts();
+    if (src == dst) {
+      cost.onRankCells += cells;
+      continue;
+    }
+    cost.offRankCells += cells;
+    const auto bytes =
+        static_cast<std::uint64_t>(cells) * ncomp * sizeof(grid::Real);
+    ++cost.messagesTotal;
+    cost.bytesTotal += bytes;
+    ++recvMessages[static_cast<std::size_t>(dst)];
+    recvBytes[static_cast<std::size_t>(dst)] += bytes;
+  }
+
+  double worst = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    cost.maxMessagesPerRank =
+        std::max(cost.maxMessagesPerRank, recvMessages[r]);
+    cost.maxBytesPerRank = std::max(cost.maxBytesPerRank, recvBytes[r]);
+    const double t = double(recvMessages[r]) * net.latencySeconds +
+                     double(recvBytes[r]) / net.bytesPerSecond;
+    worst = std::max(worst, t);
+  }
+  cost.predictedSeconds = worst;
+  return cost;
+}
+
+} // namespace fluxdiv::distsim

@@ -1,0 +1,33 @@
+#include "distsim/rank_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/partition.hpp"
+
+namespace fluxdiv::distsim {
+
+RankDecomposition::RankDecomposition(const grid::DisjointBoxLayout& layout,
+                                     int nRanks)
+    : nRanks_(nRanks) {
+  if (nRanks < 1) {
+    throw std::invalid_argument("RankDecomposition: nRanks must be >= 1");
+  }
+  const auto nBoxes = static_cast<std::int64_t>(layout.size());
+  owner_.resize(layout.size());
+  counts_.assign(static_cast<std::size_t>(nRanks), 0);
+  for (int r = 0; r < nRanks; ++r) {
+    const auto [begin, end] = sched::staticSlice(nBoxes, nRanks, r);
+    for (std::int64_t b = begin; b < end; ++b) {
+      owner_[static_cast<std::size_t>(b)] = r;
+    }
+    counts_[static_cast<std::size_t>(r)] = end - begin;
+  }
+}
+
+std::int64_t RankDecomposition::imbalance() const {
+  const auto [mn, mx] = std::minmax_element(counts_.begin(), counts_.end());
+  return *mx - *mn;
+}
+
+} // namespace fluxdiv::distsim

@@ -1,0 +1,46 @@
+#pragma once
+// Simulated distributed decomposition: the paper's production context is
+// "MPI everywhere — each core is assigned an MPI process [and] hundreds
+// of boxes can be assigned to each process" (Sec. III-C), with the ghost
+// exchange of Fig. 1 as the inter-node cost that motivates large boxes.
+// No MPI exists in this environment, so this module *simulates* the rank
+// structure: boxes are assigned to ranks, and the exchange plan is
+// analyzed into on-rank copies vs off-rank messages (see comm_model.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/layout.hpp"
+
+namespace fluxdiv::distsim {
+
+/// Assignment of a DisjointBoxLayout's boxes to `nRanks` simulated ranks.
+/// Boxes are dealt in contiguous linear-index chunks (x-fastest box
+/// order), the load-balanced default a Chombo-style framework uses for a
+/// uniform level.
+class RankDecomposition {
+public:
+  RankDecomposition(const grid::DisjointBoxLayout& layout, int nRanks);
+
+  [[nodiscard]] int nRanks() const { return nRanks_; }
+
+  /// Rank owning box `boxIdx`.
+  [[nodiscard]] int rankOf(std::size_t boxIdx) const {
+    return owner_[boxIdx];
+  }
+
+  /// Number of boxes owned by `rank`.
+  [[nodiscard]] std::int64_t boxCount(int rank) const {
+    return counts_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Largest minus smallest per-rank box count (0 = perfectly balanced).
+  [[nodiscard]] std::int64_t imbalance() const;
+
+private:
+  int nRanks_ = 1;
+  std::vector<int> owner_;          ///< box -> rank
+  std::vector<std::int64_t> counts_; ///< rank -> boxes
+};
+
+} // namespace fluxdiv::distsim

@@ -1,0 +1,68 @@
+#pragma once
+// Physical boundary conditions for non-periodic domain sides. exchange()
+// fills ghost cells interior to the domain (and across periodic sides);
+// ghosts outside a non-periodic side are the framework's responsibility
+// ("Outside the domain, boundary conditions may be used to set the ghost
+// cells" — paper Sec. II). BoundaryFiller implements the standard fills a
+// finite-volume CFD code needs, dimension by dimension so edge/corner
+// ghosts compose consistently.
+
+#include <array>
+
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::grid {
+
+/// Ghost-fill rule for one side of the domain.
+enum class BCType {
+  None,        ///< leave untouched (side is periodic or filled elsewhere)
+  Reflective,  ///< mirror all components evenly across the face
+  ReflectiveWall, ///< mirror, negating the face-normal velocity component
+               ///< (component d+1 on side d): a slip wall
+  Extrapolate, ///< cubic extrapolation from the 4 nearest interior cells
+               ///< (matches the exemplar's 4th-order interior stencil)
+  Dirichlet,   ///< linear fill targeting a fixed face value
+};
+
+/// Boundary specification: a BCType per (direction, side) plus the
+/// Dirichlet face value (shared by all Dirichlet sides and components).
+struct BoundarySpec {
+  /// [direction][side]; side 0 = low, 1 = high.
+  std::array<std::array<BCType, 2>, SpaceDim> type{{
+      {BCType::None, BCType::None},
+      {BCType::None, BCType::None},
+      {BCType::None, BCType::None},
+  }};
+  Real dirichletValue = 0.0;
+
+  /// Same rule on every side.
+  static BoundarySpec uniform(BCType t, Real dirichletValue = 0.0) {
+    BoundarySpec spec;
+    for (auto& dir : spec.type) {
+      dir = {t, t};
+    }
+    spec.dirichletValue = dirichletValue;
+    return spec;
+  }
+};
+
+/// Fills domain-boundary ghost cells of a LevelData according to a
+/// BoundarySpec. Periodic sides should be BCType::None (exchange() covers
+/// them); a non-None rule on a periodic side is rejected.
+class BoundaryFiller {
+public:
+  /// `velocityComp(d) = d+1` is assumed for ReflectiveWall, matching the
+  /// exemplar's component convention.
+  BoundaryFiller(const DisjointBoxLayout& layout, BoundarySpec spec);
+
+  /// Fill the boundary ghosts of every box. Call after exchange().
+  void fill(LevelData& level) const;
+
+private:
+  void fillSide(FArrayBox& fab, const Box& valid, int d, int side) const;
+
+  DisjointBoxLayout layout_;
+  BoundarySpec spec_;
+};
+
+} // namespace fluxdiv::grid

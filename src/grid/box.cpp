@@ -1,0 +1,15 @@
+#include "grid/box.hpp"
+
+#include <ostream>
+
+namespace fluxdiv::grid {
+
+std::ostream& operator<<(std::ostream& os, const IntVect& iv) {
+  return os << '(' << iv[0] << ',' << iv[1] << ',' << iv[2] << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << '[' << b.lo() << ".." << b.hi() << ']';
+}
+
+} // namespace fluxdiv::grid

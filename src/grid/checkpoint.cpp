@@ -1,0 +1,88 @@
+#include "grid/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fluxdiv::grid {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'X', 'D', 'C', 'K', 'P', 'T', '1'};
+
+struct Header {
+  char magic[8];
+  std::int32_t endianTag = 1; ///< written as 1; mismatched on foreign end
+  std::int32_t ncomp = 0;
+  std::int32_t nghost = 0;
+  std::int32_t domainLo[3] = {0, 0, 0};
+  std::int32_t domainHi[3] = {0, 0, 0};
+  std::int32_t boxSize[3] = {0, 0, 0};
+  std::int32_t periodic[3] = {1, 1, 1};
+};
+
+} // namespace
+
+void writeCheckpoint(const std::string& path, const LevelData& level) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("writeCheckpoint: cannot open " + path);
+  }
+  const DisjointBoxLayout& layout = level.layout();
+  Header h;
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.ncomp = level.nComp();
+  h.nghost = level.nGhost();
+  for (int d = 0; d < SpaceDim; ++d) {
+    h.domainLo[d] = layout.domain().box().lo(d);
+    h.domainHi[d] = layout.domain().box().hi(d);
+    h.boxSize[d] = layout.boxSize()[d];
+    h.periodic[d] = layout.domain().isPeriodic(d) ? 1 : 0;
+  }
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    const FArrayBox& fab = level[b];
+    out.write(reinterpret_cast<const char*>(fab.dataPtr(0)),
+              static_cast<std::streamsize>(fab.bytes()));
+  }
+  if (!out) {
+    throw std::runtime_error("writeCheckpoint: write failed for " + path);
+  }
+}
+
+LevelData readCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("readCheckpoint: cannot open " + path);
+  }
+  Header h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("readCheckpoint: bad magic in " + path);
+  }
+  if (h.endianTag != 1) {
+    throw std::runtime_error(
+        "readCheckpoint: endianness mismatch (foreign checkpoint)");
+  }
+  const Box domainBox(IntVect(h.domainLo[0], h.domainLo[1], h.domainLo[2]),
+                      IntVect(h.domainHi[0], h.domainHi[1], h.domainHi[2]));
+  const ProblemDomain domain(
+      domainBox, std::array<bool, SpaceDim>{h.periodic[0] != 0,
+                                            h.periodic[1] != 0,
+                                            h.periodic[2] != 0});
+  const DisjointBoxLayout layout(
+      domain, IntVect(h.boxSize[0], h.boxSize[1], h.boxSize[2]));
+  LevelData level(layout, h.ncomp, h.nghost);
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    FArrayBox& fab = level[b];
+    in.read(reinterpret_cast<char*>(fab.dataPtr(0)),
+            static_cast<std::streamsize>(fab.bytes()));
+  }
+  if (!in) {
+    throw std::runtime_error("readCheckpoint: truncated file " + path);
+  }
+  return level;
+}
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,23 @@
+#pragma once
+// Checkpoint/restart: bit-exact binary serialization of a LevelData
+// (valid + ghost cells) so long solves can stop and resume — standard
+// framework plumbing around the exemplar. The format is a small
+// self-describing header plus raw little-endian doubles; files are only
+// portable between same-endian hosts (checked on load).
+
+#include <string>
+
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::grid {
+
+/// Write `level` (layout geometry + every fab's full contents) to `path`.
+/// Throws std::runtime_error on I/O failure.
+void writeCheckpoint(const std::string& path, const LevelData& level);
+
+/// Read a checkpoint written by writeCheckpoint. The returned level
+/// reconstructs the same layout (domain, box size, periodicity, ghosts,
+/// components) and bit-identical data.
+LevelData readCheckpoint(const std::string& path);
+
+} // namespace fluxdiv::grid

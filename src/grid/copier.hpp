@@ -1,0 +1,52 @@
+#pragma once
+// Copier: the precomputed ghost-exchange plan for a (layout, nghost) pair.
+// On a distributed machine this is the MPI ghost-cell exchange whose cost
+// motivates large boxes (paper Fig. 1); on a node it degenerates to memcpy
+// between neighboring FArrayBoxes. The plan records exactly which cells
+// move, so ghost-overhead experiments can report measured copy volume.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/layout.hpp"
+#include "grid/real.hpp"
+
+namespace fluxdiv::grid {
+
+/// One ghost-region copy: fill `destRegion` (global coordinates, ghost cells
+/// of box `destBox`) from box `srcBox`, whose corresponding valid cells sit
+/// at `destRegion.shift(srcShift)` (non-zero shift = periodic wrap).
+struct CopyOp {
+  std::size_t destBox = 0;
+  std::size_t srcBox = 0;
+  Box destRegion;
+  IntVect srcShift;
+};
+
+/// Ghost-exchange plan over a DisjointBoxLayout.
+class Copier {
+public:
+  Copier() = default;
+
+  /// Build the plan for `nghost` ghost layers. Requires nghost <= boxSize in
+  /// every direction so each halo region maps to exactly one neighbor box.
+  Copier(const DisjointBoxLayout& layout, int nghost);
+
+  [[nodiscard]] const std::vector<CopyOp>& ops() const { return ops_; }
+  [[nodiscard]] int nGhost() const { return nghost_; }
+
+  /// Total ghost cells filled per exchange (per component).
+  [[nodiscard]] std::int64_t ghostCellCount() const { return ghostCells_; }
+
+  /// Bytes moved per exchange for `ncomp` components of Real data.
+  [[nodiscard]] std::size_t bytesPerExchange(int ncomp) const {
+    return static_cast<std::size_t>(ghostCells_) * ncomp * sizeof(Real);
+  }
+
+private:
+  std::vector<CopyOp> ops_;
+  int nghost_ = 0;
+  std::int64_t ghostCells_ = 0;
+};
+
+} // namespace fluxdiv::grid

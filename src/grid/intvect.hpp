@@ -1,0 +1,101 @@
+#pragma once
+// Integer vector in the 3-D index space of a structured grid. Mirrors
+// Chombo's IntVect: the coordinate type for cells, faces, box corners, and
+// shifts. The study (and this reproduction) is compiled for SpaceDim == 3.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace fluxdiv::grid {
+
+/// Number of space dimensions. Fixed at 3 as in the paper's exemplar.
+inline constexpr int SpaceDim = 3;
+
+/// A point in the integer index space.
+struct IntVect {
+  std::array<int, SpaceDim> v{0, 0, 0};
+
+  constexpr IntVect() = default;
+  constexpr IntVect(int x, int y, int z) : v{x, y, z} {}
+
+  /// The vector (s, s, s).
+  static constexpr IntVect unit(int s = 1) { return {s, s, s}; }
+  /// The zero vector.
+  static constexpr IntVect zero() { return {0, 0, 0}; }
+  /// The unit basis vector e^d (Kronecker delta in direction d).
+  static constexpr IntVect basis(int d) {
+    IntVect e;
+    e.v[static_cast<std::size_t>(d)] = 1;
+    return e;
+  }
+
+  constexpr int operator[](int d) const {
+    return v[static_cast<std::size_t>(d)];
+  }
+  constexpr int& operator[](int d) { return v[static_cast<std::size_t>(d)]; }
+
+  constexpr IntVect operator+(const IntVect& o) const {
+    return {v[0] + o.v[0], v[1] + o.v[1], v[2] + o.v[2]};
+  }
+  constexpr IntVect operator-(const IntVect& o) const {
+    return {v[0] - o.v[0], v[1] - o.v[1], v[2] - o.v[2]};
+  }
+  constexpr IntVect operator*(int s) const {
+    return {v[0] * s, v[1] * s, v[2] * s};
+  }
+  constexpr IntVect operator-() const { return {-v[0], -v[1], -v[2]}; }
+
+  constexpr IntVect& operator+=(const IntVect& o) {
+    v[0] += o.v[0];
+    v[1] += o.v[1];
+    v[2] += o.v[2];
+    return *this;
+  }
+
+  constexpr bool operator==(const IntVect& o) const { return v == o.v; }
+  constexpr bool operator!=(const IntVect& o) const { return v != o.v; }
+
+  /// Component-wise <= (partial order used for box membership).
+  constexpr bool allLE(const IntVect& o) const {
+    return v[0] <= o.v[0] && v[1] <= o.v[1] && v[2] <= o.v[2];
+  }
+  /// Component-wise >=.
+  constexpr bool allGE(const IntVect& o) const { return o.allLE(*this); }
+
+  /// Sum of components (the wavefront diagonal index x+y+z).
+  constexpr int sum() const { return v[0] + v[1] + v[2]; }
+
+  /// Product of components (cell count of an extent vector).
+  constexpr std::int64_t product() const {
+    return static_cast<std::int64_t>(v[0]) * v[1] * v[2];
+  }
+
+  /// Component-wise min/max.
+  static constexpr IntVect min(const IntVect& a, const IntVect& b) {
+    return {a.v[0] < b.v[0] ? a.v[0] : b.v[0],
+            a.v[1] < b.v[1] ? a.v[1] : b.v[1],
+            a.v[2] < b.v[2] ? a.v[2] : b.v[2]};
+  }
+  static constexpr IntVect max(const IntVect& a, const IntVect& b) {
+    return {a.v[0] > b.v[0] ? a.v[0] : b.v[0],
+            a.v[1] > b.v[1] ? a.v[1] : b.v[1],
+            a.v[2] > b.v[2] ? a.v[2] : b.v[2]};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const IntVect& iv);
+
+} // namespace fluxdiv::grid
+
+template <> struct std::hash<fluxdiv::grid::IntVect> {
+  std::size_t operator()(const fluxdiv::grid::IntVect& iv) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (int d = 0; d < fluxdiv::grid::SpaceDim; ++d) {
+      h ^= static_cast<std::size_t>(iv[d]) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,73 @@
+#include "grid/layout.hpp"
+
+#include <stdexcept>
+
+namespace fluxdiv::grid {
+
+DisjointBoxLayout::DisjointBoxLayout(const ProblemDomain& domain,
+                                     const IntVect& boxSize)
+    : domain_(domain), boxSize_(boxSize) {
+  for (int d = 0; d < SpaceDim; ++d) {
+    if (boxSize[d] <= 0) {
+      throw std::invalid_argument("DisjointBoxLayout: boxSize must be > 0");
+    }
+    if (domain.box().size(d) % boxSize[d] != 0) {
+      throw std::invalid_argument(
+          "DisjointBoxLayout: domain size must be a multiple of boxSize");
+    }
+    nBoxes_[d] = domain.box().size(d) / boxSize[d];
+  }
+}
+
+Box DisjointBoxLayout::box(std::size_t idx) const {
+  const IntVect bc = boxCoords(idx);
+  IntVect lo = domain_.box().lo();
+  for (int d = 0; d < SpaceDim; ++d) {
+    lo[d] += bc[d] * boxSize_[d];
+  }
+  return {lo, lo + boxSize_ - IntVect::unit(1)};
+}
+
+IntVect DisjointBoxLayout::boxCoords(std::size_t idx) const {
+  const auto i = static_cast<std::int64_t>(idx);
+  const std::int64_t nx = nBoxes_[0];
+  const std::int64_t ny = nBoxes_[1];
+  return {static_cast<int>(i % nx), static_cast<int>((i / nx) % ny),
+          static_cast<int>(i / (nx * ny))};
+}
+
+std::int64_t DisjointBoxLayout::wrappedIndex(IntVect boxCoord,
+                                             IntVect& wrapShift) const {
+  wrapShift = IntVect::zero();
+  for (int d = 0; d < SpaceDim; ++d) {
+    const int n = nBoxes_[d];
+    if (boxCoord[d] < 0 || boxCoord[d] >= n) {
+      if (!domain_.isPeriodic(d)) {
+        return -1;
+      }
+      const int wrapped = ((boxCoord[d] % n) + n) % n;
+      // Shift in *cells* from the requested image to the stored box.
+      wrapShift[d] = (wrapped - boxCoord[d]) * boxSize_[d];
+      boxCoord[d] = wrapped;
+    }
+  }
+  return boxCoord[0] +
+         static_cast<std::int64_t>(nBoxes_[0]) *
+             (boxCoord[1] + static_cast<std::int64_t>(nBoxes_[1]) *
+                                boxCoord[2]);
+}
+
+std::size_t DisjointBoxLayout::indexContaining(const IntVect& p) const {
+  IntVect bc;
+  for (int d = 0; d < SpaceDim; ++d) {
+    const int rel = p[d] - domain_.box().lo(d);
+    if (rel < 0 || rel >= domain_.box().size(d)) {
+      throw std::out_of_range("indexContaining: point outside domain");
+    }
+    bc[d] = rel / boxSize_[d];
+  }
+  IntVect unusedShift;
+  return static_cast<std::size_t>(wrappedIndex(bc, unusedShift));
+}
+
+} // namespace fluxdiv::grid

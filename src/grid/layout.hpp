@@ -1,0 +1,61 @@
+#pragma once
+// DisjointBoxLayout: the regular decomposition of a ProblemDomain into
+// equal-size boxes. This is the unit of coarse-grained parallelism in the
+// paper ("parallelization over boxes") and the unit of ghost exchange.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.hpp"
+#include "grid/problem_domain.hpp"
+
+namespace fluxdiv::grid {
+
+/// Regular, disjoint, exactly-covering decomposition of a domain into boxes
+/// of a fixed size per direction.
+class DisjointBoxLayout {
+public:
+  DisjointBoxLayout() = default;
+
+  /// Decompose `domain` into boxes of extent `boxSize` per direction.
+  /// Requires the domain size to be an exact multiple of boxSize in every
+  /// direction (throws std::invalid_argument otherwise).
+  DisjointBoxLayout(const ProblemDomain& domain, const IntVect& boxSize);
+
+  /// Convenience: cubic boxes of side n.
+  DisjointBoxLayout(const ProblemDomain& domain, int boxSide)
+      : DisjointBoxLayout(domain, IntVect::unit(boxSide)) {}
+
+  [[nodiscard]] const ProblemDomain& domain() const { return domain_; }
+  [[nodiscard]] const IntVect& boxSize() const { return boxSize_; }
+  /// Number of boxes in each direction.
+  [[nodiscard]] const IntVect& gridSize() const { return nBoxes_; }
+  /// Total number of boxes.
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nBoxes_.product());
+  }
+
+  /// The box with linear index `idx` (x-fastest ordering of box coords).
+  [[nodiscard]] Box box(std::size_t idx) const;
+
+  /// Box coordinates (bx,by,bz) of linear index.
+  [[nodiscard]] IntVect boxCoords(std::size_t idx) const;
+
+  /// Linear index from box coordinates, wrapped periodically where the
+  /// domain is periodic. Returns -1 if out of range in a non-periodic
+  /// direction; `wrapShift` receives the index-space shift that maps
+  /// coordinates in the *requested* (unwrapped) box image to the returned
+  /// box's coordinates.
+  [[nodiscard]] std::int64_t wrappedIndex(IntVect boxCoord,
+                                          IntVect& wrapShift) const;
+
+  /// Linear index of the box containing domain cell `p` (must be inside).
+  [[nodiscard]] std::size_t indexContaining(const IntVect& p) const;
+
+private:
+  ProblemDomain domain_;
+  IntVect boxSize_{0, 0, 0};
+  IntVect nBoxes_{0, 0, 0};
+};
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,70 @@
+#pragma once
+// LevelData: solution data for one refinement level — one FArrayBox per box
+// of a DisjointBoxLayout, each allocated with a ghost halo. exchange()
+// fills every ghost cell from the neighboring boxes' valid cells (with
+// periodic wrap), which is the on-node stand-in for Chombo's MPI ghost
+// exchange.
+
+#include <vector>
+
+#include "grid/copier.hpp"
+#include "grid/farraybox.hpp"
+#include "grid/layout.hpp"
+
+namespace fluxdiv::grid {
+
+/// Per-level, per-box solution storage with ghost cells.
+class LevelData {
+public:
+  LevelData() = default;
+
+  /// Allocate `ncomp` components over every box of `layout`, each grown by
+  /// `nghost` ghost layers, zero-initialized. The exchange plan is built
+  /// eagerly so its cost is not attributed to the first exchange.
+  LevelData(const DisjointBoxLayout& layout, int ncomp, int nghost);
+
+  [[nodiscard]] const DisjointBoxLayout& layout() const { return layout_; }
+  [[nodiscard]] int nComp() const { return ncomp_; }
+  [[nodiscard]] int nGhost() const { return nghost_; }
+  [[nodiscard]] std::size_t size() const { return fabs_.size(); }
+
+  FArrayBox& operator[](std::size_t idx) { return fabs_[idx]; }
+  const FArrayBox& operator[](std::size_t idx) const { return fabs_[idx]; }
+
+  /// Valid (non-ghost) region of box idx.
+  [[nodiscard]] Box validBox(std::size_t idx) const {
+    return layout_.box(idx);
+  }
+
+  /// Fill all ghost cells from neighbors' valid cells. Parallelized over
+  /// copy operations with OpenMP (each op writes a disjoint ghost region).
+  void exchange();
+
+  /// Number of ghost-exchange bytes moved per exchange() call.
+  [[nodiscard]] std::size_t exchangeBytes() const {
+    return copier_.bytesPerExchange(ncomp_);
+  }
+
+  /// Total allocated cells (valid + ghost) across all boxes, per component.
+  [[nodiscard]] std::int64_t totalCellsAllocated() const;
+  /// Total valid (physical) cells across all boxes, per component.
+  [[nodiscard]] std::int64_t totalCellsValid() const;
+
+  /// Copy this level's valid data into `dest` (same ProblemDomain, possibly
+  /// a different box decomposition). Only dest's valid regions are written;
+  /// call dest.exchange() afterwards if its ghosts are needed.
+  void copyTo(LevelData& dest) const;
+
+  /// Max |a-b| over the valid regions of two levels on any layouts covering
+  /// the same domain (used to check cross-box-size equivalence).
+  static Real maxAbsDiffValid(const LevelData& a, const LevelData& b);
+
+private:
+  DisjointBoxLayout layout_;
+  int ncomp_ = 0;
+  int nghost_ = 0;
+  Copier copier_;
+  std::vector<FArrayBox> fabs_;
+};
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,88 @@
+#include "grid/norms.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fluxdiv::grid {
+
+namespace {
+
+/// Reduce f(value) over the valid cells of one component.
+template <typename F>
+Real reduceValid(const LevelData& level, int comp, F&& f) {
+  if (comp < 0 || comp >= level.nComp()) {
+    throw std::out_of_range("norms: component out of range");
+  }
+  Real total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    const FArrayBox& fab = level[b];
+    const Real* p = fab.dataPtr(comp);
+    Real local = 0.0;
+    forEachCell(level.validBox(b), [&](int i, int j, int k) {
+      local += f(p[fab.offset(i, j, k)]);
+    });
+    total += local;
+  }
+  return total;
+}
+
+} // namespace
+
+Real levelSum(const LevelData& level, int comp) {
+  return reduceValid(level, comp, [](Real v) { return v; });
+}
+
+Real levelNormL1(const LevelData& level, int comp) {
+  return reduceValid(level, comp, [](Real v) { return std::abs(v); });
+}
+
+Real levelNormL2(const LevelData& level, int comp) {
+  return std::sqrt(
+      reduceValid(level, comp, [](Real v) { return v * v; }));
+}
+
+Real levelNormInf(const LevelData& level, int comp) {
+  if (comp < 0 || comp >= level.nComp()) {
+    throw std::out_of_range("norms: component out of range");
+  }
+  Real worst = 0.0;
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    const FArrayBox& fab = level[b];
+    const Real* p = fab.dataPtr(comp);
+    forEachCell(level.validBox(b), [&](int i, int j, int k) {
+      worst = std::max(worst, std::abs(p[fab.offset(i, j, k)]));
+    });
+  }
+  return worst;
+}
+
+std::array<Real, 8> levelSums(const LevelData& level) {
+  assert(level.nComp() <= 8);
+  std::array<Real, 8> sums{};
+  for (int c = 0; c < level.nComp(); ++c) {
+    sums[static_cast<std::size_t>(c)] = levelSum(level, c);
+  }
+  return sums;
+}
+
+Real levelDiffInf(const LevelData& a, const LevelData& b, int comp) {
+  if (a.size() != b.size() || a.nComp() != b.nComp()) {
+    throw std::invalid_argument("levelDiffInf: incompatible levels");
+  }
+  Real worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FArrayBox& fa = a[i];
+    const FArrayBox& fb = b[i];
+    const Real* pa = fa.dataPtr(comp);
+    const Real* pb = fb.dataPtr(comp);
+    forEachCell(a.validBox(i), [&](int x, int y, int z) {
+      worst = std::max(worst, std::abs(pa[fa.offset(x, y, z)] -
+                                       pb[fb.offset(x, y, z)]));
+    });
+  }
+  return worst;
+}
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,54 @@
+#pragma once
+// ProblemDomain: the index-space extent of the whole computational domain
+// plus per-direction periodicity. Ghost regions that fall outside a periodic
+// direction are filled from the periodic image; outside a non-periodic
+// direction they are left to boundary-condition code.
+
+#include "grid/box.hpp"
+
+namespace fluxdiv::grid {
+
+/// Domain box with periodicity flags.
+class ProblemDomain {
+public:
+  ProblemDomain() = default;
+
+  /// Periodic in every direction by default (the exemplar's configuration).
+  explicit ProblemDomain(const Box& domain, bool periodicAll = true)
+      : box_(domain), periodic_{periodicAll, periodicAll, periodicAll} {}
+
+  ProblemDomain(const Box& domain, const std::array<bool, SpaceDim>& periodic)
+      : box_(domain), periodic_(periodic) {}
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] bool isPeriodic(int d) const {
+    return periodic_[static_cast<std::size_t>(d)];
+  }
+
+  /// Periodic shift (a multiple of the domain size per direction) that maps
+  /// point `p` into the domain. Returns false if `p` is outside the domain
+  /// in a non-periodic direction. On success, `p + shift` lies inside.
+  bool wrapShift(const IntVect& p, IntVect& shift) const {
+    shift = IntVect::zero();
+    for (int d = 0; d < SpaceDim; ++d) {
+      const int n = box_.size(d);
+      int q = p[d];
+      if (q < box_.lo(d) || q > box_.hi(d)) {
+        if (!isPeriodic(d)) {
+          return false;
+        }
+        // Euclidean-style wrap relative to the domain's low corner.
+        int rel = q - box_.lo(d);
+        int wrapped = ((rel % n) + n) % n;
+        shift[d] = (box_.lo(d) + wrapped) - q;
+      }
+    }
+    return true;
+  }
+
+private:
+  Box box_;
+  std::array<bool, SpaceDim> periodic_{true, true, true};
+};
+
+} // namespace fluxdiv::grid

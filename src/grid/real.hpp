@@ -1,0 +1,9 @@
+#pragma once
+// Floating-point type of all solution data. The paper's exemplar is
+// compiled for 64-bit floats (Sec. III-C); so is this reproduction.
+
+namespace fluxdiv::grid {
+
+using Real = double;
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,147 @@
+#include "grid/vtk_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fluxdiv::grid {
+
+namespace {
+
+/// Gather component c of the level's valid cells into a flat x-fastest
+/// array over the whole domain.
+std::vector<Real> flattenComponent(const LevelData& level, int comp) {
+  const Box dom = level.layout().domain().box();
+  std::vector<Real> flat(static_cast<std::size_t>(dom.numPts()));
+  const std::int64_t nx = dom.size(0);
+  const std::int64_t ny = dom.size(1);
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    const FArrayBox& fab = level[b];
+    const Real* p = fab.dataPtr(comp);
+    forEachCell(level.validBox(b), [&](int i, int j, int k) {
+      const std::size_t at = static_cast<std::size_t>(
+          (i - dom.lo(0)) +
+          nx * ((j - dom.lo(1)) +
+                ny * static_cast<std::int64_t>(k - dom.lo(2))));
+      flat[at] = p[fab.offset(i, j, k)];
+    });
+  }
+  return flat;
+}
+
+/// VTK legacy binary payloads are big-endian.
+void writeBigEndian(std::ostream& os, const std::vector<Real>& values) {
+  for (Real v : values) {
+    auto bits = std::bit_cast<std::uint64_t>(v);
+    if constexpr (std::endian::native == std::endian::little) {
+      bits = ((bits & 0x00000000000000ffull) << 56) |
+             ((bits & 0x000000000000ff00ull) << 40) |
+             ((bits & 0x0000000000ff0000ull) << 24) |
+             ((bits & 0x00000000ff000000ull) << 8) |
+             ((bits & 0x000000ff00000000ull) >> 8) |
+             ((bits & 0x0000ff0000000000ull) >> 24) |
+             ((bits & 0x00ff000000000000ull) >> 40) |
+             ((bits & 0xff00000000000000ull) >> 56);
+    }
+    char buf[8];
+    std::memcpy(buf, &bits, 8);
+    os.write(buf, 8);
+  }
+}
+
+} // namespace
+
+void writeVtk(const std::string& path, const LevelData& level,
+              const VtkWriteOptions& options) {
+  std::ofstream out(path, options.binary
+                              ? std::ios::out | std::ios::binary
+                              : std::ios::out);
+  if (!out) {
+    throw std::runtime_error("writeVtk: cannot open " + path);
+  }
+  const Box dom = level.layout().domain().box();
+  out << "# vtk DataFile Version 3.0\n"
+      << "fluxdiv level data\n"
+      << (options.binary ? "BINARY\n" : "ASCII\n")
+      << "DATASET STRUCTURED_POINTS\n"
+      // Points = cell corners: one more than cells per direction.
+      << "DIMENSIONS " << dom.size(0) + 1 << ' ' << dom.size(1) + 1 << ' '
+      << dom.size(2) + 1 << '\n'
+      << "ORIGIN " << options.origin[0] << ' ' << options.origin[1] << ' '
+      << options.origin[2] << '\n'
+      << "SPACING " << options.spacing << ' ' << options.spacing << ' '
+      << options.spacing << '\n'
+      << "CELL_DATA " << dom.numPts() << '\n';
+
+  for (int c = 0; c < level.nComp(); ++c) {
+    const std::string name =
+        c < static_cast<int>(options.componentNames.size())
+            ? options.componentNames[static_cast<std::size_t>(c)]
+            : "comp" + std::to_string(c);
+    out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    const std::vector<Real> flat = flattenComponent(level, c);
+    if (options.binary) {
+      writeBigEndian(out, flat);
+      out << '\n';
+    } else {
+      out.precision(17);
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        out << flat[i] << ((i + 1) % 6 == 0 ? '\n' : ' ');
+      }
+      out << '\n';
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("writeVtk: write failed for " + path);
+  }
+}
+
+VtkData readVtkCellData(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("readVtkCellData: cannot open " + path);
+  }
+  VtkData result;
+  std::string line;
+  std::int64_t cells = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "BINARY") {
+      throw std::runtime_error(
+          "readVtkCellData: binary files are not supported by the reader");
+    }
+    if (keyword == "DIMENSIONS") {
+      int px = 0, py = 0, pz = 0;
+      ss >> px >> py >> pz;
+      result.dims = IntVect(px - 1, py - 1, pz - 1);
+    } else if (keyword == "CELL_DATA") {
+      ss >> cells;
+      if (cells != result.dims.product()) {
+        throw std::runtime_error("readVtkCellData: cell count mismatch");
+      }
+    } else if (keyword == "SCALARS") {
+      std::string name;
+      ss >> name;
+      std::getline(in, line); // LOOKUP_TABLE
+      std::vector<Real> field(static_cast<std::size_t>(cells));
+      for (auto& v : field) {
+        if (!(in >> v)) {
+          throw std::runtime_error("readVtkCellData: truncated field " +
+                                   name);
+        }
+      }
+      result.names.push_back(name);
+      result.data.push_back(std::move(field));
+    }
+  }
+  if (result.dims.product() == 0 || result.data.empty()) {
+    throw std::runtime_error("readVtkCellData: no cell data found");
+  }
+  return result;
+}
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,42 @@
+#pragma once
+// Plotfile output: write the valid region of a LevelData as a legacy-VTK
+// structured-points file (readable by ParaView/VisIt), one scalar field
+// per component. Chombo-class frameworks ship HDF5 plotfiles; legacy VTK
+// keeps this reproduction dependency-free while providing the same
+// workflow (dump a step, look at it). A minimal reader supports
+// round-trip tests and restart-style reloads.
+
+#include <string>
+#include <vector>
+
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::grid {
+
+/// Options for writeVtk.
+struct VtkWriteOptions {
+  std::vector<std::string> componentNames; ///< defaults to comp0..compN
+  double origin[3] = {0.0, 0.0, 0.0};
+  double spacing = 1.0; ///< dx (uniform)
+  bool binary = false;  ///< ASCII by default (diffable); binary is big-endian
+};
+
+/// Write the level's valid data to `path` ("file.vtk"). The whole domain
+/// is assembled into one structured-points dataset (cell data).
+/// Throws std::runtime_error on I/O failure.
+void writeVtk(const std::string& path, const LevelData& level,
+              const VtkWriteOptions& options = {});
+
+/// Result of readVtkCellData: the domain extent and per-component flat
+/// fields in x-fastest order.
+struct VtkData {
+  IntVect dims;                        ///< cells per direction
+  std::vector<std::string> names;      ///< field names
+  std::vector<std::vector<Real>> data; ///< one flat array per field
+};
+
+/// Read back an ASCII file produced by writeVtk (subset of legacy VTK:
+/// STRUCTURED_POINTS + CELL_DATA double scalars).
+VtkData readVtkCellData(const std::string& path);
+
+} // namespace fluxdiv::grid

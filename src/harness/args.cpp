@@ -1,0 +1,189 @@
+#include "harness/args.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fluxdiv::harness {
+
+namespace {
+
+std::vector<std::int64_t> parseIntList(const std::string& text) {
+  std::vector<std::int64_t> values;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      values.push_back(std::stoll(item));
+    }
+  }
+  return values;
+}
+
+std::string reprIntList(const std::vector<std::int64_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+} // namespace
+
+void Args::addInt(const std::string& name, std::int64_t def,
+                  std::string help) {
+  Option opt;
+  opt.kind = Kind::Int;
+  opt.help = std::move(help);
+  opt.intValue = def;
+  opt.defaultRepr = std::to_string(def);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void Args::addDouble(const std::string& name, double def, std::string help) {
+  Option opt;
+  opt.kind = Kind::Double;
+  opt.help = std::move(help);
+  opt.doubleValue = def;
+  opt.defaultRepr = std::to_string(def);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void Args::addString(const std::string& name, std::string def,
+                     std::string help) {
+  Option opt;
+  opt.kind = Kind::String;
+  opt.help = std::move(help);
+  opt.defaultRepr = def;
+  opt.stringValue = std::move(def);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void Args::addBool(const std::string& name, std::string help) {
+  Option opt;
+  opt.kind = Kind::Bool;
+  opt.help = std::move(help);
+  opt.defaultRepr = "false";
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void Args::addIntList(const std::string& name,
+                      std::vector<std::int64_t> def, std::string help) {
+  Option opt;
+  opt.kind = Kind::IntList;
+  opt.help = std::move(help);
+  opt.defaultRepr = reprIntList(def);
+  opt.listValue = std::move(def);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+bool Args::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printHelp(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::runtime_error("unknown option: --" + name);
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Bool) {
+      if (value.has_value()) {
+        opt.boolValue = (*value == "1" || *value == "true");
+      } else {
+        opt.boolValue = true;
+      }
+      continue;
+    }
+    if (!value.has_value()) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for option: --" + name);
+      }
+      value = argv[++i];
+    }
+    switch (opt.kind) {
+    case Kind::Int:
+      opt.intValue = std::stoll(*value);
+      break;
+    case Kind::Double:
+      opt.doubleValue = std::stod(*value);
+      break;
+    case Kind::String:
+      opt.stringValue = *value;
+      break;
+    case Kind::IntList:
+      opt.listValue = parseIntList(*value);
+      break;
+    case Kind::Bool:
+      break; // handled above
+    }
+  }
+  return true;
+}
+
+Args::Option& Args::require(const std::string& name, Kind kind) {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::logic_error("option not registered with this type: " + name);
+  }
+  return it->second;
+}
+
+const Args::Option& Args::require(const std::string& name, Kind kind) const {
+  return const_cast<Args*>(this)->require(name, kind);
+}
+
+std::int64_t Args::getInt(const std::string& name) const {
+  return require(name, Kind::Int).intValue;
+}
+
+double Args::getDouble(const std::string& name) const {
+  return require(name, Kind::Double).doubleValue;
+}
+
+const std::string& Args::getString(const std::string& name) const {
+  return require(name, Kind::String).stringValue;
+}
+
+bool Args::getBool(const std::string& name) const {
+  return require(name, Kind::Bool).boolValue;
+}
+
+const std::vector<std::int64_t>&
+Args::getIntList(const std::string& name) const {
+  return require(name, Kind::IntList).listValue;
+}
+
+void Args::printHelp(const std::string& program) const {
+  std::cout << "usage: " << program << " [options]\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    std::cout << "  --" << name;
+    if (opt.kind != Kind::Bool) {
+      std::cout << " <value>";
+    }
+    std::cout << "\n      " << opt.help << " (default: " << opt.defaultRepr
+              << ")\n";
+  }
+}
+
+} // namespace fluxdiv::harness

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal command-line option parser for the bench/example binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options are an error so typos do not silently change experiment
+// parameters.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fluxdiv::harness {
+
+/// Declarative option set parsed from argv.
+class Args {
+public:
+  /// Register an option with a default value and a help line. Call before
+  /// parse(). Boolean options take no value on the command line.
+  void addInt(const std::string& name, std::int64_t def, std::string help);
+  void addDouble(const std::string& name, double def, std::string help);
+  void addString(const std::string& name, std::string def, std::string help);
+  void addBool(const std::string& name, std::string help);
+  /// Comma-separated list of integers, e.g. `--threads 1,2,4,8`.
+  void addIntList(const std::string& name, std::vector<std::int64_t> def,
+                  std::string help);
+
+  /// Parse argv. Returns false (after printing help) if `--help` was given.
+  /// Throws std::runtime_error on unknown options or malformed values.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t getInt(const std::string& name) const;
+  [[nodiscard]] double getDouble(const std::string& name) const;
+  [[nodiscard]] const std::string& getString(const std::string& name) const;
+  [[nodiscard]] bool getBool(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::int64_t>&
+  getIntList(const std::string& name) const;
+
+  /// Print the registered options and their defaults.
+  void printHelp(const std::string& program) const;
+
+private:
+  enum class Kind { Int, Double, String, Bool, IntList };
+  struct Option {
+    Kind kind = Kind::Int;
+    std::string help;
+    std::int64_t intValue = 0;
+    double doubleValue = 0.0;
+    std::string stringValue;
+    bool boolValue = false;
+    std::vector<std::int64_t> listValue;
+    std::string defaultRepr;
+  };
+  Option& require(const std::string& name, Kind kind);
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+} // namespace fluxdiv::harness

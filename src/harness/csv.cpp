@@ -1,0 +1,48 @@
+#include "harness/csv.hpp"
+
+namespace fluxdiv::harness {
+
+namespace {
+
+std::string quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  if (path.empty()) {
+    return;
+  }
+  out_.open(path);
+  if (out_.is_open()) {
+    writeRow(header);
+  }
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) {
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+}
+
+} // namespace fluxdiv::harness

@@ -1,0 +1,27 @@
+#pragma once
+// Tiny CSV writer. Bench binaries optionally mirror their table output to a
+// CSV file (--csv path) so figures can be re-plotted without re-running.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fluxdiv::harness {
+
+/// Append-only CSV file writer with RFC-4180-style quoting.
+class CsvWriter {
+public:
+  /// Open `path` for writing (truncates) and emit the header row. An empty
+  /// path produces a disabled writer whose writeRow() is a no-op.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True if the file opened successfully.
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  void writeRow(const std::vector<std::string>& cells);
+
+private:
+  std::ofstream out_;
+};
+
+} // namespace fluxdiv::harness

@@ -1,0 +1,131 @@
+#include "harness/machine.hpp"
+
+#include <omp.h>
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "harness/table.hpp"
+
+namespace fluxdiv::harness {
+
+namespace {
+
+std::string readFileTrimmed(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return {};
+  }
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() && (line.back() == '\n' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+std::size_t parseCacheSize(const std::string& text) {
+  // sysfs format: "32K", "2048K", "260M"
+  if (text.empty()) {
+    return 0;
+  }
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K') {
+      value *= 1024;
+    } else if (text[i] == 'M') {
+      value *= 1024 * 1024;
+    } else if (text[i] == 'G') {
+      value *= 1024ull * 1024 * 1024;
+    }
+  }
+  return value;
+}
+
+} // namespace
+
+MachineInfo queryMachine() {
+  MachineInfo info;
+  info.logicalCores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  info.ompMaxThreads = omp_get_max_threads();
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        info.cpuModel = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+
+  for (int index = 0; index < 8; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    std::string type = readFileTrimmed(base + "/type");
+    if (type.empty()) {
+      break;
+    }
+    if (type == "Instruction") {
+      continue;
+    }
+    CacheLevel c;
+    c.type = type;
+    c.level = std::stoi("0" + readFileTrimmed(base + "/level"));
+    c.sizeBytes = parseCacheSize(readFileTrimmed(base + "/size"));
+    const std::string lineSize =
+        readFileTrimmed(base + "/coherency_line_size");
+    c.lineBytes = lineSize.empty() ? 64 : std::stoul(lineSize);
+    const std::string ways = readFileTrimmed(base + "/ways_of_associativity");
+    c.associativity = ways.empty() ? 0 : std::stoi(ways);
+    info.caches.push_back(c);
+  }
+  return info;
+}
+
+std::size_t lastLevelCacheBytes(const MachineInfo& info) {
+  std::size_t best = 0;
+  int bestLevel = 0;
+  for (const auto& c : info.caches) {
+    if (c.level > bestLevel) {
+      bestLevel = c.level;
+      best = c.sizeBytes;
+    }
+  }
+  return best;
+}
+
+void printMachineReport(std::ostream& os, const MachineInfo& info) {
+  os << "machine: " << (info.cpuModel.empty() ? "unknown CPU" : info.cpuModel)
+     << ", " << info.logicalCores << " logical cores, OpenMP max threads "
+     << info.ompMaxThreads << '\n';
+  for (const auto& c : info.caches) {
+    os << "  L" << c.level << ' ' << c.type << ": "
+       << formatBytes(c.sizeBytes) << ", line " << c.lineBytes << " B";
+    if (c.associativity > 0) {
+      os << ", " << c.associativity << "-way";
+    }
+    os << '\n';
+  }
+}
+
+std::vector<std::int64_t> defaultThreadSweep(int maxThreads) {
+  std::vector<std::int64_t> sweep;
+  for (int t = 1; t < maxThreads; t *= 2) {
+    sweep.push_back(t);
+  }
+  sweep.push_back(maxThreads);
+  return sweep;
+}
+
+} // namespace fluxdiv::harness

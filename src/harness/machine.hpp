@@ -1,0 +1,45 @@
+#pragma once
+// Runtime machine description. The paper ran on three named HPC nodes and
+// reported core counts and cache sizes; each bench binary prints this report
+// so a run is self-describing about the node it executed on.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxdiv::harness {
+
+/// One level of the CPU cache hierarchy as reported by sysfs.
+struct CacheLevel {
+  int level = 0;              ///< 1, 2, 3, ...
+  std::string type;           ///< "Data", "Instruction", "Unified"
+  std::size_t sizeBytes = 0;
+  std::size_t lineBytes = 0;
+  int associativity = 0;      ///< 0 if unknown
+};
+
+/// Description of the host the benchmark runs on.
+struct MachineInfo {
+  std::string cpuModel;
+  int logicalCores = 1;
+  int ompMaxThreads = 1;
+  std::vector<CacheLevel> caches; ///< data/unified levels of cpu0
+};
+
+/// Probe /proc/cpuinfo and sysfs. Never throws; missing fields stay default.
+MachineInfo queryMachine();
+
+/// Size in bytes of the last-level data/unified cache (0 if unknown). Used
+/// by the analytic traffic model as the capacity threshold.
+std::size_t lastLevelCacheBytes(const MachineInfo& info);
+
+/// Print a one-paragraph report mirroring the paper's Sec. VI-A setup text.
+void printMachineReport(std::ostream& os, const MachineInfo& info);
+
+/// Default thread sweep for scaling figures: powers of two up to the core
+/// count, always including 1 and the core count itself (e.g. 1,2,4,8,16,24).
+std::vector<std::int64_t> defaultThreadSweep(int maxThreads);
+
+} // namespace fluxdiv::harness

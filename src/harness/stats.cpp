@@ -1,0 +1,31 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fluxdiv::harness {
+
+SampleStats summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sq = 0.0;
+  for (double v : samples) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(n));
+  return s;
+}
+
+} // namespace fluxdiv::harness

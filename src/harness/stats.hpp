@@ -1,0 +1,43 @@
+#pragma once
+// Summary statistics over repeated timing samples. The paper reports a
+// single execution time per (variant, thread count) point; we follow common
+// practice for the reproduction and report the minimum over repetitions
+// (least-noise estimator for wall time) while also retaining median/mean for
+// the CSV output.
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/timer.hpp"
+
+namespace fluxdiv::harness {
+
+/// Summary of a sample of timing measurements (seconds).
+struct SampleStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0; ///< population standard deviation
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics. An empty sample yields a zeroed struct.
+SampleStats summarize(std::vector<double> samples);
+
+/// Run `f` `reps` times (after `warmups` unmeasured runs) and summarize the
+/// per-run wall times.
+template <typename F>
+SampleStats repeatTimed(F&& f, std::size_t reps, std::size_t warmups = 1) {
+  for (std::size_t i = 0; i < warmups; ++i) {
+    f();
+  }
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    samples.push_back(timeOnce(f));
+  }
+  return summarize(std::move(samples));
+}
+
+} // namespace fluxdiv::harness

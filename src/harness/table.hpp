@@ -1,0 +1,42 @@
+#pragma once
+// Aligned plain-text table printer. Every `bench/` binary regenerating a
+// paper table or figure prints its rows through this so output is uniform
+// and machine-greppable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxdiv::harness {
+
+/// Column-aligned text table. Add a header and rows of strings; width is
+/// computed per column on print. Numeric cells should be preformatted with
+/// formatSeconds()/formatDouble().
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded).
+  void addRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render with a rule under the header and two spaces between columns.
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with 4 significant decimal digits (e.g. "1.2345").
+std::string formatSeconds(double seconds);
+
+/// Format a double with the given precision.
+std::string formatDouble(double value, int precision = 3);
+
+/// Format bytes using binary units ("1.5 MiB").
+std::string formatBytes(std::size_t bytes);
+
+} // namespace fluxdiv::harness

@@ -1,0 +1,4 @@
+#include "harness/timer.hpp"
+
+// Header-only today; this TU anchors the library target and is the natural
+// home if timing ever grows platform-specific code paths.

@@ -1,0 +1,54 @@
+#pragma once
+// The CFD flux-kernel exemplar of paper Sec. III: per-direction evaluation
+// of face-averaged solution values (EvalFlux1, Eq. 6), face fluxes
+// (EvalFlux2, Eq. 7), and accumulation of the flux difference into the
+// cells. These inline functions are the single definition of the arithmetic
+// shared by every schedule variant and by the reference kernel, so all
+// schedules compute literally the same expressions.
+
+#include <cstdint>
+
+#include "grid/real.hpp"
+
+namespace fluxdiv::kernels {
+
+using grid::Real;
+
+/// Number of solution components: <rho, u, v, w, e> (paper Eq. 5).
+inline constexpr int kNumComp = 5;
+
+/// Ghost layers required by the 4-point face average (Eq. 6): face f reads
+/// cells f-2 .. f+1, so faces on the box boundary reach 2 cells outside.
+inline constexpr int kNumGhost = 2;
+
+/// Component holding the velocity normal to faces in direction d
+/// (u, v, w for d = 0, 1, 2) — Eq. 7's phi_{d+1}.
+constexpr int velocityComp(int dir) { return dir + 1; }
+
+/// EvalFlux1 (Eq. 6): 4th-order average of a cell field on the face between
+/// cells f-1 and f. `cellAtFace` points at cell f (the high-side cell of
+/// the face) within a unit-`stride` column of cells.
+///   <phi>_{f-1/2} = 7/12 (phi_{f-1} + phi_f) - 1/12 (phi_{f+1} + phi_{f-2})
+inline Real evalFlux1(const Real* cellAtFace, std::int64_t stride) {
+  constexpr Real c7over12 = 7.0 / 12.0;
+  constexpr Real c1over12 = 1.0 / 12.0;
+  return c7over12 * (cellAtFace[-stride] + cellAtFace[0]) -
+         c1over12 * (cellAtFace[stride] + cellAtFace[-2 * stride]);
+}
+
+/// EvalFlux2 (Eq. 7): flux through a face is the face-averaged advected
+/// quantity times the face-averaged normal velocity (Delta-x absorbed).
+inline Real evalFlux2(Real facePhi, Real faceVelocity) {
+  return facePhi * faceVelocity;
+}
+
+/// Flux of component c through the face whose high-side cell is pointed to
+/// by `cellC` (component c column) and `cellV` (normal-velocity component
+/// column), both with the same `stride`. This is the recomputation unit of
+/// the overlapped-tile variants: one call = one (face, component) flux.
+inline Real faceFlux(const Real* cellC, const Real* cellV,
+                     std::int64_t stride) {
+  return evalFlux2(evalFlux1(cellC, stride), evalFlux1(cellV, stride));
+}
+
+} // namespace fluxdiv::kernels

@@ -1,0 +1,52 @@
+#include "kernels/gradient.hpp"
+
+#include <cassert>
+
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::kernels {
+
+using grid::Box;
+using grid::FArrayBox;
+
+void gradient(const FArrayBox& phi, FArrayBox& grad, const Box& valid,
+              int srcComp, Real invDx) {
+  assert(phi.box().contains(valid.grow(kNumGhost)));
+  assert(grad.box().contains(valid));
+  assert(grad.nComp() >= grid::SpaceDim);
+  const std::int64_t stride[3] = {1, phi.strideY(), phi.strideZ()};
+  const Real* p = phi.dataPtr(srcComp);
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    Real* out = grad.dataPtr(d);
+    const std::int64_t s = stride[d];
+    const int nx = valid.size(0);
+    for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+      for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
+        const Real* prow = p + phi.offset(valid.lo(0), j, k);
+        Real* orow = out + grad.offset(valid.lo(0), j, k);
+        for (int i = 0; i < nx; ++i) {
+          orow[i] = centralDeriv4(prow + i, s, invDx);
+        }
+      }
+    }
+  }
+}
+
+void aosGradient(const AosFab& phi, AosFab& grad, const Box& valid,
+                 int srcComp, Real invDx) {
+  assert(phi.box().contains(valid.grow(kNumGhost)));
+  assert(grad.box().contains(valid));
+  assert(grad.nComp() >= grid::SpaceDim);
+  const std::int64_t stride[3] = {phi.strideX(), phi.strideY(),
+                                  phi.strideZ()};
+  const Real* base = phi.data();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const std::int64_t s = stride[d];
+    forEachCell(valid, [&](int i, int j, int k) {
+      grad(i, j, k, d) =
+          centralDeriv4(base + phi.index(i, j, k, srcComp), s, invDx);
+    });
+  }
+}
+
+} // namespace fluxdiv::kernels

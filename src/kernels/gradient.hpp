@@ -1,0 +1,36 @@
+#pragma once
+// Cell-centered 4th-order gradient — the other stencil shape in a CFD
+// step. Paper Sec. III-C: the [x,y,z,c] layout "works well for gradient
+// calculations" (one component in, independent output per direction, no
+// cross-component reads) while being awkward for the flux kernel; this
+// operator plus its AoS twin makes that contrast measurable
+// (bench_layout_ablation / bench_kernels_micro).
+
+#include "grid/farraybox.hpp"
+#include "kernels/layout.hpp"
+
+namespace fluxdiv::kernels {
+
+/// 4th-order central first derivative along a unit-`stride` column:
+/// (8 (f_{+1} - f_{-1}) - (f_{+2} - f_{-2})) / 12, times invDx.
+/// Exact for cubics; needs 2 ghost cells.
+inline Real centralDeriv4(const Real* cell, std::int64_t stride,
+                          Real invDx) {
+  constexpr Real c8over12 = 8.0 / 12.0;
+  constexpr Real c1over12 = 1.0 / 12.0;
+  return (c8over12 * (cell[stride] - cell[-stride]) -
+          c1over12 * (cell[2 * stride] - cell[-2 * stride])) *
+         invDx;
+}
+
+/// grad(comp `srcComp` of phi) over `valid`: writes d/dx, d/dy, d/dz into
+/// components 0..2 of `grad`. phi must cover valid.grow(kNumGhost).
+void gradient(const grid::FArrayBox& phi, grid::FArrayBox& grad,
+              const grid::Box& valid, int srcComp, Real invDx = 1.0);
+
+/// The same gradient evaluated on interleaved (AoS) data — strided
+/// component access, the layout's weak side for this operator.
+void aosGradient(const AosFab& phi, AosFab& grad, const grid::Box& valid,
+                 int srcComp, Real invDx = 1.0);
+
+} // namespace fluxdiv::kernels

@@ -1,0 +1,58 @@
+#include "kernels/init.hpp"
+
+#include <cmath>
+
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::kernels {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::LevelData;
+using grid::Real;
+
+Real exemplarValue(int i, int j, int k, int c, const Box& domain) {
+  constexpr Real kTwoPi = 6.283185307179586476925286766559;
+  const Real x = kTwoPi * (i - domain.lo(0)) / domain.size(0);
+  const Real y = kTwoPi * (j - domain.lo(1)) / domain.size(1);
+  const Real z = kTwoPi * (k - domain.lo(2)) / domain.size(2);
+  // Strictly positive, smooth, periodic, and distinct per component. The
+  // magnitudes keep velocities O(0.1) so the advection example is stable.
+  return 1.0 + 0.10 * std::sin(x + 0.5 * c) * std::cos(y - 0.3 * c) +
+         0.05 * std::sin(z + 0.7 * c) * std::cos(x + 0.2 * c);
+}
+
+void initializeExemplar(LevelData& phi) {
+  const Box domain = phi.layout().domain().box();
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < phi.size(); ++b) {
+    FArrayBox& fab = phi[b];
+    const Box valid = phi.validBox(b);
+    for (int c = 0; c < fab.nComp(); ++c) {
+      Real* p = fab.dataPtr(c);
+      forEachCell(valid, [&](int i, int j, int k) {
+        p[fab.offset(i, j, k)] = exemplarValue(i, j, k, c, domain);
+      });
+    }
+  }
+  phi.exchange();
+}
+
+void initializeExemplar(FArrayBox& fab, const Box& domain) {
+  for (int c = 0; c < fab.nComp(); ++c) {
+    Real* p = fab.dataPtr(c);
+    forEachCell(fab.box(), [&](int i, int j, int k) {
+      // Ghost cells take the periodic image's value, exactly what a
+      // LevelData exchange would deliver.
+      auto wrap = [](int v, int lo, int n) {
+        return lo + (((v - lo) % n) + n) % n;
+      };
+      p[fab.offset(i, j, k)] =
+          exemplarValue(wrap(i, domain.lo(0), domain.size(0)),
+                        wrap(j, domain.lo(1), domain.size(1)),
+                        wrap(k, domain.lo(2), domain.size(2)), c, domain);
+    });
+  }
+}
+
+} // namespace fluxdiv::kernels

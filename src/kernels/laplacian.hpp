@@ -1,0 +1,23 @@
+#pragma once
+// 7-point Laplacian — the artificial-dissipation / stabilization stencil
+// CFD steps add to the flux divergence (the "non-linear stabilization
+// mechanisms" the paper cites as one reason ghost layers exist at all,
+// Sec. I). Used by solvers::FluxDivRhs's optional dissipation term.
+
+#include "grid/farraybox.hpp"
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::kernels {
+
+/// out[c] += scale * Lap(phi[c]) over `valid` for every component, with
+/// Lap the standard 2nd-order 7-point stencil times invDx^2 (folded into
+/// `scale`). phi needs >= 1 ghost layer.
+void addLaplacian(const grid::FArrayBox& phi, grid::FArrayBox& out,
+                  const grid::Box& valid, grid::Real scale);
+
+/// Level-wide: out[b] += scale * Lap(phi[b]) on every box (OpenMP over
+/// boxes). phi's ghosts must be exchanged.
+void addLaplacian(const grid::LevelData& phi, grid::LevelData& out,
+                  grid::Real scale);
+
+} // namespace fluxdiv::kernels

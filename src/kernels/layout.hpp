@@ -1,0 +1,82 @@
+#pragma once
+// Data-layout ablation (paper Sec. III-C): Chombo's layout is [x,y,z,c]
+// (components far apart), which "works well for gradient calculations
+// [but] for the flux kernels ... is somewhat disadvantageous because the
+// components of velocity are required to compute each component of flux,
+// and the individual components in a cell are very far apart in memory.
+// The data layout cannot be changed unless one wishes to repack all the
+// cell data for some segment of code." This module makes that musing
+// testable: an interleaved (AoS, [c,x,y,z]) mirror of a region, the
+// repack both ways, and a flux-divergence evaluation over the AoS data,
+// so the repack-and-compute option can be benchmarked against computing
+// in place (bench_layout_ablation).
+
+#include <vector>
+
+#include "grid/farraybox.hpp"
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::kernels {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::Real;
+
+/// Component-interleaved array over a Box: storage index
+/// c + C*(x + nx*(y + ny*z)); the components of one cell are adjacent.
+class AosFab {
+public:
+  AosFab() = default;
+  AosFab(const Box& box, int ncomp) { define(box, ncomp); }
+
+  void define(const Box& box, int ncomp);
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] int nComp() const { return ncomp_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Element stride between the same component of x-adjacent cells.
+  [[nodiscard]] std::int64_t strideX() const { return ncomp_; }
+  [[nodiscard]] std::int64_t strideY() const { return sy_; }
+  [[nodiscard]] std::int64_t strideZ() const { return sz_; }
+
+  /// Linear index of (i,j,k,c).
+  [[nodiscard]] std::int64_t index(int i, int j, int k, int c) const {
+    return c + ncomp_ * (i - box_.lo(0)) +
+           sy_ * static_cast<std::int64_t>(j - box_.lo(1)) +
+           sz_ * static_cast<std::int64_t>(k - box_.lo(2));
+  }
+
+  Real& operator()(int i, int j, int k, int c) {
+    return data_[static_cast<std::size_t>(index(i, j, k, c))];
+  }
+  Real operator()(int i, int j, int k, int c) const {
+    return data_[static_cast<std::size_t>(index(i, j, k, c))];
+  }
+
+  [[nodiscard]] Real* data() { return data_.data(); }
+  [[nodiscard]] const Real* data() const { return data_.data(); }
+
+private:
+  Box box_;
+  int ncomp_ = 0;
+  std::int64_t sy_ = 0;
+  std::int64_t sz_ = 0;
+  std::vector<Real> data_;
+};
+
+/// Repack `region` of a component-major FArrayBox into the interleaved
+/// mirror (the "repack all the cell data for some segment of code" cost).
+void packAos(const FArrayBox& src, AosFab& dst, const Box& region);
+
+/// Scatter the interleaved data back into the component-major layout.
+void unpackAos(const AosFab& src, FArrayBox& dst, const Box& region);
+
+/// Flux-divergence accumulation evaluated entirely on interleaved data:
+/// phi1(cell,c) += scale * sum_d (flux_d hi - flux_d lo). phi0 must cover
+/// valid.grow(kNumGhost). Matches the reference kernel's results exactly.
+void aosFluxDiv(const AosFab& phi0, AosFab& phi1, const Box& valid,
+                Real scale = 1.0);
+
+} // namespace fluxdiv::kernels

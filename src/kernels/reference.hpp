@@ -1,0 +1,32 @@
+#pragma once
+// Obviously-correct reference implementation of the exemplar: for every
+// cell and component it recomputes both face fluxes of every direction
+// directly from phi0 with no temporaries and no schedule cleverness. Slow,
+// but the ground truth every variant is verified against.
+
+#include "grid/farraybox.hpp"
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::kernels {
+
+/// phi1(cell,c) += scale * sum_d (flux_d(cell+e^d, c) - flux_d(cell, c))
+/// over `validBox`; phi0 must have kNumGhost valid ghost layers around it.
+void referenceFluxDiv(const grid::FArrayBox& phi0, grid::FArrayBox& phi1,
+                      const grid::Box& validBox, grid::Real scale = 1.0);
+
+/// Level-wide reference: applies referenceFluxDiv box by box (serial).
+/// phi0's ghosts must already be exchanged.
+void referenceFluxDiv(const grid::LevelData& phi0, grid::LevelData& phi1,
+                      grid::Real scale = 1.0);
+
+/// Same arithmetic as referenceFluxDiv but written with the checked
+/// per-element accessor (fab(i,j,k,c)) instead of cached pointer offsets
+/// — the "naive C++" style whose cost Sec. III-C's implementation note is
+/// about ("we can reproduce the [Fortran] performance in C++ by caching
+/// pointer offsets ... and using these offsets along with pointer
+/// arithmetic"). Used by the indexing-ablation benchmark.
+void referenceFluxDivNaive(const grid::FArrayBox& phi0,
+                           grid::FArrayBox& phi1, const grid::Box& validBox,
+                           grid::Real scale = 1.0);
+
+} // namespace fluxdiv::kernels

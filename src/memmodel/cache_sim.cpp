@@ -1,0 +1,115 @@
+#include "memmodel/cache_sim.hpp"
+
+#include <stdexcept>
+
+namespace fluxdiv::memmodel {
+
+CacheLevelSim::CacheLevelSim(const CacheConfig& config) : config_(config) {
+  if (config.sizeBytes == 0 || config.associativity <= 0 ||
+      config.lineBytes <= 0) {
+    throw std::invalid_argument("CacheLevelSim: bad geometry");
+  }
+  const std::size_t lines = config.sizeBytes / config.lineBytes;
+  nSets_ = static_cast<int>(
+      lines / static_cast<std::size_t>(config.associativity));
+  if (nSets_ <= 0) {
+    nSets_ = 1;
+  }
+  ways_.resize(static_cast<std::size_t>(nSets_) * config.associativity);
+}
+
+bool CacheLevelSim::access(std::uint64_t lineTag, bool write,
+                           bool& evictedDirty) {
+  evictedDirty = false;
+  ++stats_.accesses;
+  ++clock_;
+  const auto set = static_cast<std::size_t>(
+      lineTag % static_cast<std::uint64_t>(nSets_));
+  Way* base = ways_.data() + set * config_.associativity;
+  Way* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == lineTag) {
+      ++stats_.hits;
+      way.lastUse = clock_;
+      way.dirty = way.dirty || write;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way; // prefer an invalid way
+    } else if (victim->valid && way.lastUse < victim->lastUse) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) {
+    evictedDirty = true;
+    ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = lineTag;
+  victim->lastUse = clock_;
+  victim->dirty = write;
+  return false;
+}
+
+CacheSim::CacheSim(std::vector<CacheConfig> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("CacheSim: need at least one level");
+  }
+  lineBytes_ = levels.front().lineBytes;
+  for (const auto& cfg : levels) {
+    if (cfg.lineBytes != lineBytes_) {
+      throw std::invalid_argument("CacheSim: uniform line size required");
+    }
+    levels_.emplace_back(cfg);
+  }
+}
+
+CacheSim CacheSim::makeTypical(std::size_t l1, std::size_t l2,
+                               std::size_t llc) {
+  return CacheSim({{"L1", l1, 8, 64}, {"L2", l2, 8, 64},
+                   {"LLC", llc, 16, 64}});
+}
+
+void CacheSim::access(std::uint64_t addr, int bytes, bool write) {
+  requestBytes_ += static_cast<std::uint64_t>(bytes);
+  const std::uint64_t first = addr / static_cast<std::uint64_t>(lineBytes_);
+  const std::uint64_t last =
+      (addr + static_cast<std::uint64_t>(bytes) - 1) /
+      static_cast<std::uint64_t>(lineBytes_);
+  for (std::uint64_t tag = first; tag <= last; ++tag) {
+    bool evictedDirty = false;
+    for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+      const bool hit = levels_[lvl].access(tag, write, evictedDirty);
+      // Model simplification: a dirty line evicted from level `lvl` is
+      // charged as DRAM writeback traffic only when it leaves the last
+      // level; inner-level writebacks stay on-chip.
+      if (lvl + 1 == levels_.size() && evictedDirty) {
+        ++dramWritebacks_;
+      }
+      if (hit) {
+        break;
+      }
+      if (lvl + 1 == levels_.size()) {
+        ++dramLineFills_; // missed everywhere: line comes from DRAM
+      }
+    }
+  }
+}
+
+std::uint64_t CacheSim::dramBytes() const {
+  return (dramLineFills_ + dramWritebacks_) *
+         static_cast<std::uint64_t>(lineBytes_);
+}
+
+void CacheSim::resetStats() {
+  for (auto& lvl : levels_) {
+    lvl.resetStats();
+  }
+  requestBytes_ = 0;
+  dramLineFills_ = 0;
+  dramWritebacks_ = 0;
+}
+
+} // namespace fluxdiv::memmodel

@@ -1,0 +1,101 @@
+#pragma once
+// Trace-driven, multi-level, set-associative LRU cache simulator. The
+// paper's bandwidth analysis (Sec. VI-B) used Intel VTune / PCM hardware
+// counters on a desktop machine; this reproduction has no counter access,
+// so the memory-traffic comparison between schedules is made with this
+// simulator instead: each schedule's memory-access stream is replayed and
+// the DRAM traffic (last-level misses + writebacks) is reported.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fluxdiv::memmodel {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::string name;        ///< e.g. "L1", "L2", "LLC"
+  std::size_t sizeBytes = 0;
+  int associativity = 8;
+  int lineBytes = 64;
+};
+
+/// Hit/miss counters of one level.
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0; ///< dirty evictions forwarded down
+};
+
+/// One set-associative LRU write-back, write-allocate cache level.
+class CacheLevelSim {
+public:
+  explicit CacheLevelSim(const CacheConfig& config);
+
+  /// Access the line containing `lineAddr` (already line-aligned tag).
+  /// Returns true on hit. On miss the line is allocated; if a dirty line
+  /// is evicted, `evictedDirty` is set.
+  bool access(std::uint64_t lineTag, bool write, bool& evictedDirty);
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] const LevelStats& stats() const { return stats_; }
+  void resetStats() { stats_ = LevelStats{}; }
+
+private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  LevelStats stats_;
+  int nSets_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_; ///< nSets_ * associativity, set-major
+};
+
+/// Inclusive-ish multi-level hierarchy: an access missing level i proceeds
+/// to level i+1; a miss at the last level is DRAM traffic, as is every
+/// dirty writeback leaving the last level.
+class CacheSim {
+public:
+  explicit CacheSim(std::vector<CacheConfig> levels);
+
+  /// Typical three-level hierarchy used by the bandwidth bench; sizes can
+  /// mirror the host or one of the paper's machines.
+  static CacheSim makeTypical(std::size_t l1 = 32 * 1024,
+                              std::size_t l2 = 256 * 1024,
+                              std::size_t llc = 6 * 1024 * 1024);
+
+  /// Simulate an access of `bytes` bytes at `addr` (spans lines if needed).
+  void access(std::uint64_t addr, int bytes, bool write);
+
+  /// Convenience for the 8-byte Real accesses of the trace generators.
+  void read(std::uint64_t addr) { access(addr, 8, false); }
+  void write(std::uint64_t addr) { access(addr, 8, true); }
+
+  [[nodiscard]] const std::vector<CacheLevelSim>& levels() const {
+    return levels_;
+  }
+
+  /// Bytes that crossed the DRAM bus: last-level miss fills + writebacks.
+  [[nodiscard]] std::uint64_t dramBytes() const;
+
+  /// Total bytes requested by the program (for arithmetic-intensity-style
+  /// ratios).
+  [[nodiscard]] std::uint64_t requestBytes() const { return requestBytes_; }
+
+  void resetStats();
+
+private:
+  std::vector<CacheLevelSim> levels_;
+  std::uint64_t requestBytes_ = 0;
+  std::uint64_t dramLineFills_ = 0;
+  std::uint64_t dramWritebacks_ = 0;
+  int lineBytes_ = 64;
+};
+
+} // namespace fluxdiv::memmodel

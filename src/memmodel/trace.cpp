@@ -1,0 +1,262 @@
+#include "memmodel/trace.hpp"
+
+#include <stdexcept>
+
+#include "kernels/exemplar.hpp"
+#include "sched/tiles.hpp"
+
+namespace fluxdiv::memmodel {
+
+namespace {
+
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ScheduleFamily;
+using core::VariantConfig;
+using grid::Box;
+using grid::IntVect;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+using kernels::velocityComp;
+
+/// Virtual address space of one box evaluation.
+struct BoxSpace {
+  VirtualFab phi0; ///< solution with ghosts
+  VirtualFab phi1; ///< output with ghosts (valid region touched)
+  VirtualFab flux; ///< face superset temporary
+  VirtualFab vel;  ///< velocity temporary / precompute
+  Box valid;
+
+  BoxSpace(int n, const Box& tmpBox) {
+    valid = Box::cube(n);
+    const Box ghosted = valid.grow(kNumGhost);
+    std::uint64_t cursor = 0;
+    phi0 = VirtualFab(cursor, ghosted, kNumComp);
+    cursor += phi0.bytes(kNumComp);
+    phi1 = VirtualFab(cursor, ghosted, kNumComp);
+    cursor += phi1.bytes(kNumComp);
+    flux = VirtualFab(cursor, tmpBox, kNumComp);
+    cursor += flux.bytes(kNumComp);
+    vel = VirtualFab(cursor, tmpBox, 3);
+  }
+};
+
+/// Face superset box of a region: [lo, hi+1].
+Box superset(const Box& b) { return {b.lo(), b.hi() + IntVect::unit(1)}; }
+
+/// The 4 cell reads of one EvalFlux1 application at the face whose
+/// high-side cell is (i,j,k) in direction d.
+void readStencil(CacheSim& sim, const VirtualFab& fab, int c, int i, int j,
+                 int k, int d) {
+  const IntVect e = IntVect::basis(d);
+  sim.read(fab.addr(i - 2 * e[0], j - 2 * e[1], k - 2 * e[2], c));
+  sim.read(fab.addr(i - e[0], j - e[1], k - e[2], c));
+  sim.read(fab.addr(i, j, k, c));
+  sim.read(fab.addr(i + e[0], j + e[1], k + e[2], c));
+}
+
+/// Series-of-loops (baseline) trace over region `cells`, with temporaries
+/// `flux`/`vel` shaped to the region (whole box for the baseline variants,
+/// a tile for Basic-Sched OT). CLO skips the velocity temporary.
+void traceSeriesOfLoops(CacheSim& sim, const BoxSpace& space,
+                        const VirtualFab& flux, const VirtualFab& vel,
+                        const Box& cells, ComponentLoop comp) {
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const Box fb = cells.faceBox(d);
+    const int vd = velocityComp(d);
+    const std::int64_t fs = d == 0 ? 1 : (d == 1 ? flux.sy : flux.sz);
+    // EvalFlux1 pass(es).
+    auto facePhi = [&](int c) {
+      forEachCell(fb, [&](int i, int j, int k) {
+        readStencil(sim, space.phi0, c, i, j, k, d);
+        sim.write(flux.addr(i, j, k, c));
+      });
+    };
+    if (comp == ComponentLoop::Outside) {
+      for (int c = 0; c < kNumComp; ++c) {
+        facePhi(c);
+      }
+    } else {
+      forEachCell(fb, [&](int i, int j, int k) {
+        for (int c = 0; c < kNumComp; ++c) {
+          readStencil(sim, space.phi0, c, i, j, k, d);
+          sim.write(flux.addr(i, j, k, c));
+        }
+      });
+      // CLI velocity copy.
+      forEachCell(fb, [&](int i, int j, int k) {
+        sim.read(flux.addr(i, j, k, vd));
+        sim.write(vel.addr(i, j, k, 0));
+      });
+    }
+    // EvalFlux2 + accumulate pass(es).
+    auto flux2 = [&](int c) {
+      forEachCell(fb, [&](int i, int j, int k) {
+        sim.read(flux.addr(i, j, k, c));
+        sim.read(comp == ComponentLoop::Outside ? flux.addr(i, j, k, vd)
+                                                : vel.addr(i, j, k, 0));
+        sim.write(flux.addr(i, j, k, c));
+      });
+    };
+    auto accumulate = [&](int c) {
+      forEachCell(cells, [&](int i, int j, int k) {
+        const std::uint64_t f = flux.addr(i, j, k, c);
+        sim.read(f);
+        sim.read(f + static_cast<std::uint64_t>(fs) * 8);
+        sim.read(space.phi1.addr(i, j, k, c));
+        sim.write(space.phi1.addr(i, j, k, c));
+      });
+    };
+    if (comp == ComponentLoop::Outside) {
+      for (int c = 0; c < kNumComp; ++c) {
+        flux2(c);
+        accumulate(c);
+      }
+    } else {
+      forEachCell(fb, [&](int i, int j, int k) {
+        for (int c = 0; c < kNumComp; ++c) {
+          sim.read(flux.addr(i, j, k, c));
+          sim.read(vel.addr(i, j, k, 0));
+          sim.write(flux.addr(i, j, k, c));
+        }
+      });
+      forEachCell(cells, [&](int i, int j, int k) {
+        for (int c = 0; c < kNumComp; ++c) {
+          const std::uint64_t f = flux.addr(i, j, k, c);
+          sim.read(f);
+          sim.read(f + static_cast<std::uint64_t>(fs) * 8);
+          sim.read(space.phi1.addr(i, j, k, c));
+          sim.write(space.phi1.addr(i, j, k, c));
+        }
+      });
+    }
+  }
+}
+
+/// Shift-fuse trace over `cells` with carry temporaries at `carryBase`
+/// (scalar + row + plane, as in the serial executor). Models the CLO
+/// variant's velocity precompute when comp == Outside; the interior fused
+/// sweep reads the three high-face stencils per (cell, component).
+void traceShiftFuse(CacheSim& sim, const BoxSpace& space,
+                    const VirtualFab& vel, std::uint64_t carryBase,
+                    const Box& cells, ComponentLoop comp) {
+  const int nx = cells.size(0);
+  const std::uint64_t rowBase = carryBase + 8 * kNumComp;
+  const std::uint64_t planeBase =
+      rowBase + 8 * static_cast<std::uint64_t>(nx) * kNumComp;
+
+  if (comp == ComponentLoop::Outside) {
+    // Velocity precompute for all three directions.
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      forEachCell(cells.faceBox(d), [&](int i, int j, int k) {
+        readStencil(sim, space.phi0, velocityComp(d), i, j, k, d);
+        sim.write(vel.addr(i, j, k, d));
+      });
+    }
+  }
+
+  auto fusedCell = [&](int c, int i, int j, int k) {
+    const int ii = i - cells.lo(0);
+    const int jj = j - cells.lo(1);
+    const IntVect hi[3] = {{i + 1, j, k}, {i, j + 1, k}, {i, j, k + 1}};
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      readStencil(sim, space.phi0, c, hi[d][0], hi[d][1], hi[d][2], d);
+      if (comp == ComponentLoop::Outside) {
+        sim.read(vel.addr(hi[d][0], hi[d][1], hi[d][2], d));
+      } else {
+        readStencil(sim, space.phi0, velocityComp(d), hi[d][0], hi[d][1],
+                    hi[d][2], d);
+      }
+    }
+    // Carry traffic: read low-face fluxes, write high-face fluxes.
+    const std::uint64_t cx = carryBase + 8 * static_cast<std::uint64_t>(c);
+    const std::uint64_t cy =
+        rowBase + 8 * (static_cast<std::uint64_t>(ii) * kNumComp + c);
+    const std::uint64_t cz =
+        planeBase +
+        8 * ((static_cast<std::uint64_t>(jj) * nx + ii) * kNumComp + c);
+    sim.read(cx);
+    sim.read(cy);
+    sim.read(cz);
+    sim.write(cx);
+    sim.write(cy);
+    sim.write(cz);
+    // Accumulation read-modify-write.
+    sim.read(space.phi1.addr(i, j, k, c));
+    sim.write(space.phi1.addr(i, j, k, c));
+  };
+
+  if (comp == ComponentLoop::Outside) {
+    for (int c = 0; c < kNumComp; ++c) {
+      forEachCell(cells,
+                  [&](int i, int j, int k) { fusedCell(c, i, j, k); });
+    }
+  } else {
+    forEachCell(cells, [&](int i, int j, int k) {
+      for (int c = 0; c < kNumComp; ++c) {
+        fusedCell(c, i, j, k);
+      }
+    });
+  }
+}
+
+} // namespace
+
+VirtualFab::VirtualFab(std::uint64_t baseAddr, const grid::Box& b, int)
+    : base(baseAddr), box(b), sy(b.size(0)),
+      sz(static_cast<std::int64_t>(b.size(0)) * b.size(1)),
+      sc(static_cast<std::int64_t>(b.size(0)) * b.size(1) * b.size(2)) {}
+
+void traceBoxEvaluation(CacheSim& sim, const core::VariantConfig& cfg,
+                        int n) {
+  if (!cfg.validFor(n)) {
+    throw std::invalid_argument("traceBoxEvaluation: invalid config");
+  }
+  switch (cfg.family) {
+  case ScheduleFamily::SeriesOfLoops: {
+    BoxSpace space(n, superset(Box::cube(n)));
+    traceSeriesOfLoops(sim, space, space.flux, space.vel, space.valid,
+                       cfg.comp);
+    return;
+  }
+  case ScheduleFamily::ShiftFuse: {
+    BoxSpace space(n, superset(Box::cube(n)));
+    // Carries live after the velocity temporary.
+    const std::uint64_t carryBase = space.vel.base + space.vel.bytes(3);
+    traceShiftFuse(sim, space, space.vel, carryBase, space.valid, cfg.comp);
+    return;
+  }
+  case ScheduleFamily::BlockedWavefront:
+  case ScheduleFamily::OverlappedTiles: {
+    // Tile-shaped temporaries, reused across tiles (serial model). The
+    // blocked wavefront shares boundary fluxes through co-dimension
+    // caches; modelling them as the same reused tile temporaries slightly
+    // understates its cache footprint, which the ordering tests tolerate.
+    const auto e = core::tileExtents(cfg, n);
+    const Box tmpBox = superset(
+        Box(IntVect::zero(), IntVect(e[0] - 1, e[1] - 1, e[2] - 1)));
+    BoxSpace space(n, tmpBox);
+    const sched::TileSet tiles(space.valid,
+                               IntVect(e[0], e[1], e[2]));
+    const std::uint64_t carryBase = space.vel.base + space.vel.bytes(3);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const Box tb = tiles.tileBox(t);
+      // Shift the temporary windows onto this tile so address arithmetic
+      // stays in-bounds while storage is reused tile to tile.
+      VirtualFab flux = space.flux;
+      flux.box = superset(tb);
+      VirtualFab vel = space.vel;
+      vel.box = superset(tb);
+      if (cfg.family == ScheduleFamily::OverlappedTiles &&
+          cfg.intra == IntraTileSchedule::Basic) {
+        traceSeriesOfLoops(sim, space, flux, vel, tb, cfg.comp);
+      } else {
+        traceShiftFuse(sim, space, vel, carryBase, tb, cfg.comp);
+      }
+    }
+    return;
+  }
+  }
+}
+
+} // namespace fluxdiv::memmodel

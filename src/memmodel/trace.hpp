@@ -1,0 +1,43 @@
+#pragma once
+// Memory-access trace generators: replay the address stream of one box
+// evaluation under each schedule family into a CacheSim. The generators
+// mirror the loop structure of the core executors (component loop outside,
+// interior cells; the O(N^2) sweep-boundary special cases are elided) over
+// a virtual address space laid out exactly like the real FArrayBoxes.
+// They are a *model* of the executors, kept in sync by the
+// tests/memmodel/test_traffic.cpp ordering checks.
+
+#include "core/variant.hpp"
+#include "grid/box.hpp"
+#include "memmodel/cache_sim.hpp"
+
+namespace fluxdiv::memmodel {
+
+/// A fab-shaped window of the virtual address space.
+struct VirtualFab {
+  std::uint64_t base = 0; ///< byte address of the box-lo element of comp 0
+  grid::Box box;
+  std::int64_t sy = 0, sz = 0, sc = 0; ///< strides in elements
+
+  VirtualFab() = default;
+  VirtualFab(std::uint64_t baseAddr, const grid::Box& b, int ncomp);
+
+  [[nodiscard]] std::uint64_t bytes(int ncomp) const {
+    return static_cast<std::uint64_t>(sc) * ncomp * 8;
+  }
+
+  [[nodiscard]] std::uint64_t addr(int i, int j, int k, int c) const {
+    const std::int64_t off =
+        (i - box.lo(0)) + sy * static_cast<std::int64_t>(j - box.lo(1)) +
+        sz * static_cast<std::int64_t>(k - box.lo(2)) + sc * c;
+    return base + static_cast<std::uint64_t>(off) * 8;
+  }
+};
+
+/// Replay one box evaluation (side N, kNumComp components, kNumGhost
+/// ghosts) under `cfg` into `sim`. Tiled families use cfg.tileSize.
+/// Traces model the serial (one-thread) execution of the schedule.
+void traceBoxEvaluation(CacheSim& sim, const core::VariantConfig& cfg,
+                        int n);
+
+} // namespace fluxdiv::memmodel

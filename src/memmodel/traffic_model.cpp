@@ -1,0 +1,149 @@
+#include "memmodel/traffic_model.hpp"
+
+#include <cmath>
+
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::memmodel {
+
+namespace {
+
+using core::ComponentLoop;
+using core::ScheduleFamily;
+using core::VariantConfig;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+constexpr double kReal = 8.0; // sizeof(Real)
+constexpr double kC = kNumComp;
+
+double cube(double x) { return x * x * x; }
+
+/// Compulsory traffic floor per box: every ghosted phi0 value read once,
+/// every phi1 value read and written once.
+double compulsoryBytes(int n) {
+  const double ghosted = cube(n + 2.0 * kNumGhost);
+  return kReal * kC * (ghosted + 2.0 * cube(n));
+}
+
+} // namespace
+
+double workingSetBytes(const VariantConfig& cfg, int n) {
+  const double ghosted = kReal * kC * cube(n + 2.0 * kNumGhost);
+  const double out = kReal * kC * cube(n);
+  const double faces = cube(n + 1.0);
+  switch (cfg.family) {
+  case ScheduleFamily::SeriesOfLoops:
+    // Solution + C-component flux temporary (+ velocity for CLI).
+    return ghosted + out + kReal * (kC + (cfg.comp == ComponentLoop::Inside
+                                              ? 1.0
+                                              : 0.0)) * faces;
+  case ScheduleFamily::ShiftFuse:
+    // Solution + plane/row/scalar carries (+ 3-direction velocity
+    // precompute for CLO).
+    return ghosted + out +
+           kReal * kC * (2.0 + 2.0 * n + 2.0 * double(n) * n) +
+           (cfg.comp == ComponentLoop::Outside ? kReal * 3.0 * faces : 0.0);
+  case ScheduleFamily::BlockedWavefront: {
+    // Active tile + co-dimension caches (tile extents honor the aspect).
+    const auto e = core::tileExtents(cfg, n);
+    const double tileCells = double(e[0]) * e[1] * e[2];
+    const double tileGhosted = (e[0] + 2.0 * kNumGhost) *
+                               (e[1] + 2.0 * kNumGhost) *
+                               (e[2] + 2.0 * kNumGhost);
+    const double tileData = kReal * kC * (tileGhosted + tileCells);
+    const double entries = cfg.comp == ComponentLoop::Inside ? kC : 1.0;
+    return tileData + kReal * entries * 3.0 * double(n) * n +
+           (cfg.comp == ComponentLoop::Outside ? kReal * 3.0 * faces : 0.0);
+  }
+  case ScheduleFamily::OverlappedTiles: {
+    const auto e = core::tileExtents(cfg, n);
+    const double tileCells = double(e[0]) * e[1] * e[2];
+    const double tileGhosted = (e[0] + 2.0 * kNumGhost) *
+                               (e[1] + 2.0 * kNumGhost) *
+                               (e[2] + 2.0 * kNumGhost);
+    const double tileFaces = (e[0] + 1.0) * (e[1] + 1.0) * (e[2] + 1.0);
+    // One thread's tile: ghosted input window + output + tile temporaries.
+    return kReal * kC * (tileGhosted + tileCells + 4.0 * tileFaces);
+  }
+  }
+  return 0.0;
+}
+
+TrafficEstimate estimateTraffic(const VariantConfig& cfg, int n,
+                                std::size_t cacheBytes) {
+  TrafficEstimate est;
+  est.workingSetBytes = workingSetBytes(cfg, n);
+  est.workingSetFits = est.workingSetBytes <= double(cacheBytes);
+
+  const double faces = cube(n + 1.0);
+  const double cells = cube(n);
+  const double ghosted = cube(n + 2.0 * kNumGhost);
+
+  if (est.workingSetFits) {
+    est.totalBytes = compulsoryBytes(n);
+    est.note = "working set fits in LLC: compulsory traffic only";
+  } else {
+    switch (cfg.family) {
+    case ScheduleFamily::SeriesOfLoops:
+      // Per direction: stream phi0 (EvalFlux1 reads), write + re-read +
+      // re-write + re-read the flux temporary across the three passes
+      // (with write-allocate fills), and read-modify-write phi1.
+      est.totalBytes =
+          3.0 * kReal *
+          (kC * ghosted           // EvalFlux1 streams phi0
+           + 4.0 * kC * faces     // flux: alloc+wb in pass 1, reread+wb
+           + 2.0 * kC * faces / 2 // accumulate rereads flux (half cached)
+           + 2.0 * kC * cells);   // phi1 RMW
+      est.note = "baseline: 3 direction passes, temporaries spill";
+      break;
+    case ScheduleFamily::ShiftFuse: {
+      // Fused sweep(s): phi0 is streamed once per sweep if the z-stencil's
+      // ~5-plane reuse window fits in cache, else each direction's stencil
+      // refetches it (3x). Carries stay resident; phi1 is RMW'd once.
+      const double ghosted1 = ghosted; // one component's ghosted volume
+      if (cfg.comp == ComponentLoop::Inside) {
+        const double window = kReal * kC * 5.0 * double(n) * n;
+        const double streams = window <= double(cacheBytes) ? 1.0 : 3.0;
+        est.totalBytes = kReal * (kC * streams * ghosted1 // phi0 stencils
+                                  + 2.0 * kC * cells);    // phi1 RMW
+      } else {
+        // CLO: a velocity precompute pass (read phi0's 3 velocity comps,
+        // write 3 face fields) plus C per-component fused sweeps that
+        // each stream phi0[c] and re-read the 3 velocity face fields.
+        const double window = kReal * 5.0 * double(n) * n;
+        const double streams = window <= double(cacheBytes) ? 1.0 : 3.0;
+        est.totalBytes =
+            kReal * (3.0 * ghosted1 + 3.0 * faces) // velocity precompute
+            + kC * kReal *
+                  (streams * ghosted1   // phi0[c] stencil stream
+                   + 3.0 * faces        // velocity re-reads
+                   + 2.0 * cells);      // phi1 RMW
+      }
+      est.note = "shift-fuse: fused sweep(s), carries resident";
+      break;
+    }
+    case ScheduleFamily::BlockedWavefront:
+    case ScheduleFamily::OverlappedTiles: {
+      // Per tile: ghosted tile window of phi0 + phi1 RMW; tile
+      // temporaries stay in cache. Overlap factor accounts for the halo
+      // re-reads (OT recomputation) or boundary-cache traffic (WF).
+      const auto e = core::tileExtents(cfg, n);
+      const double nTiles = (double(n) / e[0]) * (double(n) / e[1]) *
+                            (double(n) / e[2]);
+      const double tileCells = double(e[0]) * e[1] * e[2];
+      const double tileGhosted = (e[0] + 2.0 * kNumGhost) *
+                                 (e[1] + 2.0 * kNumGhost) *
+                                 (e[2] + 2.0 * kNumGhost);
+      est.totalBytes =
+          kReal * kC * nTiles * (tileGhosted + 2.0 * tileCells);
+      est.note = "tiled: per-tile compulsory traffic with halo overlap";
+      break;
+    }
+    }
+  }
+  est.bytesPerCell = est.totalBytes / cells;
+  return est;
+}
+
+} // namespace fluxdiv::memmodel

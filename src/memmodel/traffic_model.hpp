@@ -1,0 +1,37 @@
+#pragma once
+// Analytic DRAM-traffic model: closed-form bytes-per-cell-update estimates
+// for each schedule family as a function of box size and last-level cache
+// capacity. This is the large-N companion of the trace-driven CacheSim
+// (which is exact but too slow for N = 128 sweeps); the two are
+// cross-validated in tests/memmodel/test_traffic.cpp. It reproduces the
+// paper's Sec. VI-B reasoning: the baseline's temporaries fall out of
+// cache at N = 128 and its bandwidth demand roughly quadruples, while
+// shift-fuse roughly halves it and tiled schedules approach the
+// compulsory-traffic floor.
+
+#include <cstddef>
+#include <string>
+
+#include "core/variant.hpp"
+
+namespace fluxdiv::memmodel {
+
+/// Estimated DRAM traffic for one box evaluation.
+struct TrafficEstimate {
+  double totalBytes = 0.0;   ///< per box evaluation
+  double bytesPerCell = 0.0; ///< totalBytes / N^3
+  bool workingSetFits = false;
+  double workingSetBytes = 0.0;
+  std::string note; ///< which regime/formula produced the estimate
+};
+
+/// Working-set bytes of one box evaluation under `cfg` (solution data the
+/// schedule streams plus its temporaries).
+double workingSetBytes(const core::VariantConfig& cfg, int n);
+
+/// Estimate DRAM traffic for one evaluation of an n^3 box under `cfg` on a
+/// machine whose last-level cache holds `cacheBytes`.
+TrafficEstimate estimateTraffic(const core::VariantConfig& cfg, int n,
+                                std::size_t cacheBytes);
+
+} // namespace fluxdiv::memmodel

@@ -1,0 +1,44 @@
+#pragma once
+// Work partitioning helpers for the two parallel granularities in the study:
+// "P >= Box" (threads take whole boxes) and "P < Box" (threads split a box
+// into z-slabs or take tiles). These are thin, testable wrappers around the
+// index arithmetic so every executor partitions identically.
+
+#include <cstdint>
+#include <utility>
+
+#include "grid/box.hpp"
+
+namespace fluxdiv::sched {
+
+/// Contiguous sub-range [begin, end) of `total` items assigned to worker
+/// `rank` of `nWorkers` under a balanced static partition (the first
+/// `total % nWorkers` workers get one extra item).
+[[nodiscard]] constexpr std::pair<std::int64_t, std::int64_t>
+staticSlice(std::int64_t total, int nWorkers, int rank) {
+  const std::int64_t base = total / nWorkers;
+  const std::int64_t extra = total % nWorkers;
+  const std::int64_t begin =
+      rank * base + (rank < extra ? rank : extra);
+  const std::int64_t size = base + (rank < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// The z-slab of `box` assigned to worker `rank` of `nWorkers` (may be
+/// empty). Slabs partition the box exactly: the baseline "parallelism
+/// within a box" granularity (paper Sec. III-C tests z-slices).
+[[nodiscard]] inline grid::Box zSlab(const grid::Box& box, int nWorkers,
+                                     int rank) {
+  const auto [begin, end] =
+      staticSlice(box.size(2), nWorkers, rank);
+  if (begin >= end) {
+    return {};
+  }
+  grid::IntVect lo = box.lo();
+  grid::IntVect hi = box.hi();
+  lo[2] = box.lo(2) + static_cast<int>(begin);
+  hi[2] = box.lo(2) + static_cast<int>(end) - 1;
+  return {lo, hi};
+}
+
+} // namespace fluxdiv::sched

@@ -1,0 +1,83 @@
+#include "sched/tiles.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fluxdiv::sched {
+
+TileSet::TileSet(const Box& box, const IntVect& tileSize)
+    : box_(box), tileSize_(tileSize) {
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    if (tileSize[d] <= 0) {
+      throw std::invalid_argument("TileSet: tile size must be > 0");
+    }
+    nTiles_[d] = (box.size(d) + tileSize[d] - 1) / tileSize[d];
+  }
+}
+
+IntVect TileSet::tileCoords(std::size_t idx) const {
+  const auto i = static_cast<std::int64_t>(idx);
+  const std::int64_t nx = nTiles_[0];
+  const std::int64_t ny = nTiles_[1];
+  return {static_cast<int>(i % nx), static_cast<int>((i / nx) % ny),
+          static_cast<int>(i / (nx * ny))};
+}
+
+Box TileSet::tileBox(const IntVect& coords) const {
+  IntVect lo = box_.lo();
+  IntVect hi;
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    lo[d] += coords[d] * tileSize_[d];
+    hi[d] = std::min(lo[d] + tileSize_[d] - 1, box_.hi(d));
+  }
+  return {lo, hi};
+}
+
+namespace {
+
+/// Interleave the low 21 bits of (x, y, z) into a Morton code.
+std::uint64_t mortonCode(const IntVect& c) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff; // 21 bits
+    v = (v | (v << 32)) & 0x1f00000000ffffull;
+    v = (v | (v << 16)) & 0x1f0000ff0000ffull;
+    v = (v | (v << 8)) & 0x100f00f00f00f00full;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+    v = (v | (v << 2)) & 0x1249249249249249ull;
+    return v;
+  };
+  return spread(static_cast<std::uint64_t>(c[0])) |
+         (spread(static_cast<std::uint64_t>(c[1])) << 1) |
+         (spread(static_cast<std::uint64_t>(c[2])) << 2);
+}
+
+} // namespace
+
+std::vector<std::size_t> tileTraversal(const TileSet& tiles,
+                                       TileOrder order) {
+  std::vector<std::size_t> perm(tiles.size());
+  for (std::size_t t = 0; t < perm.size(); ++t) {
+    perm[t] = t;
+  }
+  if (order == TileOrder::Morton) {
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return mortonCode(tiles.tileCoords(a)) <
+             mortonCode(tiles.tileCoords(b));
+    });
+  }
+  return perm;
+}
+
+TileWavefronts::TileWavefronts(const TileSet& tiles) {
+  const IntVect n = tiles.gridSize();
+  const std::size_t nFronts =
+      static_cast<std::size_t>(n[0] + n[1] + n[2] - 2);
+  fronts_.resize(nFronts);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    fronts_[static_cast<std::size_t>(tiles.tileCoords(t).sum())].push_back(
+        t);
+  }
+}
+
+} // namespace fluxdiv::sched

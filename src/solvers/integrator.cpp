@@ -1,0 +1,135 @@
+#include "solvers/integrator.hpp"
+
+#include <stdexcept>
+
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::solvers {
+
+using grid::DisjointBoxLayout;
+using grid::FArrayBox;
+using grid::LevelData;
+using grid::Real;
+
+void copyValid(const LevelData& src, LevelData& dst) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < src.size(); ++b) {
+    dst[b].copy(src[b], src.validBox(b), 0, 0, src.nComp());
+  }
+}
+
+void addScaled(LevelData& dst, const LevelData& src, Real scale) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < dst.size(); ++b) {
+    dst[b].plus(src[b], scale, dst.validBox(b));
+  }
+}
+
+void scaleValid(LevelData& dst, Real scale) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < dst.size(); ++b) {
+    FArrayBox& fab = dst[b];
+    const grid::Box valid = dst.validBox(b);
+    for (int c = 0; c < dst.nComp(); ++c) {
+      Real* p = fab.dataPtr(c);
+      forEachCell(valid, [&](int i, int j, int k) {
+        p[fab.offset(i, j, k)] *= scale;
+      });
+    }
+  }
+}
+
+namespace {
+
+int stageCount(Scheme scheme) {
+  switch (scheme) {
+  case Scheme::ForwardEuler:
+    return 1; // k1
+  case Scheme::Midpoint:
+  case Scheme::SSPRK3:
+    return 2; // k, staging state
+  case Scheme::RK4:
+    return 3; // k_i, accumulator, staging state
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+} // namespace
+
+TimeIntegrator::TimeIntegrator(Scheme scheme,
+                               const DisjointBoxLayout& layout)
+    : scheme_(scheme) {
+  const int n = stageCount(scheme);
+  stages_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stages_.emplace_back(layout, kernels::kNumComp, kernels::kNumGhost);
+  }
+}
+
+void TimeIntegrator::advance(LevelData& u, Real dt, FluxDivRhs& rhs) {
+  switch (scheme_) {
+  case Scheme::ForwardEuler: {
+    LevelData& k1 = stages_[0];
+    rhs(u, k1);
+    addScaled(u, k1, dt);
+    return;
+  }
+  case Scheme::Midpoint: {
+    LevelData& k = stages_[0];
+    LevelData& mid = stages_[1];
+    rhs(u, k); // k1 = f(u)
+    copyValid(u, mid);
+    addScaled(mid, k, 0.5 * dt); // mid = u + dt/2 k1
+    rhs(mid, k);                 // k2 = f(mid)
+    addScaled(u, k, dt);         // u += dt k2
+    return;
+  }
+  case Scheme::SSPRK3: {
+    // Shu-Osher form: u1 = u + dt f(u);
+    // u2 = 3/4 u + 1/4 u1 + 1/4 dt f(u1);
+    // u  = 1/3 u + 2/3 u2 + 2/3 dt f(u2).
+    LevelData& k = stages_[0];
+    LevelData& s1 = stages_[1];
+    rhs(u, k);
+    copyValid(u, s1);
+    addScaled(s1, k, dt); // u1
+    rhs(s1, k);
+    scaleValid(s1, 0.25);
+    addScaled(s1, u, 0.75);
+    addScaled(s1, k, 0.25 * dt); // u2
+    rhs(s1, k);
+    scaleValid(u, 1.0 / 3.0);
+    addScaled(u, s1, 2.0 / 3.0);
+    addScaled(u, k, 2.0 / 3.0 * dt);
+    return;
+  }
+  case Scheme::RK4: {
+    LevelData& k = stages_[0];
+    LevelData& acc = stages_[1];
+    LevelData& stage = stages_[2];
+
+    rhs(u, k); // k1
+    copyValid(k, acc);
+    copyValid(u, stage);
+    addScaled(stage, k, 0.5 * dt);
+
+    rhs(stage, k); // k2
+    addScaled(acc, k, 2.0);
+    copyValid(u, stage);
+    addScaled(stage, k, 0.5 * dt);
+
+    rhs(stage, k); // k3
+    addScaled(acc, k, 2.0);
+    copyValid(u, stage);
+    addScaled(stage, k, dt);
+
+    rhs(stage, k); // k4
+    addScaled(acc, k, 1.0);
+
+    addScaled(u, acc, dt / 6.0);
+    return;
+  }
+  }
+}
+
+} // namespace fluxdiv::solvers

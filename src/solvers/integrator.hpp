@@ -1,0 +1,65 @@
+#pragma once
+// Explicit time integrators over LevelData (method of lines). Chombo-class
+// frameworks advance time-dependent PDEs with exactly these schemes; the
+// integrator is schedule-agnostic — any FluxDivRhs (hence any scheduling
+// variant) plugs in.
+
+#include <vector>
+
+#include "grid/leveldata.hpp"
+#include "solvers/rhs.hpp"
+
+namespace fluxdiv::solvers {
+
+/// Explicit Runge-Kutta scheme selector.
+enum class Scheme {
+  ForwardEuler, ///< 1st order: u += dt k1
+  Midpoint,     ///< 2nd order (RK2 midpoint)
+  SSPRK3,       ///< 3rd order strong-stability-preserving (Shu-Osher)
+  RK4,          ///< classic 4th order
+};
+
+/// Formal order of accuracy of a scheme.
+constexpr int schemeOrder(Scheme s) {
+  switch (s) {
+  case Scheme::ForwardEuler:
+    return 1;
+  case Scheme::Midpoint:
+    return 2;
+  case Scheme::SSPRK3:
+    return 3;
+  case Scheme::RK4:
+    return 4;
+  }
+  return 0;
+}
+
+/// Copy the valid region of `src` into `dst` (same layout).
+void copyValid(const grid::LevelData& src, grid::LevelData& dst);
+
+/// dst += scale * src over valid regions (same layout).
+void addScaled(grid::LevelData& dst, const grid::LevelData& src,
+               grid::Real scale);
+
+/// dst *= scale over valid regions.
+void scaleValid(grid::LevelData& dst, grid::Real scale);
+
+/// Explicit RK integrator with preallocated stage storage.
+class TimeIntegrator {
+public:
+  /// Stage storage is allocated on `layout` with the exemplar's component
+  /// and ghost counts.
+  TimeIntegrator(Scheme scheme, const grid::DisjointBoxLayout& layout);
+
+  [[nodiscard]] Scheme scheme() const { return scheme_; }
+
+  /// Advance u by one step of size dt: u <- u + dt * combination of
+  /// rhs evaluations per the scheme.
+  void advance(grid::LevelData& u, grid::Real dt, FluxDivRhs& rhs);
+
+private:
+  Scheme scheme_;
+  std::vector<grid::LevelData> stages_; ///< k_i and the staging state
+};
+
+} // namespace fluxdiv::solvers

@@ -1,0 +1,80 @@
+#include "tuner/autotuner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "harness/machine.hpp"
+#include "harness/timer.hpp"
+#include "memmodel/traffic_model.hpp"
+
+namespace fluxdiv::tuner {
+
+using grid::LevelData;
+
+std::vector<TuneMeasurement> TuneResult::ranked() const {
+  std::vector<TuneMeasurement> sorted = measurements;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TuneMeasurement& a, const TuneMeasurement& b) {
+              if (a.pruned != b.pruned) {
+                return !a.pruned;
+              }
+              return a.seconds < b.seconds;
+            });
+  return sorted;
+}
+
+TuneResult autotune(const LevelData& phi0, LevelData& phi1,
+                    const TuneOptions& options) {
+  const int boxSize = phi0.layout().boxSize()[0];
+  std::size_t cacheBytes = options.cacheBytes;
+  if (cacheBytes == 0) {
+    cacheBytes = harness::lastLevelCacheBytes(harness::queryMachine());
+    if (cacheBytes == 0) {
+      cacheBytes = 8 * 1024 * 1024; // conservative fallback
+    }
+  }
+
+  TuneResult result;
+  double bestPrediction = std::numeric_limits<double>::infinity();
+  for (const core::VariantConfig& cfg : core::enumerateVariants(boxSize)) {
+    TuneMeasurement m;
+    m.cfg = cfg;
+    m.predictedBytesPerCell =
+        memmodel::estimateTraffic(cfg, boxSize, cacheBytes).bytesPerCell;
+    bestPrediction = std::min(bestPrediction, m.predictedBytesPerCell);
+    result.measurements.push_back(m);
+  }
+
+  double bestSeconds = std::numeric_limits<double>::infinity();
+  for (TuneMeasurement& m : result.measurements) {
+    if (options.modelPruning &&
+        m.predictedBytesPerCell >
+            options.pruneFactor * bestPrediction) {
+      m.pruned = true;
+      ++result.prunedCount;
+      continue;
+    }
+    core::FluxDivRunner runner(m.cfg, options.threads);
+    double best = 0.0;
+    for (int r = 0; r < options.reps + 1; ++r) { // r == 0 is warm-up
+      for (std::size_t b = 0; b < phi1.size(); ++b) {
+        phi1[b].setVal(0.0);
+      }
+      harness::Timer t;
+      runner.run(phi0, phi1);
+      const double s = t.seconds();
+      if (r == 1 || (r > 1 && s < best)) {
+        best = s;
+      }
+    }
+    m.seconds = best;
+    if (best < bestSeconds) {
+      bestSeconds = best;
+      result.best = m.cfg;
+      result.bestSeconds = best;
+    }
+  }
+  return result;
+}
+
+} // namespace fluxdiv::tuner

@@ -1,0 +1,52 @@
+#pragma once
+// Empirical schedule auto-tuner — the paper's concluding direction
+// (Sec. VII: "determine ways to automate the automatic implementation,
+// selection, and tuning of such inter-loop program optimizations").
+// Candidates come from the variant registry; an optional model-based
+// pruning pass drops schedules whose predicted DRAM traffic is far above
+// the best prediction before anything is timed.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/variant.hpp"
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::tuner {
+
+/// Tuning knobs.
+struct TuneOptions {
+  int threads = 1;
+  int reps = 3;            ///< timed repetitions per candidate (min kept)
+  bool modelPruning = true;
+  double pruneFactor = 3.0; ///< keep candidates within this x of the best
+                            ///< predicted traffic
+  std::size_t cacheBytes = 0; ///< LLC size for the model; 0 = probe host
+};
+
+/// One candidate's outcome.
+struct TuneMeasurement {
+  core::VariantConfig cfg;
+  double seconds = 0.0;       ///< min over reps; 0 if pruned
+  double predictedBytesPerCell = 0.0;
+  bool pruned = false;
+};
+
+/// Tuning outcome: the winner plus the full measurement record.
+struct TuneResult {
+  core::VariantConfig best;
+  double bestSeconds = 0.0;
+  std::vector<TuneMeasurement> measurements;
+  int prunedCount = 0;
+
+  /// Measurements sorted fastest-first (pruned candidates last).
+  [[nodiscard]] std::vector<TuneMeasurement> ranked() const;
+};
+
+/// Time the registry's variants on (phi0, phi1) and return the fastest.
+/// phi0 must be initialized and exchanged; phi1 is clobbered.
+TuneResult autotune(const grid::LevelData& phi0, grid::LevelData& phi1,
+                    const TuneOptions& options = {});
+
+} // namespace fluxdiv::tuner

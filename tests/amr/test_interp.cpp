@@ -1,0 +1,135 @@
+#include "amr/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::amr {
+namespace {
+
+TEST(BoxRefinement, RefineCoarsenRoundTrip) {
+  const Box coarse(IntVect(1, 2, 3), IntVect(4, 5, 6));
+  const Box fine = refine(coarse, 2);
+  EXPECT_EQ(fine.lo(), IntVect(2, 4, 6));
+  EXPECT_EQ(fine.hi(), IntVect(9, 11, 13));
+  EXPECT_EQ(fine.numPts(), coarse.numPts() * 8);
+  EXPECT_EQ(coarsen(fine, 2), coarse);
+}
+
+TEST(BoxRefinement, RefineByOneIsIdentity) {
+  const Box b = Box::cube(8, IntVect(-4, 0, 4));
+  EXPECT_EQ(refine(b, 1), b);
+  EXPECT_EQ(coarsen(b, 1), b);
+}
+
+TEST(BoxRefinement, CoarsenRejectsMisalignedBoxes) {
+  EXPECT_THROW((void)coarsen(Box(IntVect(1, 0, 0), IntVect(4, 3, 3)), 2),
+               std::invalid_argument);
+}
+
+TEST(BoxRefinement, CoarsenIndexHandlesNegatives) {
+  EXPECT_EQ(coarsenIndex(IntVect(-1, -2, -4), 2), IntVect(-1, -1, -2));
+  EXPECT_EQ(coarsenIndex(IntVect(3, 0, 5), 2), IntVect(1, 0, 2));
+  EXPECT_EQ(coarsenIndex(IntVect(-3, 7, -8), 4), IntVect(-1, 1, -2));
+}
+
+TEST(Prolongation, ConstantInjectionCopiesParents) {
+  const Box coarse = Box::cube(4);
+  FArrayBox cf(coarse, 1);
+  forEachCell(coarse, [&](int i, int j, int k) {
+    cf(i, j, k, 0) = i + 10.0 * j + 100.0 * k;
+  });
+  const Box fine = refine(coarse, 2);
+  FArrayBox ff(fine, 1);
+  prolongConstant(cf, ff, fine, 2);
+  EXPECT_EQ(ff(0, 0, 0, 0), cf(0, 0, 0, 0));
+  EXPECT_EQ(ff(1, 1, 1, 0), cf(0, 0, 0, 0));
+  EXPECT_EQ(ff(7, 6, 5, 0), cf(3, 3, 2, 0));
+}
+
+TEST(Prolongation, LinearIsExactForLinearFields) {
+  const Box coarse = Box::cube(6).grow(1); // slopes need a halo
+  FArrayBox cf(coarse, 1);
+  auto linear = [](double x, double y, double z) {
+    return 2.0 * x - 3.0 * y + 0.5 * z + 7.0;
+  };
+  forEachCell(coarse, [&](int i, int j, int k) {
+    cf(i, j, k, 0) = linear(i + 0.5, j + 0.5, k + 0.5);
+  });
+  const int ratio = 2;
+  const Box fineRegion = refine(Box::cube(6), ratio);
+  FArrayBox ff(fineRegion, 1);
+  prolongLinear(cf, ff, fineRegion, ratio);
+  forEachCell(fineRegion, [&](int i, int j, int k) {
+    // Fine cell centers in coarse coordinates: (i + 1/2) / ratio.
+    const double expect = linear((i + 0.5) / ratio, (j + 0.5) / ratio,
+                                 (k + 0.5) / ratio);
+    ASSERT_NEAR(ff(i, j, k, 0), expect, 1e-12)
+        << i << ',' << j << ',' << k;
+  });
+}
+
+TEST(Prolongation, LinearPreservesParentAverages) {
+  const Box coarseInterior = Box::cube(4);
+  FArrayBox cf(coarseInterior.grow(1), 1);
+  forEachCell(cf.box(), [&](int i, int j, int k) {
+    cf(i, j, k, 0) = 1.0 + 0.3 * i - 0.2 * j * j + 0.05 * k * i;
+  });
+  const int ratio = 2;
+  const Box fine = refine(coarseInterior, ratio);
+  FArrayBox ff(fine, 1);
+  prolongLinear(cf, ff, fine, ratio);
+  // Average the children back: must equal the parent exactly (the slope
+  // contributions cancel by symmetry).
+  FArrayBox back(coarseInterior, 1);
+  restrictAverage(ff, back, coarseInterior, ratio);
+  EXPECT_LT(FArrayBox::maxAbsDiff(back, cf, coarseInterior), 1e-12);
+}
+
+TEST(Restriction, AverageOfConstantIsConstant) {
+  const Box coarse = Box::cube(3);
+  const Box fine = refine(coarse, 4);
+  FArrayBox ff(fine, 2);
+  ff.setVal(2.5);
+  FArrayBox cf(coarse, 2);
+  restrictAverage(ff, cf, coarse, 4);
+  forEachCell(coarse, [&](int i, int j, int k) {
+    ASSERT_EQ(cf(i, j, k, 0), 2.5);
+    ASSERT_EQ(cf(i, j, k, 1), 2.5);
+  });
+}
+
+TEST(Restriction, ConservesTheIntegral) {
+  // sum_fine = ratio^3 * sum_coarse after restriction (volume weights on
+  // a uniform grid) — the discrete conservation property.
+  const Box coarse = Box::cube(4);
+  const int ratio = 2;
+  const Box fine = refine(coarse, ratio);
+  FArrayBox ff(fine, 1);
+  forEachCell(fine, [&](int i, int j, int k) {
+    ff(i, j, k, 0) = 0.1 * i + 0.01 * j * k + ((i ^ j ^ k) & 3);
+  });
+  FArrayBox cf(coarse, 1);
+  restrictAverage(ff, cf, coarse, ratio);
+  const Real fineSum = ff.sum(fine, 0);
+  const Real coarseSum = cf.sum(coarse, 0);
+  EXPECT_NEAR(fineSum, coarseSum * ratio * ratio * ratio, 1e-9);
+}
+
+TEST(Transfer, RestrictionOfConstantProlongationIsIdentity) {
+  const Box coarse = Box::cube(5);
+  FArrayBox cf(coarse, 1);
+  forEachCell(coarse, [&](int i, int j, int k) {
+    cf(i, j, k, 0) = i * j + k + 0.25;
+  });
+  for (int ratio : {2, 3, 4}) {
+    const Box fine = refine(coarse, ratio);
+    FArrayBox ff(fine, 1);
+    prolongConstant(cf, ff, fine, ratio);
+    FArrayBox back(coarse, 1);
+    restrictAverage(ff, back, coarse, ratio);
+    EXPECT_LT(FArrayBox::maxAbsDiff(back, cf, coarse), 1e-12)
+        << "ratio " << ratio;
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::amr

@@ -1,0 +1,155 @@
+// Additional edge-condition equivalence checks beyond the main TEST_P
+// sweep: extra ghost layers, degenerate tile counts, zero scale, runner
+// reuse across problems, and the extension axes combined.
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+#include "kernels/reference.hpp"
+
+namespace fluxdiv::core {
+namespace {
+
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::LevelData;
+using grid::ProblemDomain;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+TEST(EquivalenceEdge, ExtraGhostLayersAreHarmless) {
+  // Frameworks often carry more ghosts than one operator needs (the
+  // paper: "between two and five ghost cells are required"). Variants
+  // must work with any nghost >= kNumGhost.
+  ProblemDomain dom(Box::cube(16));
+  DisjointBoxLayout dbl(dom, 8);
+  for (int nghost : {2, 3, 5}) {
+    LevelData phi0(dbl, kNumComp, nghost);
+    LevelData expected(dbl, kNumComp, nghost);
+    kernels::initializeExemplar(phi0);
+    kernels::referenceFluxDiv(phi0, expected);
+    for (const auto& cfg : {
+             makeBaseline(ParallelGranularity::WithinBox),
+             makeShiftFuse(ParallelGranularity::WithinBox,
+                           ComponentLoop::Inside),
+             makeBlockedWF(4, ParallelGranularity::WithinBox,
+                           ComponentLoop::Outside),
+             makeOverlapped(IntraTileSchedule::ShiftFuse, 4,
+                            ParallelGranularity::WithinBox),
+         }) {
+      LevelData actual(dbl, kNumComp, nghost);
+      FluxDivRunner runner(cfg, 2);
+      runner.run(phi0, actual);
+      EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12)
+          << cfg.name() << " nghost=" << nghost;
+    }
+  }
+}
+
+TEST(EquivalenceEdge, TileEqualToBoxDegeneratesGracefully) {
+  // tileSize == boxSize: a single tile per box. OT then equals its
+  // intra-tile schedule; blocked WF has a single-front wavefront.
+  ProblemDomain dom(Box::cube(8));
+  DisjointBoxLayout dbl(dom, 8);
+  LevelData phi0(dbl, kNumComp, kNumGhost);
+  LevelData expected(dbl, kNumComp, kNumGhost);
+  kernels::initializeExemplar(phi0);
+  kernels::referenceFluxDiv(phi0, expected);
+  for (auto family : {ScheduleFamily::BlockedWavefront,
+                      ScheduleFamily::OverlappedTiles}) {
+    VariantConfig cfg;
+    cfg.family = family;
+    cfg.intra = IntraTileSchedule::ShiftFuse;
+    cfg.par = ParallelGranularity::WithinBox;
+    cfg.comp = family == ScheduleFamily::BlockedWavefront
+                   ? ComponentLoop::Inside
+                   : ComponentLoop::Outside;
+    cfg.tileSize = 8;
+    ASSERT_TRUE(cfg.validFor(8));
+    LevelData actual(dbl, kNumComp, kNumGhost);
+    FluxDivRunner runner(cfg, 4);
+    runner.run(phi0, actual);
+    EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12)
+        << cfg.name();
+  }
+}
+
+TEST(EquivalenceEdge, ZeroScaleIsExactNoOp) {
+  ProblemDomain dom(Box::cube(8));
+  DisjointBoxLayout dbl(dom, 8);
+  LevelData phi0(dbl, kNumComp, kNumGhost);
+  kernels::initializeExemplar(phi0);
+  for (const auto& cfg : enumerateVariants(8)) {
+    LevelData out(dbl, kNumComp, kNumGhost);
+    FluxDivRunner runner(cfg, 2);
+    runner.run(phi0, out, 0.0);
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      for (int c = 0; c < kNumComp; ++c) {
+        forEachCell(out.validBox(b), [&](int i, int j, int k) {
+          ASSERT_EQ(out[b](i, j, k, c), 0.0) << cfg.name();
+        });
+      }
+    }
+  }
+}
+
+TEST(EquivalenceEdge, RunnerReusableAcrossProblemShapes) {
+  // The same runner instance (with its grown workspaces) must stay
+  // correct when applied to a different box size.
+  FluxDivRunner runner(
+      makeOverlapped(IntraTileSchedule::Basic, 4,
+                     ParallelGranularity::WithinBox),
+      2);
+  for (int boxSide : {16, 8, 12}) {
+    ProblemDomain dom(Box::cube(boxSide));
+    DisjointBoxLayout dbl(dom, boxSide);
+    LevelData phi0(dbl, kNumComp, kNumGhost);
+    LevelData expected(dbl, kNumComp, kNumGhost);
+    LevelData actual(dbl, kNumComp, kNumGhost);
+    kernels::initializeExemplar(phi0);
+    kernels::referenceFluxDiv(phi0, expected);
+    runner.run(phi0, actual);
+    EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12)
+        << "box " << boxSide;
+  }
+}
+
+TEST(EquivalenceEdge, AllExtensionAxesCombined) {
+  // Hybrid granularity + pencil aspect + Morton order, multi-box.
+  ProblemDomain dom(Box::cube(16));
+  DisjointBoxLayout dbl(dom, 8);
+  LevelData phi0(dbl, kNumComp, kNumGhost);
+  LevelData expected(dbl, kNumComp, kNumGhost);
+  kernels::initializeExemplar(phi0);
+  kernels::referenceFluxDiv(phi0, expected);
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::ShiftFuse, 4,
+                                     ParallelGranularity::HybridBoxTile);
+  cfg.aspect = TileAspect::Pencil;
+  cfg.order = TileOrder::Morton;
+  LevelData actual(dbl, kNumComp, kNumGhost);
+  FluxDivRunner runner(cfg, 3);
+  runner.run(phi0, actual);
+  EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12);
+}
+
+TEST(EquivalenceEdge, ManyThreadsOnTinyBoxes) {
+  // More threads than work at every granularity must stay correct.
+  ProblemDomain dom(Box::cube(8));
+  DisjointBoxLayout dbl(dom, 4); // boxes smaller than some tile sizes
+  LevelData phi0(dbl, kNumComp, kNumGhost);
+  LevelData expected(dbl, kNumComp, kNumGhost);
+  kernels::initializeExemplar(phi0);
+  kernels::referenceFluxDiv(phi0, expected);
+  for (const auto& cfg : enumerateVariants(4)) {
+    LevelData actual(dbl, kNumComp, kNumGhost);
+    FluxDivRunner runner(cfg, 16);
+    runner.run(phi0, actual);
+    EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12)
+        << cfg.name();
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::core

@@ -1,0 +1,149 @@
+// White-box tests of the executor internals shared by the schedule
+// families (exec_common/exec_fused).
+
+#include <gtest/gtest.h>
+
+#include "core/exec_common.hpp"
+#include "core/exec_fused.hpp"
+#include "kernels/init.hpp"
+
+namespace fluxdiv::core::detail {
+namespace {
+
+TEST(Idx, MatchesFArrayBoxOffsets) {
+  const Box b(IntVect(-2, 3, 7), IntVect(5, 9, 12));
+  FArrayBox fab(b, 2);
+  const Idx idx(fab);
+  forEachCell(b, [&](int i, int j, int k) {
+    ASSERT_EQ(idx(i, j, k), fab.offset(i, j, k));
+  });
+  EXPECT_EQ(idx.stride(0), 1);
+  EXPECT_EQ(idx.stride(1), fab.strideY());
+  EXPECT_EQ(idx.stride(2), fab.strideZ());
+}
+
+TEST(Comps, PointersMatchComponents) {
+  FArrayBox fab(Box::cube(4), kNumComp);
+  const ConstComps cc(fab);
+  const MutComps mc(fab);
+  for (int c = 0; c < kNumComp; ++c) {
+    EXPECT_EQ(cc[c], fab.dataPtr(c));
+    EXPECT_EQ(mc[c], fab.dataPtr(c));
+  }
+}
+
+TEST(FaceSupersetBox, ContainsEveryFaceBox) {
+  const Box b = Box::cube(8, IntVect(3, 3, 3));
+  const Box super = faceSupersetBox(b);
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    EXPECT_TRUE(super.contains(b.faceBox(d)));
+  }
+  EXPECT_EQ(super.numPts(), 9 * 9 * 9);
+}
+
+TEST(PrecomputeFaceVelocity, MatchesDirectEvalFlux1) {
+  const Box valid = Box::cube(6);
+  FArrayBox phi0(valid.grow(kNumGhost), kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+  FArrayBox vel(faceSupersetBox(valid), 3);
+  precomputeFaceVelocity(phi0, vel, valid, 1, 0);
+
+  const Idx ip(phi0);
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const Real* pv = phi0.dataPtr(kernels::velocityComp(d));
+    forEachCell(valid.faceBox(d), [&](int i, int j, int k) {
+      const Real direct =
+          kernels::evalFlux1(pv + ip(i, j, k), ip.stride(d));
+      ASSERT_EQ(vel(i, j, k, d), direct)
+          << "dir " << d << " face " << i << ',' << j << ',' << k;
+    });
+  }
+}
+
+TEST(PrecomputeFaceVelocity, SlabPartitionCoversExactly) {
+  // Multi-worker fill must equal the single-worker fill.
+  const Box valid = Box::cube(8);
+  FArrayBox phi0(valid.grow(kNumGhost), kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+  FArrayBox velOne(faceSupersetBox(valid), 3);
+  FArrayBox velMany(faceSupersetBox(valid), 3);
+  precomputeFaceVelocity(phi0, velOne, valid, 1, 0);
+  for (int tid = 0; tid < 3; ++tid) {
+    precomputeFaceVelocity(phi0, velMany, valid, 3, tid);
+  }
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    forEachCell(valid.faceBox(d), [&](int i, int j, int k) {
+      ASSERT_EQ(velMany(i, j, k, d), velOne(i, j, k, d));
+    });
+  }
+}
+
+TEST(ExecutorsDirect, SerialFamiliesAgreeOnOneBox) {
+  // Drive the per-box entry points directly (bypassing the runner) and
+  // cross-check the four families against each other.
+  const Box valid = Box::cube(10);
+  FArrayBox phi0(valid.grow(kNumGhost), kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+
+  auto runFamily = [&](ScheduleFamily family, IntraTileSchedule intra,
+                       ComponentLoop comp, int tile) {
+    VariantConfig cfg{family, intra, ParallelGranularity::OverBoxes, comp,
+                      tile};
+    FArrayBox out(valid, kNumComp);
+    Workspace ws;
+    switch (family) {
+    case ScheduleFamily::SeriesOfLoops:
+      baselineBoxSerial(cfg, phi0, out, valid, ws, 1.0);
+      break;
+    case ScheduleFamily::ShiftFuse:
+      shiftFuseBoxSerial(cfg, phi0, out, valid, ws, 1.0);
+      break;
+    case ScheduleFamily::BlockedWavefront:
+      blockedWFBoxSerial(cfg, phi0, out, valid, ws, 1.0);
+      break;
+    case ScheduleFamily::OverlappedTiles:
+      overlappedBoxSerial(cfg, phi0, out, valid, ws, 1.0);
+      break;
+    }
+    return out;
+  };
+
+  const FArrayBox ref = runFamily(ScheduleFamily::SeriesOfLoops,
+                                  IntraTileSchedule::Basic,
+                                  ComponentLoop::Outside, 0);
+  const FArrayBox sf = runFamily(ScheduleFamily::ShiftFuse,
+                                 IntraTileSchedule::Basic,
+                                 ComponentLoop::Inside, 0);
+  const FArrayBox wf = runFamily(ScheduleFamily::BlockedWavefront,
+                                 IntraTileSchedule::ShiftFuse,
+                                 ComponentLoop::Outside, 4);
+  const FArrayBox ot = runFamily(ScheduleFamily::OverlappedTiles,
+                                 IntraTileSchedule::ShiftFuse,
+                                 ComponentLoop::Outside, 4);
+  EXPECT_LT(FArrayBox::maxAbsDiff(ref, sf, valid), 1e-12);
+  EXPECT_LT(FArrayBox::maxAbsDiff(ref, wf, valid), 1e-12);
+  EXPECT_LT(FArrayBox::maxAbsDiff(ref, ot, valid), 1e-12);
+}
+
+TEST(ExecutorsDirect, FusedCellBodiesAgreeWithEachOther) {
+  // CLI and CLO fused bodies must produce identical accumulations for
+  // the same cell when fed the same inputs.
+  const Box valid = Box::cube(6);
+  FArrayBox phi0(valid.grow(kNumGhost), kNumComp);
+  kernels::initializeExemplar(phi0, valid);
+
+  VariantConfig cli{ScheduleFamily::ShiftFuse, IntraTileSchedule::Basic,
+                    ParallelGranularity::OverBoxes, ComponentLoop::Inside,
+                    0};
+  VariantConfig clo = cli;
+  clo.comp = ComponentLoop::Outside;
+
+  FArrayBox outCli(valid, kNumComp), outClo(valid, kNumComp);
+  Workspace w1, w2;
+  shiftFuseBoxSerial(cli, phi0, outCli, valid, w1, 2.5);
+  shiftFuseBoxSerial(clo, phi0, outClo, valid, w2, 2.5);
+  EXPECT_LT(FArrayBox::maxAbsDiff(outCli, outClo, valid), 1e-12);
+}
+
+} // namespace
+} // namespace fluxdiv::core::detail

@@ -1,0 +1,210 @@
+// Tests for the two extensions beyond the paper's variant set: the hybrid
+// box-x-tile parallel granularity (hierarchical overlapped tiling, after
+// Zhou et al. [50]) and non-cubic tile aspects (partial blocking, after
+// Rivera & Tseng via the Mint reference).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+#include "kernels/reference.hpp"
+
+namespace fluxdiv::core {
+namespace {
+
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::LevelData;
+using grid::ProblemDomain;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+struct CaseData {
+  DisjointBoxLayout dbl;
+  LevelData phi0;
+  LevelData expected;
+
+  explicit CaseData(int domSide, int boxSide)
+      : dbl(ProblemDomain(Box::cube(domSide)), boxSide),
+        phi0(dbl, kNumComp, kNumGhost),
+        expected(dbl, kNumComp, kNumGhost) {
+    kernels::initializeExemplar(phi0);
+    kernels::referenceFluxDiv(phi0, expected);
+  }
+
+  void expectMatches(const VariantConfig& cfg, int threads) {
+    LevelData actual(dbl, kNumComp, kNumGhost);
+    FluxDivRunner runner(cfg, threads);
+    runner.run(phi0, actual);
+    EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12)
+        << cfg.name();
+  }
+};
+
+TEST(HybridGranularity, NameAndValidity) {
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                                     ParallelGranularity::HybridBoxTile);
+  EXPECT_EQ(cfg.name(), "Shift-Fuse OT-8: P=Box*Tile");
+  EXPECT_TRUE(cfg.validFor(16));
+  // Hybrid is only defined for overlapped tiles.
+  VariantConfig bad = makeBlockedWF(8, ParallelGranularity::HybridBoxTile,
+                                    ComponentLoop::Inside);
+  EXPECT_FALSE(bad.validFor(16));
+  VariantConfig baseline =
+      makeBaseline(ParallelGranularity::HybridBoxTile);
+  EXPECT_FALSE(baseline.validFor(16));
+}
+
+TEST(HybridGranularity, MatchesReferenceMultiBox) {
+  CaseData s(16, 8); // 8 boxes
+  for (auto intra :
+       {IntraTileSchedule::Basic, IntraTileSchedule::ShiftFuse}) {
+    s.expectMatches(
+        makeOverlapped(intra, 4, ParallelGranularity::HybridBoxTile), 3);
+  }
+}
+
+TEST(HybridGranularity, MatchesReferenceSingleBox) {
+  CaseData s(16, 16);
+  s.expectMatches(makeOverlapped(IntraTileSchedule::ShiftFuse, 4,
+                                 ParallelGranularity::HybridBoxTile),
+                  4);
+}
+
+TEST(HybridGranularity, RunnerRejectsNonOverlappedFamilies) {
+  CaseData s(8, 8);
+  VariantConfig bad = makeShiftFuse(ParallelGranularity::HybridBoxTile);
+  LevelData out(s.dbl, kNumComp, kNumGhost);
+  FluxDivRunner runner(bad, 2);
+  EXPECT_THROW(runner.run(s.phi0, out), std::invalid_argument);
+}
+
+TEST(TileAspect, NamesCarryTheAspect) {
+  VariantConfig pencil = makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                                        ParallelGranularity::WithinBox);
+  pencil.aspect = TileAspect::Pencil;
+  EXPECT_EQ(pencil.name(), "Shift-Fuse OT-8-pencil: P<Box");
+  VariantConfig slab = makeBlockedWF(4, ParallelGranularity::WithinBox,
+                                     ComponentLoop::Inside);
+  slab.aspect = TileAspect::Slab;
+  EXPECT_EQ(slab.name(), "Blocked WF-CLI-4-slab: P<Box");
+}
+
+TEST(TileAspect, ExtentsFollowAspect) {
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::Basic, 8,
+                                     ParallelGranularity::WithinBox);
+  EXPECT_EQ(tileExtents(cfg, 32), (std::array<int, 3>{8, 8, 8}));
+  cfg.aspect = TileAspect::Pencil;
+  EXPECT_EQ(tileExtents(cfg, 32), (std::array<int, 3>{32, 8, 8}));
+  cfg.aspect = TileAspect::Slab;
+  EXPECT_EQ(tileExtents(cfg, 32), (std::array<int, 3>{32, 32, 8}));
+}
+
+TEST(TileAspect, UntiledFamiliesRejectNonCube) {
+  VariantConfig cfg = makeBaseline(ParallelGranularity::OverBoxes);
+  cfg.aspect = TileAspect::Pencil;
+  EXPECT_FALSE(cfg.validFor(16));
+}
+
+TEST(TileAspect, AllAspectsMatchReference) {
+  CaseData s(16, 16);
+  for (auto aspect :
+       {TileAspect::Cube, TileAspect::Pencil, TileAspect::Slab}) {
+    for (auto family : {ScheduleFamily::OverlappedTiles,
+                        ScheduleFamily::BlockedWavefront}) {
+      for (auto par : {ParallelGranularity::OverBoxes,
+                       ParallelGranularity::WithinBox}) {
+        VariantConfig cfg;
+        cfg.family = family;
+        cfg.intra = IntraTileSchedule::ShiftFuse;
+        cfg.par = par;
+        cfg.comp = ComponentLoop::Inside;
+        cfg.tileSize = 4;
+        cfg.aspect = aspect;
+        if (family == ScheduleFamily::OverlappedTiles) {
+          cfg.comp = ComponentLoop::Outside;
+        }
+        s.expectMatches(cfg, 3);
+      }
+    }
+  }
+}
+
+TEST(TileAspect, HybridWithAspectMatchesReference) {
+  CaseData s(16, 8);
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::ShiftFuse, 4,
+                                     ParallelGranularity::HybridBoxTile);
+  cfg.aspect = TileAspect::Pencil;
+  s.expectMatches(cfg, 3);
+}
+
+TEST(TileAspect, PencilReducesTileCountCorrectly) {
+  // 32^3 box, T=8: cube -> 64 tiles, pencil -> 16, slab -> 4.
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::Basic, 8,
+                                     ParallelGranularity::WithinBox);
+  const auto count = [&](TileAspect a) {
+    cfg.aspect = a;
+    const auto e = tileExtents(cfg, 32);
+    return (32 / e[0]) * (32 / e[1]) * (32 / e[2]);
+  };
+  EXPECT_EQ(count(TileAspect::Cube), 64);
+  EXPECT_EQ(count(TileAspect::Pencil), 16);
+  EXPECT_EQ(count(TileAspect::Slab), 4);
+}
+
+TEST(TileOrder, MortonNameAndValidity) {
+  VariantConfig cfg = makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                                     ParallelGranularity::WithinBox);
+  cfg.order = core::TileOrder::Morton;
+  EXPECT_EQ(cfg.name(), "Shift-Fuse OT-8-morton: P<Box");
+  EXPECT_TRUE(cfg.validFor(16));
+  VariantConfig bad = makeBlockedWF(8, ParallelGranularity::WithinBox,
+                                    ComponentLoop::Inside);
+  bad.order = core::TileOrder::Morton;
+  EXPECT_FALSE(bad.validFor(16)); // order is an OT-only axis
+}
+
+TEST(TileOrder, MortonMatchesReference) {
+  CaseData s(16, 16);
+  for (auto par : {ParallelGranularity::OverBoxes,
+                   ParallelGranularity::WithinBox}) {
+    for (auto intra :
+         {IntraTileSchedule::Basic, IntraTileSchedule::ShiftFuse}) {
+      VariantConfig cfg = makeOverlapped(intra, 4, par);
+      cfg.order = core::TileOrder::Morton;
+      s.expectMatches(cfg, 3);
+    }
+  }
+}
+
+TEST(ExtendedRegistry, AppendsValidUniqueExtensionVariants) {
+  const auto base = enumerateVariants(32);
+  const auto ext = enumerateVariants(32, /*includeExtensions=*/true);
+  EXPECT_GT(ext.size(), base.size());
+  // Tile sizes {4,8,16} x 4 extension kinds.
+  EXPECT_EQ(ext.size(), base.size() + 3 * 4);
+  std::set<std::string> names;
+  for (const auto& v : ext) {
+    EXPECT_TRUE(v.validFor(32)) << v.name();
+    EXPECT_TRUE(names.insert(v.name()).second) << "dup " << v.name();
+  }
+  // The base registry is a prefix.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(ext[i], base[i]);
+  }
+}
+
+TEST(ExtendedRegistry, ExtensionVariantsMatchReference) {
+  CaseData s(16, 8);
+  const auto base = enumerateVariants(8);
+  const auto ext = enumerateVariants(8, true);
+  for (std::size_t i = base.size(); i < ext.size(); ++i) {
+    s.expectMatches(ext[i], 3);
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::core

@@ -1,0 +1,107 @@
+#include "core/variant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fluxdiv::core {
+namespace {
+
+TEST(VariantConfig, PaperLegendNames) {
+  EXPECT_EQ(makeBaseline(ParallelGranularity::OverBoxes).name(),
+            "Baseline-CLO: P>=Box");
+  EXPECT_EQ(
+      makeBaseline(ParallelGranularity::WithinBox, ComponentLoop::Inside)
+          .name(),
+      "Baseline-CLI: P<Box");
+  EXPECT_EQ(makeShiftFuse(ParallelGranularity::OverBoxes).name(),
+            "Shift-Fuse-CLO: P>=Box");
+  EXPECT_EQ(makeShiftFuse(ParallelGranularity::WithinBox).name(),
+            "Shift-Fuse-CLO-WF: P<Box");
+  EXPECT_EQ(makeBlockedWF(16, ParallelGranularity::WithinBox,
+                          ComponentLoop::Outside)
+                .name(),
+            "Blocked WF-CLO-16: P<Box");
+  EXPECT_EQ(makeBlockedWF(4, ParallelGranularity::WithinBox,
+                          ComponentLoop::Inside)
+                .name(),
+            "Blocked WF-CLI-4: P<Box");
+  EXPECT_EQ(makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                           ParallelGranularity::WithinBox)
+                .name(),
+            "Shift-Fuse OT-8: P<Box");
+  EXPECT_EQ(makeOverlapped(IntraTileSchedule::Basic, 16,
+                           ParallelGranularity::OverBoxes)
+                .name(),
+            "Basic-Sched OT-16: P>=Box");
+}
+
+TEST(VariantConfig, ValidityRules) {
+  EXPECT_TRUE(makeBaseline(ParallelGranularity::OverBoxes).validFor(16));
+  EXPECT_TRUE(makeBlockedWF(16, ParallelGranularity::WithinBox,
+                            ComponentLoop::Outside)
+                  .validFor(128));
+  EXPECT_FALSE(makeBlockedWF(32, ParallelGranularity::WithinBox,
+                             ComponentLoop::Outside)
+                   .validFor(16));
+  VariantConfig tiledZero = makeOverlapped(IntraTileSchedule::Basic, 0,
+                                           ParallelGranularity::WithinBox);
+  EXPECT_FALSE(tiledZero.validFor(16));
+}
+
+TEST(EnumerateVariants, CountMatchesThePaperScale) {
+  // The paper prototyped ~30 of 328 possible variants; for 128^3 boxes the
+  // registry yields the practical set: 4 baseline + 4 shift-fuse + 16
+  // blocked WF + 16 OT (all four tile sizes are < 128).
+  const auto all = enumerateVariants(128);
+  EXPECT_EQ(all.size(), 40u);
+  // Names are unique.
+  std::set<std::string> names;
+  for (const auto& v : all) {
+    EXPECT_TRUE(names.insert(v.name()).second) << "duplicate " << v.name();
+    EXPECT_TRUE(v.validFor(128)) << v.name();
+  }
+}
+
+TEST(EnumerateVariants, SmallBoxesDropLargeTiles) {
+  const auto all16 = enumerateVariants(16);
+  for (const auto& v : all16) {
+    EXPECT_TRUE(v.validFor(16)) << v.name();
+    EXPECT_LT(v.tileSize, 16) << v.name();
+  }
+  // 4 + 4 untiled, tiles {4,8} for 16^3: 8 blocked WF + 8 OT.
+  EXPECT_EQ(all16.size(), 24u);
+}
+
+TEST(EnumerateVariants, OverlappedTilesAreComponentLoopOutsideOnly) {
+  // Sec. IV-E: OT + CLI was dropped because untiled CLI was slower.
+  for (const auto& v : enumerateVariants(128)) {
+    if (v.family == ScheduleFamily::OverlappedTiles) {
+      EXPECT_EQ(v.comp, ComponentLoop::Outside) << v.name();
+    }
+  }
+}
+
+TEST(EnumerateVariants, ContainsThePaperHighlightedSchedules) {
+  const auto all = enumerateVariants(128);
+  auto has = [&](const std::string& name) {
+    for (const auto& v : all) {
+      if (v.name() == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Legends of Figs. 10-12.
+  EXPECT_TRUE(has("Baseline-CLO: P>=Box"));
+  EXPECT_TRUE(has("Shift-Fuse-CLO: P>=Box"));
+  EXPECT_TRUE(has("Blocked WF-CLO-16: P<Box"));
+  EXPECT_TRUE(has("Blocked WF-CLI-4: P<Box"));
+  EXPECT_TRUE(has("Shift-Fuse OT-8: P<Box"));
+  EXPECT_TRUE(has("Shift-Fuse OT-16: P>=Box"));
+  EXPECT_TRUE(has("Basic-Sched OT-16: P>=Box"));
+  EXPECT_TRUE(has("Basic-Sched OT-8: P<Box"));
+}
+
+} // namespace
+} // namespace fluxdiv::core

@@ -1,0 +1,83 @@
+#include "core/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::core {
+namespace {
+
+using grid::Box;
+
+TEST(Workspace, FabReuseKeepsAllocation) {
+  Workspace ws;
+  grid::FArrayBox& a = ws.fab(Slot::Flux, Box::cube(8), 5);
+  const grid::Real* data = a.dataPtr(0);
+  grid::FArrayBox& b = ws.fab(Slot::Flux, Box::cube(8), 5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.dataPtr(0), data); // no reallocation
+}
+
+TEST(Workspace, FabReshapesOnDifferentRequest) {
+  Workspace ws;
+  ws.fab(Slot::Flux, Box::cube(8), 5);
+  grid::FArrayBox& b = ws.fab(Slot::Flux, Box::cube(4), 5);
+  EXPECT_EQ(b.box(), Box::cube(4));
+}
+
+TEST(Workspace, BytesAccounting) {
+  Workspace ws;
+  EXPECT_EQ(ws.bytes(), 0u);
+  ws.fab(Slot::Flux, Box::cube(4), 2);
+  EXPECT_EQ(ws.bytes(), 4u * 4 * 4 * 2 * sizeof(grid::Real));
+  ws.buffer(Slot::CarryX, 100);
+  EXPECT_EQ(ws.bytes(),
+            4u * 4 * 4 * 2 * sizeof(grid::Real) +
+                100 * sizeof(grid::Real));
+}
+
+TEST(Workspace, PeakSurvivesClear) {
+  Workspace ws;
+  ws.fab(Slot::Flux, Box::cube(8), 5);
+  const std::size_t peak = ws.peakBytes();
+  EXPECT_GT(peak, 0u);
+  ws.clear();
+  EXPECT_EQ(ws.bytes(), 0u);
+  EXPECT_EQ(ws.peakBytes(), peak);
+}
+
+TEST(Workspace, PeakTracksHighWater) {
+  Workspace ws;
+  ws.buffer(Slot::CarryX, 1000);
+  ws.clear();
+  ws.buffer(Slot::CarryX, 10);
+  EXPECT_EQ(ws.peakBytes(), 1000 * sizeof(grid::Real));
+}
+
+TEST(Workspace, BufferGrowsMonotonically) {
+  Workspace ws;
+  grid::Real* p = ws.buffer(Slot::CarryY, 10);
+  ASSERT_NE(p, nullptr);
+  ws.buffer(Slot::CarryY, 5); // smaller request keeps capacity
+  EXPECT_EQ(ws.bytes(), 10 * sizeof(grid::Real));
+}
+
+TEST(WorkspacePool, PerThreadIsolationAndPeaks) {
+  WorkspacePool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  pool[0].buffer(Slot::CarryX, 100);
+  pool[2].buffer(Slot::CarryX, 300);
+  EXPECT_EQ(pool.maxPeakBytes(), 300 * sizeof(grid::Real));
+  EXPECT_EQ(pool.totalPeakBytes(), 400 * sizeof(grid::Real));
+}
+
+TEST(WorkspacePool, ResizeNeverShrinks) {
+  WorkspacePool pool(2);
+  pool[1].buffer(Slot::CarryX, 7);
+  pool.resize(1);
+  EXPECT_EQ(pool.size(), 2);
+  pool.resize(4);
+  EXPECT_EQ(pool.size(), 4);
+  EXPECT_EQ(pool[1].bytes(), 7 * sizeof(grid::Real));
+}
+
+} // namespace
+} // namespace fluxdiv::core

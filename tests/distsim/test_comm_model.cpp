@@ -1,0 +1,116 @@
+#include "distsim/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::distsim {
+namespace {
+
+using grid::Box;
+using grid::Copier;
+using grid::DisjointBoxLayout;
+using grid::ProblemDomain;
+
+struct Case {
+  DisjointBoxLayout dbl;
+  Copier copier;
+  Case(int dom, int box, int nghost = 2)
+      : dbl(ProblemDomain(Box::cube(dom)), box), copier(dbl, nghost) {}
+};
+
+TEST(CommModel, SingleRankIsAllLocal) {
+  Case c(64, 16);
+  RankDecomposition ranks(c.dbl, 1);
+  const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+  EXPECT_EQ(cost.offRankCells, 0);
+  EXPECT_EQ(cost.messagesTotal, 0);
+  EXPECT_EQ(cost.bytesTotal, 0u);
+  EXPECT_EQ(cost.predictedSeconds, 0.0);
+  EXPECT_EQ(cost.onRankCells, c.copier.ghostCellCount());
+}
+
+TEST(CommModel, CellsPartitionIntoLocalAndRemote) {
+  Case c(64, 16);
+  for (int nRanks : {2, 4, 8, 64}) {
+    RankDecomposition ranks(c.dbl, nRanks);
+    const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+    EXPECT_EQ(cost.onRankCells + cost.offRankCells,
+              c.copier.ghostCellCount())
+        << nRanks;
+  }
+}
+
+TEST(CommModel, OneRankPerBoxMakesEverythingRemote) {
+  Case c(64, 16); // 64 boxes
+  RankDecomposition ranks(c.dbl, 64);
+  const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+  EXPECT_EQ(cost.onRankCells, 0);
+  EXPECT_EQ(cost.offRankCells, c.copier.ghostCellCount());
+  // Every box has 26 neighbors, all remote.
+  EXPECT_EQ(cost.messagesTotal, 64 * 26);
+  EXPECT_EQ(cost.maxMessagesPerRank, 26);
+}
+
+TEST(CommModel, BytesMatchCellCounts) {
+  Case c(32, 16);
+  RankDecomposition ranks(c.dbl, 8);
+  const int ncomp = 5;
+  const ExchangeCost cost = analyzeExchange(ranks, c.copier, ncomp);
+  EXPECT_EQ(cost.bytesTotal,
+            static_cast<std::uint64_t>(cost.offRankCells) * ncomp *
+                sizeof(grid::Real));
+}
+
+TEST(CommModel, MoreRanksNeverReduceTraffic) {
+  Case c(64, 8);
+  std::uint64_t prev = 0;
+  for (int nRanks : {1, 2, 4, 8}) {
+    RankDecomposition ranks(c.dbl, nRanks);
+    const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+    EXPECT_GE(cost.bytesTotal, prev) << nRanks;
+    prev = cost.bytesTotal;
+  }
+}
+
+TEST(CommModel, SmallerBoxesCostMoreAtFixedRankCount) {
+  // The paper's motivation at simulated scale: same domain, same ranks,
+  // smaller boxes -> more ghost volume and more messages.
+  const int nRanks = 8;
+  ExchangeCost prev;
+  bool first = true;
+  for (int box : {32, 16, 8}) {
+    Case c(64, box);
+    RankDecomposition ranks(c.dbl, nRanks);
+    const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+    if (!first) {
+      EXPECT_GT(cost.bytesTotal, prev.bytesTotal) << "box " << box;
+      EXPECT_GT(cost.messagesTotal, prev.messagesTotal) << "box " << box;
+      EXPECT_GT(cost.predictedSeconds, prev.predictedSeconds);
+    }
+    prev = cost;
+    first = false;
+  }
+}
+
+TEST(CommModel, AlphaBetaPrediction) {
+  Case c(32, 16);
+  RankDecomposition ranks(c.dbl, 8); // one box per rank
+  NetworkParams net;
+  net.latencySeconds = 1.0;   // exaggerate to make terms checkable
+  net.bytesPerSecond = 1.0e9;
+  const ExchangeCost cost = analyzeExchange(ranks, c.copier, 1, net);
+  // Busiest rank: messages*1s + bytes/1e9.
+  const double expected = double(cost.maxMessagesPerRank) * 1.0 +
+                          double(cost.maxBytesPerRank) / 1.0e9;
+  EXPECT_DOUBLE_EQ(cost.predictedSeconds, expected);
+}
+
+TEST(CommModel, OffRankFraction) {
+  Case c(64, 16);
+  RankDecomposition one(c.dbl, 1);
+  EXPECT_EQ(analyzeExchange(one, c.copier, 5).offRankFraction(), 0.0);
+  RankDecomposition all(c.dbl, 64);
+  EXPECT_EQ(analyzeExchange(all, c.copier, 5).offRankFraction(), 1.0);
+}
+
+} // namespace
+} // namespace fluxdiv::distsim

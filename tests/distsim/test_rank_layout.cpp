@@ -1,0 +1,65 @@
+#include "distsim/rank_layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::distsim {
+namespace {
+
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::ProblemDomain;
+
+DisjointBoxLayout layout64() {
+  return DisjointBoxLayout(ProblemDomain(Box::cube(64)), 16); // 64 boxes
+}
+
+TEST(RankDecomposition, EveryBoxOwnedExactlyOnce) {
+  const auto dbl = layout64();
+  RankDecomposition ranks(dbl, 6);
+  std::int64_t total = 0;
+  for (int r = 0; r < ranks.nRanks(); ++r) {
+    total += ranks.boxCount(r);
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(dbl.size()));
+  for (std::size_t b = 0; b < dbl.size(); ++b) {
+    const int r = ranks.rankOf(b);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 6);
+  }
+}
+
+TEST(RankDecomposition, BalancedWithinOneBox) {
+  const auto dbl = layout64();
+  for (int nRanks : {1, 3, 7, 24, 64}) {
+    RankDecomposition ranks(dbl, nRanks);
+    EXPECT_LE(ranks.imbalance(), 1) << nRanks << " ranks";
+  }
+}
+
+TEST(RankDecomposition, ContiguousChunks) {
+  const auto dbl = layout64();
+  RankDecomposition ranks(dbl, 4);
+  // Ranks are nondecreasing along the linear box order.
+  for (std::size_t b = 1; b < dbl.size(); ++b) {
+    EXPECT_GE(ranks.rankOf(b), ranks.rankOf(b - 1));
+  }
+}
+
+TEST(RankDecomposition, MoreRanksThanBoxes) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16); // 8 boxes
+  RankDecomposition ranks(dbl, 24);
+  std::int64_t nonEmpty = 0;
+  for (int r = 0; r < 24; ++r) {
+    if (ranks.boxCount(r) > 0) {
+      ++nonEmpty;
+    }
+  }
+  EXPECT_EQ(nonEmpty, 8);
+}
+
+TEST(RankDecomposition, RejectsBadRankCount) {
+  EXPECT_THROW(RankDecomposition(layout64(), 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fluxdiv::distsim

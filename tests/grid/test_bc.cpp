@@ -1,0 +1,133 @@
+#include "grid/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fluxdiv::grid {
+namespace {
+
+/// Non-periodic layout over a 16^3 domain split into 8^3 boxes.
+DisjointBoxLayout nonPeriodicLayout() {
+  return DisjointBoxLayout(
+      ProblemDomain(Box::cube(16), /*periodicAll=*/false), 8);
+}
+
+LevelData makeLevel(const DisjointBoxLayout& dbl, int ncomp = 5,
+                    int nghost = 2) {
+  LevelData ld(dbl, ncomp, nghost);
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    for (int c = 0; c < ncomp; ++c) {
+      forEachCell(ld.validBox(b), [&](int i, int j, int k) {
+        ld[b](i, j, k, c) = 1.0 + i + 10.0 * j + 100.0 * k + 0.5 * c;
+      });
+    }
+  }
+  ld.exchange(); // interior ghosts (non-periodic sides untouched)
+  return ld;
+}
+
+TEST(BoundaryFiller, RejectsBcOnPeriodicDirection) {
+  DisjointBoxLayout periodic(ProblemDomain(Box::cube(16)), 8);
+  EXPECT_THROW(
+      BoundaryFiller(periodic,
+                     BoundarySpec::uniform(BCType::Reflective)),
+      std::invalid_argument);
+}
+
+TEST(BoundaryFiller, ReflectiveMirrorsAcrossLowFace) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl);
+  BoundaryFiller bc(dbl, BoundarySpec::uniform(BCType::Reflective));
+  bc.fill(ld);
+  // Box 0 touches the low x face: ghost(-1,j,k) == valid(0,j,k) etc.
+  EXPECT_EQ(ld[0](-1, 3, 4, 0), ld[0](0, 3, 4, 0));
+  EXPECT_EQ(ld[0](-2, 3, 4, 2), ld[0](1, 3, 4, 2));
+  // High z face of the last box.
+  const std::size_t last = ld.size() - 1;
+  EXPECT_EQ(ld[last](12, 12, 16, 1), ld[last](12, 12, 15, 1));
+  EXPECT_EQ(ld[last](12, 12, 17, 1), ld[last](12, 12, 14, 1));
+}
+
+TEST(BoundaryFiller, ReflectiveWallNegatesNormalVelocityOnly) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl);
+  BoundaryFiller bc(dbl, BoundarySpec::uniform(BCType::ReflectiveWall));
+  bc.fill(ld);
+  // Low x face: component 1 (= u) negated, others mirrored evenly.
+  EXPECT_EQ(ld[0](-1, 3, 4, 1), -ld[0](0, 3, 4, 1));
+  EXPECT_EQ(ld[0](-1, 3, 4, 0), ld[0](0, 3, 4, 0));
+  EXPECT_EQ(ld[0](-1, 3, 4, 2), ld[0](0, 3, 4, 2));
+  // Low y face: component 2 (= v) negated.
+  EXPECT_EQ(ld[0](3, -1, 4, 2), -ld[0](3, 0, 4, 2));
+  EXPECT_EQ(ld[0](3, -1, 4, 1), ld[0](3, 0, 4, 1));
+}
+
+TEST(BoundaryFiller, ExtrapolateIsExactForCubicProfiles) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld(dbl, 1, 2);
+  auto cubic = [](int i) {
+    const double x = i;
+    return 0.5 * x * x * x - x * x + 2.0 * x - 3.0;
+  };
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    forEachCell(ld.validBox(b), [&](int i, int j, int k) {
+      ld[b](i, j, k, 0) = cubic(i) + 0.01 * j + 0.0001 * k;
+    });
+  }
+  ld.exchange();
+  BoundaryFiller bc(dbl, BoundarySpec::uniform(BCType::Extrapolate));
+  bc.fill(ld);
+  // Ghosts beyond the low/high x faces continue the cubic exactly.
+  EXPECT_NEAR(ld[0](-1, 3, 4, 0), cubic(-1) + 0.03 + 0.0004, 1e-10);
+  EXPECT_NEAR(ld[0](-2, 3, 4, 0), cubic(-2) + 0.03 + 0.0004, 1e-10);
+  const std::size_t lastX = 1; // box (1,0,0) holds the high-x boundary
+  EXPECT_NEAR(ld[lastX](16, 3, 4, 0), cubic(16) + 0.03 + 0.0004, 1e-9);
+  EXPECT_NEAR(ld[lastX](17, 3, 4, 0), cubic(17) + 0.03 + 0.0004, 1e-9);
+}
+
+TEST(BoundaryFiller, DirichletTargetsFaceValue) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl, 1);
+  const Real target = 7.5;
+  BoundaryFiller bc(dbl,
+                    BoundarySpec::uniform(BCType::Dirichlet, target));
+  bc.fill(ld);
+  // Linear fill: (ghost + interior)/2 == target at the face.
+  EXPECT_NEAR(0.5 * (ld[0](-1, 3, 4, 0) + ld[0](0, 3, 4, 0)), target,
+              1e-13);
+}
+
+TEST(BoundaryFiller, CornersAreConsistentAfterDimensionSweep) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl, 1);
+  BoundaryFiller bc(dbl, BoundarySpec::uniform(BCType::Reflective));
+  bc.fill(ld);
+  // Corner ghost (-1,-1,-1) must equal the triple mirror of (0,0,0).
+  EXPECT_EQ(ld[0](-1, -1, -1, 0), ld[0](0, 0, 0, 0));
+  EXPECT_EQ(ld[0](-2, -1, -2, 0), ld[0](1, 0, 1, 0));
+}
+
+TEST(BoundaryFiller, NoneLeavesGhostsUntouched) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl, 1);
+  const Real sentinel = ld[0](-1, 3, 4, 0); // whatever exchange left (0)
+  BoundaryFiller bc(dbl, BoundarySpec{}); // all None
+  bc.fill(ld);
+  EXPECT_EQ(ld[0](-1, 3, 4, 0), sentinel);
+}
+
+TEST(BoundaryFiller, MixedSpecPerSide) {
+  auto dbl = nonPeriodicLayout();
+  LevelData ld = makeLevel(dbl, 1);
+  BoundarySpec spec;
+  spec.type[0] = {BCType::Reflective, BCType::Extrapolate};
+  BoundaryFiller bc(dbl, spec);
+  bc.fill(ld);
+  EXPECT_EQ(ld[0](-1, 3, 4, 0), ld[0](0, 3, 4, 0)); // low x reflective
+  // y/z ghosts outside the domain stay unfilled (None).
+  EXPECT_EQ(ld[0](3, -1, 4, 0), 0.0);
+}
+
+} // namespace
+} // namespace fluxdiv::grid

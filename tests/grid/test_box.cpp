@@ -1,0 +1,103 @@
+#include "grid/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fluxdiv::grid {
+namespace {
+
+TEST(Box, DefaultIsEmpty) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.numPts(), 0);
+  EXPECT_EQ(b.size(0), 0);
+}
+
+TEST(Box, CubeConstruction) {
+  const Box b = Box::cube(16);
+  EXPECT_EQ(b.lo(), IntVect::zero());
+  EXPECT_EQ(b.hi(), IntVect(15, 15, 15));
+  EXPECT_EQ(b.numPts(), 16 * 16 * 16);
+}
+
+TEST(Box, CubeWithOrigin) {
+  const Box b = Box::cube(4, IntVect(8, 0, -4));
+  EXPECT_EQ(b.lo(), IntVect(8, 0, -4));
+  EXPECT_EQ(b.hi(), IntVect(11, 3, -1));
+}
+
+TEST(Box, Contains) {
+  const Box b = Box::cube(8);
+  EXPECT_TRUE(b.contains(IntVect(0, 0, 0)));
+  EXPECT_TRUE(b.contains(IntVect(7, 7, 7)));
+  EXPECT_FALSE(b.contains(IntVect(8, 0, 0)));
+  EXPECT_FALSE(b.contains(IntVect(0, -1, 0)));
+  EXPECT_TRUE(b.contains(Box::cube(4)));
+  EXPECT_FALSE(b.contains(Box::cube(9)));
+  EXPECT_TRUE(b.contains(Box())); // empty boxes are vacuously contained
+}
+
+TEST(Box, Intersection) {
+  const Box a = Box::cube(8);
+  const Box b = Box::cube(8, IntVect(4, 4, 4));
+  const Box i = a & b;
+  EXPECT_EQ(i, Box(IntVect(4, 4, 4), IntVect(7, 7, 7)));
+  EXPECT_TRUE(a.intersects(b));
+  const Box far = Box::cube(2, IntVect(100, 0, 0));
+  EXPECT_TRUE((a & far).empty());
+  EXPECT_FALSE(a.intersects(far));
+}
+
+TEST(Box, GrowAndShift) {
+  const Box b = Box::cube(8);
+  const Box g = b.grow(2);
+  EXPECT_EQ(g.lo(), IntVect(-2, -2, -2));
+  EXPECT_EQ(g.hi(), IntVect(9, 9, 9));
+  const Box gd = b.grow(1, 3);
+  EXPECT_EQ(gd.lo(), IntVect(0, -3, 0));
+  EXPECT_EQ(gd.hi(), IntVect(7, 10, 7));
+  const Box s = b.shift(IntVect(1, 2, 3));
+  EXPECT_EQ(s.lo(), IntVect(1, 2, 3));
+  EXPECT_EQ(s.numPts(), b.numPts());
+}
+
+TEST(Box, FaceBoxAddsOneOnHighSide) {
+  const Box b = Box::cube(8);
+  for (int d = 0; d < SpaceDim; ++d) {
+    const Box f = b.faceBox(d);
+    EXPECT_EQ(f.size(d), 9);
+    for (int q = 0; q < SpaceDim; ++q) {
+      if (q != d) {
+        EXPECT_EQ(f.size(q), 8);
+      }
+    }
+  }
+}
+
+TEST(Box, Slabs) {
+  const Box b = Box::cube(8);
+  const Box lo = b.lowSlab(2, 3);
+  EXPECT_EQ(lo, Box(IntVect(0, 0, 0), IntVect(7, 7, 2)));
+  const Box hi = b.highSlab(0, 1);
+  EXPECT_EQ(hi, Box(IntVect(7, 0, 0), IntVect(7, 7, 7)));
+}
+
+TEST(Box, ForEachCellVisitsAllInUnitStrideOrder) {
+  const Box b(IntVect(1, 2, 3), IntVect(2, 3, 4));
+  std::vector<IntVect> visited;
+  forEachCell(b, [&](int i, int j, int k) { visited.emplace_back(i, j, k); });
+  ASSERT_EQ(visited.size(), 8u);
+  EXPECT_EQ(visited.front(), IntVect(1, 2, 3));
+  EXPECT_EQ(visited[1], IntVect(2, 2, 3)); // x fastest
+  EXPECT_EQ(visited.back(), IntVect(2, 3, 4));
+}
+
+TEST(Box, EmptyIntersectionStaysEmptyUnderOps) {
+  const Box e = Box::cube(4) & Box::cube(4, IntVect(10, 10, 10));
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.numPts(), 0);
+}
+
+} // namespace
+} // namespace fluxdiv::grid

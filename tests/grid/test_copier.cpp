@@ -1,0 +1,123 @@
+#include "grid/copier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fluxdiv::grid {
+namespace {
+
+/// Property harness: over a given layout/nghost, every ghost cell of
+/// every box must be written by exactly one CopyOp, and every op's source
+/// region must lie inside the source box's valid region.
+void checkExactCover(const DisjointBoxLayout& dbl, int nghost) {
+  const Copier copier(dbl, nghost);
+  // Count coverage per (box, cell).
+  std::map<std::pair<std::size_t, std::array<int, 3>>, int> cover;
+  for (const CopyOp& op : copier.ops()) {
+    const Box valid = dbl.box(op.destBox);
+    const Box srcValid = dbl.box(op.srcBox);
+    EXPECT_FALSE(op.destRegion.empty());
+    // Dest region is pure ghost: disjoint from the valid region.
+    EXPECT_FALSE(op.destRegion.intersects(valid));
+    // Shifted source region sits inside the source box's valid cells.
+    EXPECT_TRUE(srcValid.contains(op.destRegion.shift(op.srcShift)))
+        << "op dest box " << op.destBox << " src box " << op.srcBox;
+    forEachCell(op.destRegion, [&](int i, int j, int k) {
+      ++cover[{op.destBox, {i, j, k}}];
+    });
+  }
+  // Every ghost cell covered exactly once.
+  std::int64_t ghostCells = 0;
+  for (std::size_t b = 0; b < dbl.size(); ++b) {
+    const Box valid = dbl.box(b);
+    const Box ghosted = valid.grow(nghost);
+    forEachCell(ghosted, [&](int i, int j, int k) {
+      if (valid.contains(IntVect(i, j, k))) {
+        return;
+      }
+      ++ghostCells;
+      const auto it = cover.find({b, {i, j, k}});
+      ASSERT_NE(it, cover.end())
+          << "uncovered ghost (" << i << ',' << j << ',' << k << ") box "
+          << b;
+      EXPECT_EQ(it->second, 1)
+          << "ghost (" << i << ',' << j << ',' << k << ") box " << b
+          << " covered " << it->second << " times";
+    });
+  }
+  EXPECT_EQ(copier.ghostCellCount(), ghostCells);
+}
+
+TEST(Copier, ExactCoverMultiBoxPeriodic) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(24)), 8);
+  checkExactCover(dbl, 2);
+}
+
+TEST(Copier, ExactCoverSingleBoxSelfWrap) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(8)), 8);
+  checkExactCover(dbl, 2);
+}
+
+TEST(Copier, ExactCoverMaxGhost) {
+  // nghost == boxSize is the legal extreme.
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(12)), 4);
+  checkExactCover(dbl, 4);
+}
+
+TEST(Copier, ExactCoverAnisotropicLayout) {
+  DisjointBoxLayout dbl(
+      ProblemDomain(Box(IntVect::zero(), IntVect(15, 7, 7))),
+      IntVect(8, 8, 4));
+  checkExactCover(dbl, 2);
+}
+
+TEST(Copier, NonPeriodicSkipsDomainBoundaryGhosts) {
+  DisjointBoxLayout dbl(
+      ProblemDomain(Box::cube(16), /*periodicAll=*/false), 8);
+  const Copier copier(dbl, 2);
+  const Box dom = dbl.domain().box();
+  for (const CopyOp& op : copier.ops()) {
+    EXPECT_TRUE(dom.contains(op.destRegion))
+        << "op fills ghosts outside a non-periodic domain";
+    EXPECT_EQ(op.srcShift, IntVect::zero());
+  }
+  // Interior ghosts are still covered: the low-x box's high-x ghosts.
+  bool found = false;
+  for (const CopyOp& op : copier.ops()) {
+    if (op.destBox == 0 && op.destRegion.contains(IntVect(8, 3, 3))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Copier, MixedPeriodicity) {
+  ProblemDomain dom(Box::cube(16), std::array<bool, 3>{true, false, true});
+  DisjointBoxLayout dbl(dom, 8);
+  const Copier copier(dbl, 2);
+  for (const CopyOp& op : copier.ops()) {
+    // No op may fill ghosts beyond the non-periodic y extent.
+    EXPECT_GE(op.destRegion.lo(1), 0);
+    EXPECT_LE(op.destRegion.hi(1), 15);
+    // y never wraps.
+    EXPECT_EQ(op.srcShift[1], 0);
+  }
+}
+
+TEST(Copier, ZeroGhostYieldsEmptyPlan) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(16)), 8);
+  const Copier copier(dbl, 0);
+  EXPECT_TRUE(copier.ops().empty());
+  EXPECT_EQ(copier.ghostCellCount(), 0);
+  EXPECT_EQ(copier.bytesPerExchange(5), 0u);
+}
+
+TEST(Copier, BytesPerExchangeScalesWithComponents) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(16)), 8);
+  const Copier copier(dbl, 2);
+  EXPECT_EQ(copier.bytesPerExchange(5), 5 * copier.bytesPerExchange(1));
+}
+
+} // namespace
+} // namespace fluxdiv::grid

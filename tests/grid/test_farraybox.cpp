@@ -1,0 +1,123 @@
+#include "grid/farraybox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::grid {
+namespace {
+
+TEST(FArrayBox, LayoutIsColumnMajorComponentSlowest) {
+  // The paper's data layout (Sec. III-C): [x, y, z, c], x unit-stride.
+  const Box b(IntVect(0, 0, 0), IntVect(3, 4, 5));
+  FArrayBox f(b, 2);
+  EXPECT_EQ(f.strideY(), 4);
+  EXPECT_EQ(f.strideZ(), 4 * 5);
+  EXPECT_EQ(f.strideC(), 4 * 5 * 6);
+  EXPECT_EQ(f.size(), std::size_t(4 * 5 * 6 * 2));
+
+  f(IntVect(1, 0, 0), 0) = 7.0;
+  EXPECT_EQ(f.dataPtr(0)[1], 7.0);
+  f(IntVect(0, 1, 0), 0) = 8.0;
+  EXPECT_EQ(f.dataPtr(0)[4], 8.0);
+  f(IntVect(0, 0, 0), 1) = 9.0;
+  EXPECT_EQ(f.dataPtr(1)[0], 9.0);
+}
+
+TEST(FArrayBox, OffsetRespectsBoxOrigin) {
+  const Box b(IntVect(-2, -2, -2), IntVect(2, 2, 2));
+  FArrayBox f(b, 1);
+  EXPECT_EQ(f.offset(-2, -2, -2), 0);
+  EXPECT_EQ(f.offset(-1, -2, -2), 1);
+  EXPECT_EQ(f.offset(-2, -1, -2), 5);
+  EXPECT_EQ(f.offset(2, 2, 2), 5 * 5 * 5 - 1);
+}
+
+TEST(FArrayBox, ZeroInitializedOnDefine) {
+  FArrayBox f(Box::cube(4), 3);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f.dataPtr(0)[i], 0.0);
+  }
+}
+
+TEST(FArrayBox, SetVal) {
+  FArrayBox f(Box::cube(4), 2);
+  f.setVal(3.5);
+  EXPECT_EQ(f(IntVect(2, 2, 2), 1), 3.5);
+  f.setVal(-1.0, Box::cube(2), 0);
+  EXPECT_EQ(f(IntVect(0, 0, 0), 0), -1.0);
+  EXPECT_EQ(f(IntVect(2, 0, 0), 0), 3.5);
+  EXPECT_EQ(f(IntVect(0, 0, 0), 1), 3.5); // other component untouched
+}
+
+TEST(FArrayBox, CopyRegion) {
+  FArrayBox src(Box::cube(4), 2);
+  FArrayBox dst(Box::cube(4), 2);
+  forEachCell(src.box(), [&](int i, int j, int k) {
+    src(i, j, k, 0) = i + 10 * j + 100 * k;
+    src(i, j, k, 1) = -src(i, j, k, 0);
+  });
+  dst.copy(src, Box::cube(2, IntVect(1, 1, 1)), 0, 0, 2);
+  EXPECT_EQ(dst(1, 1, 1, 0), 111.0);
+  EXPECT_EQ(dst(2, 2, 2, 1), -222.0);
+  EXPECT_EQ(dst(0, 0, 0, 0), 0.0); // outside region untouched
+}
+
+TEST(FArrayBox, CopyShiftedImplementsPeriodicImage) {
+  // Destination ghost row at i = -1 sourced from i = 3 (shift +4).
+  FArrayBox src(Box::cube(4), 1);
+  FArrayBox dst(src.box().grow(1), 1);
+  forEachCell(src.box(), [&](int i, int j, int k) {
+    src(i, j, k, 0) = i + 10 * j + 100 * k;
+  });
+  const Box ghostRow(IntVect(-1, 0, 0), IntVect(-1, 3, 3));
+  dst.copyShifted(src, ghostRow, IntVect(4, 0, 0), 0, 0, 1);
+  EXPECT_EQ(dst(-1, 2, 1, 0), src(3, 2, 1, 0));
+}
+
+TEST(FArrayBox, CopyComponentRemap) {
+  FArrayBox src(Box::cube(2), 3);
+  FArrayBox dst(Box::cube(2), 3);
+  src.setVal(5.0);
+  dst.copy(src, src.box(), /*srcComp=*/2, /*destComp=*/0, 1);
+  EXPECT_EQ(dst(0, 0, 0, 0), 5.0);
+  EXPECT_EQ(dst(0, 0, 0, 2), 0.0);
+}
+
+TEST(FArrayBox, PlusScales) {
+  FArrayBox a(Box::cube(2), 1);
+  FArrayBox b(Box::cube(2), 1);
+  a.setVal(1.0);
+  b.setVal(2.0);
+  a.plus(b, -0.5, a.box());
+  EXPECT_EQ(a(1, 1, 1, 0), 0.0);
+}
+
+TEST(FArrayBox, SumOverRegion) {
+  FArrayBox f(Box::cube(4), 1);
+  f.setVal(2.0);
+  EXPECT_EQ(f.sum(Box::cube(2), 0), 16.0);
+  EXPECT_EQ(f.sum(f.box(), 0), 128.0);
+}
+
+TEST(FArrayBox, MaxAbsDiff) {
+  FArrayBox a(Box::cube(4), 2);
+  FArrayBox b(Box::cube(4), 2);
+  a.setVal(1.0);
+  b.setVal(1.0);
+  EXPECT_EQ(FArrayBox::maxAbsDiff(a, b, a.box()), 0.0);
+  b(IntVect(3, 3, 3), 1) = 4.0;
+  EXPECT_EQ(FArrayBox::maxAbsDiff(a, b, a.box()), 3.0);
+  // Diff restricted to a region that excludes the perturbation.
+  EXPECT_EQ(FArrayBox::maxAbsDiff(a, b, Box::cube(2)), 0.0);
+}
+
+TEST(FArrayBox, RedefineReshapes) {
+  FArrayBox f(Box::cube(4), 1);
+  f.setVal(1.0);
+  f.define(Box::cube(8), 2);
+  EXPECT_EQ(f.nComp(), 2);
+  EXPECT_EQ(f.box(), Box::cube(8));
+  EXPECT_EQ(f(0, 0, 0, 0), 0.0); // fresh zero storage
+}
+
+} // namespace
+} // namespace fluxdiv::grid

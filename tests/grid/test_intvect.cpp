@@ -1,0 +1,80 @@
+#include "grid/intvect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fluxdiv::grid {
+namespace {
+
+TEST(IntVect, DefaultIsZero) {
+  IntVect v;
+  EXPECT_EQ(v, IntVect::zero());
+  EXPECT_EQ(v.sum(), 0);
+}
+
+TEST(IntVect, BasisVectors) {
+  for (int d = 0; d < SpaceDim; ++d) {
+    const IntVect e = IntVect::basis(d);
+    for (int q = 0; q < SpaceDim; ++q) {
+      EXPECT_EQ(e[q], q == d ? 1 : 0);
+    }
+  }
+}
+
+TEST(IntVect, Arithmetic) {
+  const IntVect a(1, 2, 3);
+  const IntVect b(4, -5, 6);
+  EXPECT_EQ(a + b, IntVect(5, -3, 9));
+  EXPECT_EQ(a - b, IntVect(-3, 7, -3));
+  EXPECT_EQ(a * 2, IntVect(2, 4, 6));
+  EXPECT_EQ(-a, IntVect(-1, -2, -3));
+}
+
+TEST(IntVect, CompoundAdd) {
+  IntVect a(1, 1, 1);
+  a += IntVect(2, 3, 4);
+  EXPECT_EQ(a, IntVect(3, 4, 5));
+}
+
+TEST(IntVect, PartialOrder) {
+  EXPECT_TRUE(IntVect(1, 2, 3).allLE(IntVect(1, 2, 3)));
+  EXPECT_TRUE(IntVect(0, 2, 3).allLE(IntVect(1, 2, 3)));
+  EXPECT_FALSE(IntVect(2, 2, 3).allLE(IntVect(1, 9, 9)));
+  EXPECT_TRUE(IntVect(5, 5, 5).allGE(IntVect(1, 2, 3)));
+}
+
+TEST(IntVect, SumAndProduct) {
+  EXPECT_EQ(IntVect(2, 3, 4).sum(), 9);
+  EXPECT_EQ(IntVect(2, 3, 4).product(), 24);
+  // product must not overflow 32-bit for large grids
+  EXPECT_EQ(IntVect(2048, 2048, 2048).product(),
+            std::int64_t(2048) * 2048 * 2048);
+}
+
+TEST(IntVect, MinMax) {
+  const IntVect a(1, 9, 3);
+  const IntVect b(4, 2, 3);
+  EXPECT_EQ(IntVect::min(a, b), IntVect(1, 2, 3));
+  EXPECT_EQ(IntVect::max(a, b), IntVect(4, 9, 3));
+}
+
+TEST(IntVect, UnitConstructor) {
+  EXPECT_EQ(IntVect::unit(3), IntVect(3, 3, 3));
+  EXPECT_EQ(IntVect::unit(), IntVect(1, 1, 1));
+}
+
+TEST(IntVect, HashDistinguishesNeighbors) {
+  std::unordered_set<IntVect> set;
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 4; ++j) {
+      for (int i = 0; i < 4; ++i) {
+        set.insert(IntVect(i, j, k));
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), 64u);
+}
+
+} // namespace
+} // namespace fluxdiv::grid

@@ -1,0 +1,100 @@
+#include "grid/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fluxdiv::grid {
+namespace {
+
+ProblemDomain domain64() { return ProblemDomain(Box::cube(64)); }
+
+TEST(DisjointBoxLayout, CountsAndSizes) {
+  DisjointBoxLayout dbl(domain64(), 16);
+  EXPECT_EQ(dbl.size(), 64u);
+  EXPECT_EQ(dbl.gridSize(), IntVect(4, 4, 4));
+  for (std::size_t i = 0; i < dbl.size(); ++i) {
+    EXPECT_EQ(dbl.box(i).numPts(), 16 * 16 * 16);
+  }
+}
+
+TEST(DisjointBoxLayout, RejectsNonDividingBoxSize) {
+  EXPECT_THROW(DisjointBoxLayout(domain64(), 48), std::invalid_argument);
+  EXPECT_THROW(DisjointBoxLayout(domain64(), IntVect(16, 16, 0)),
+               std::invalid_argument);
+}
+
+TEST(DisjointBoxLayout, BoxesExactlyCoverDomainDisjointly) {
+  DisjointBoxLayout dbl(domain64(), 32);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < dbl.size(); ++i) {
+    total += dbl.box(i).numPts();
+    for (std::size_t j = i + 1; j < dbl.size(); ++j) {
+      EXPECT_FALSE(dbl.box(i).intersects(dbl.box(j)));
+    }
+  }
+  EXPECT_EQ(total, domain64().box().numPts());
+}
+
+TEST(DisjointBoxLayout, IndexContainingIsConsistentWithBoxes) {
+  DisjointBoxLayout dbl(domain64(), 16);
+  for (const IntVect p :
+       {IntVect(0, 0, 0), IntVect(15, 15, 15), IntVect(16, 0, 0),
+        IntVect(63, 63, 63), IntVect(31, 47, 5)}) {
+    const std::size_t idx = dbl.indexContaining(p);
+    EXPECT_TRUE(dbl.box(idx).contains(p)) << "point " << p;
+  }
+  EXPECT_THROW((void)dbl.indexContaining(IntVect(64, 0, 0)),
+               std::out_of_range);
+}
+
+TEST(DisjointBoxLayout, WrappedIndexPeriodic) {
+  DisjointBoxLayout dbl(domain64(), 16); // 4 boxes per direction
+  IntVect shift;
+  // One box to the left of box (0,0,0) wraps to bx = 3 with +64-cell shift.
+  const std::int64_t idx = dbl.wrappedIndex(IntVect(-1, 0, 0), shift);
+  EXPECT_EQ(idx, 3);
+  EXPECT_EQ(shift, IntVect(64, 0, 0));
+  // In range: identity.
+  const std::int64_t idx2 = dbl.wrappedIndex(IntVect(2, 1, 0), shift);
+  EXPECT_EQ(idx2, 2 + 4 * 1);
+  EXPECT_EQ(shift, IntVect::zero());
+}
+
+TEST(DisjointBoxLayout, WrappedIndexNonPeriodicReturnsMinusOne) {
+  ProblemDomain dom(Box::cube(64), /*periodicAll=*/false);
+  DisjointBoxLayout dbl(dom, 16);
+  IntVect shift;
+  EXPECT_EQ(dbl.wrappedIndex(IntVect(-1, 0, 0), shift), -1);
+  EXPECT_EQ(dbl.wrappedIndex(IntVect(0, 4, 0), shift), -1);
+}
+
+TEST(DisjointBoxLayout, SingleBoxPerDirectionWrapsToSelf) {
+  ProblemDomain dom(Box::cube(16));
+  DisjointBoxLayout dbl(dom, 16);
+  IntVect shift;
+  const std::int64_t idx = dbl.wrappedIndex(IntVect(1, 0, 0), shift);
+  EXPECT_EQ(idx, 0);
+  EXPECT_EQ(shift, IntVect(-16, 0, 0));
+}
+
+TEST(DisjointBoxLayout, BoxCoordsRoundTrip) {
+  DisjointBoxLayout dbl(domain64(), 16);
+  for (std::size_t i = 0; i < dbl.size(); ++i) {
+    IntVect shift;
+    EXPECT_EQ(dbl.wrappedIndex(dbl.boxCoords(i), shift),
+              static_cast<std::int64_t>(i));
+    EXPECT_EQ(shift, IntVect::zero());
+  }
+}
+
+TEST(DisjointBoxLayout, AnisotropicBoxes) {
+  ProblemDomain dom(Box(IntVect::zero(), IntVect(31, 15, 7)));
+  DisjointBoxLayout dbl(dom, IntVect(16, 8, 8));
+  EXPECT_EQ(dbl.gridSize(), IntVect(2, 2, 1));
+  EXPECT_EQ(dbl.size(), 4u);
+  EXPECT_EQ(dbl.box(3).lo(), IntVect(16, 8, 0));
+}
+
+} // namespace
+} // namespace fluxdiv::grid

@@ -1,0 +1,77 @@
+#include "grid/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fluxdiv::grid {
+namespace {
+
+LevelData makeLevel() {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(8)), 4);
+  LevelData ld(dbl, 2, 1);
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    forEachCell(ld.validBox(b), [&](int i, int j, int k) {
+      ld[b](i, j, k, 0) = (i + j + k) % 2 == 0 ? 1.0 : -1.0;
+      ld[b](i, j, k, 1) = 3.0;
+    });
+  }
+  return ld;
+}
+
+TEST(Norms, SumCancelsAlternatingField) {
+  LevelData ld = makeLevel();
+  EXPECT_EQ(levelSum(ld, 0), 0.0);
+  EXPECT_EQ(levelSum(ld, 1), 3.0 * 512);
+}
+
+TEST(Norms, L1CountsMagnitudes) {
+  LevelData ld = makeLevel();
+  EXPECT_EQ(levelNormL1(ld, 0), 512.0);
+  EXPECT_EQ(levelNormL1(ld, 1), 3.0 * 512);
+}
+
+TEST(Norms, L2OfConstantField) {
+  LevelData ld = makeLevel();
+  EXPECT_NEAR(levelNormL2(ld, 1), 3.0 * std::sqrt(512.0), 1e-12);
+  EXPECT_NEAR(levelNormL2(ld, 0), std::sqrt(512.0), 1e-12);
+}
+
+TEST(Norms, InfPicksLargestMagnitude) {
+  LevelData ld = makeLevel();
+  EXPECT_EQ(levelNormInf(ld, 1), 3.0);
+  ld[3](IntVect(5, 1, 1), 0) = -7.25;
+  EXPECT_EQ(levelNormInf(ld, 0), 7.25);
+}
+
+TEST(Norms, GhostCellsAreExcluded) {
+  LevelData ld = makeLevel();
+  // Poison a ghost cell; no norm may see it.
+  ld[0](IntVect(-1, 0, 0), 0) = 1e9;
+  EXPECT_LT(levelNormInf(ld, 0), 2.0);
+  EXPECT_EQ(levelNormL1(ld, 0), 512.0);
+}
+
+TEST(Norms, LevelSumsCoversAllComponents) {
+  LevelData ld = makeLevel();
+  const auto sums = levelSums(ld);
+  EXPECT_EQ(sums[0], 0.0);
+  EXPECT_EQ(sums[1], 3.0 * 512);
+}
+
+TEST(Norms, DiffInf) {
+  LevelData a = makeLevel();
+  LevelData b = makeLevel();
+  EXPECT_EQ(levelDiffInf(a, b, 0), 0.0);
+  b[1](IntVect(4, 0, 0), 0) += 0.5;
+  EXPECT_EQ(levelDiffInf(a, b, 0), 0.5);
+}
+
+TEST(Norms, ComponentRangeChecked) {
+  LevelData ld = makeLevel();
+  EXPECT_THROW((void)levelSum(ld, 2), std::out_of_range);
+  EXPECT_THROW((void)levelNormInf(ld, -1), std::out_of_range);
+}
+
+} // namespace
+} // namespace fluxdiv::grid

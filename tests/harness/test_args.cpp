@@ -1,0 +1,103 @@
+#include "harness/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fluxdiv::harness {
+namespace {
+
+Args makeArgs() {
+  Args args;
+  args.addInt("n", 16, "box size");
+  args.addDouble("scale", 1.0, "scale factor");
+  args.addString("csv", "", "csv output path");
+  args.addBool("paper", "paper-scale run");
+  args.addIntList("threads", {1, 2}, "thread sweep");
+  return args;
+}
+
+bool parseInto(Args& args, std::vector<std::string> argv) {
+  std::vector<char*> raw;
+  static std::vector<std::string> storage;
+  storage = std::move(argv);
+  raw.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) {
+    raw.push_back(s.data());
+  }
+  return args.parse(static_cast<int>(raw.size()), raw.data());
+}
+
+TEST(Args, DefaultsApplyWithoutArguments) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {}));
+  EXPECT_EQ(args.getInt("n"), 16);
+  EXPECT_EQ(args.getDouble("scale"), 1.0);
+  EXPECT_EQ(args.getString("csv"), "");
+  EXPECT_FALSE(args.getBool("paper"));
+  EXPECT_EQ(args.getIntList("threads"), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {"--n", "128", "--scale", "0.5"}));
+  EXPECT_EQ(args.getInt("n"), 128);
+  EXPECT_EQ(args.getDouble("scale"), 0.5);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {"--n=64", "--csv=out.csv"}));
+  EXPECT_EQ(args.getInt("n"), 64);
+  EXPECT_EQ(args.getString("csv"), "out.csv");
+}
+
+TEST(Args, BoolFlagForms) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {"--paper"}));
+  EXPECT_TRUE(args.getBool("paper"));
+  Args args2 = makeArgs();
+  ASSERT_TRUE(parseInto(args2, {"--paper=false"}));
+  EXPECT_FALSE(args2.getBool("paper"));
+}
+
+TEST(Args, IntListParsing) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {"--threads", "1,2,4,8,24"}));
+  EXPECT_EQ(args.getIntList("threads"),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 24}));
+}
+
+TEST(Args, UnknownOptionThrows) {
+  Args args = makeArgs();
+  EXPECT_THROW(parseInto(args, {"--bogus", "1"}), std::runtime_error);
+}
+
+TEST(Args, MissingValueThrows) {
+  Args args = makeArgs();
+  EXPECT_THROW(parseInto(args, {"--n"}), std::runtime_error);
+}
+
+TEST(Args, PositionalArgumentThrows) {
+  Args args = makeArgs();
+  EXPECT_THROW(parseInto(args, {"stray"}), std::runtime_error);
+}
+
+TEST(Args, HelpReturnsFalse) {
+  Args args = makeArgs();
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(parseInto(args, {"--help"}));
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("box size"), std::string::npos);
+}
+
+TEST(Args, WrongTypeAccessThrows) {
+  Args args = makeArgs();
+  ASSERT_TRUE(parseInto(args, {}));
+  EXPECT_THROW((void)args.getInt("scale"), std::logic_error);
+  EXPECT_THROW((void)args.getBool("n"), std::logic_error);
+}
+
+} // namespace
+} // namespace fluxdiv::harness

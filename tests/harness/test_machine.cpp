@@ -1,0 +1,57 @@
+#include "harness/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxdiv::harness {
+namespace {
+
+TEST(Machine, QueryReturnsSaneValues) {
+  const MachineInfo info = queryMachine();
+  EXPECT_GE(info.logicalCores, 1);
+  EXPECT_GE(info.ompMaxThreads, 1);
+  for (const auto& c : info.caches) {
+    EXPECT_GE(c.level, 1);
+    EXPECT_GT(c.sizeBytes, 0u);
+    EXPECT_GT(c.lineBytes, 0u);
+    EXPECT_NE(c.type, "Instruction");
+  }
+}
+
+TEST(Machine, LastLevelCachePicksDeepestLevel) {
+  MachineInfo info;
+  info.caches = {{1, "Data", 32 * 1024, 64, 8},
+                 {2, "Unified", 256 * 1024, 64, 8},
+                 {3, "Unified", 8 * 1024 * 1024, 64, 16}};
+  EXPECT_EQ(lastLevelCacheBytes(info), 8u * 1024 * 1024);
+  MachineInfo empty;
+  EXPECT_EQ(lastLevelCacheBytes(empty), 0u);
+}
+
+TEST(Machine, ReportMentionsCoresAndCaches) {
+  MachineInfo info;
+  info.cpuModel = "TestCPU 9000";
+  info.logicalCores = 42;
+  info.ompMaxThreads = 42;
+  info.caches = {{3, "Unified", 6 * 1024 * 1024, 64, 12}};
+  std::ostringstream os;
+  printMachineReport(os, info);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("TestCPU 9000"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("L3"), std::string::npos);
+  EXPECT_NE(out.find("6.00 MiB"), std::string::npos);
+}
+
+TEST(Machine, DefaultThreadSweepShape) {
+  EXPECT_EQ(defaultThreadSweep(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(defaultThreadSweep(8), (std::vector<std::int64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(defaultThreadSweep(24),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16, 24}));
+  EXPECT_EQ(defaultThreadSweep(20),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16, 20}));
+}
+
+} // namespace
+} // namespace fluxdiv::harness

@@ -1,0 +1,71 @@
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+namespace fluxdiv::harness {
+namespace {
+
+TEST(Summarize, EmptySample) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleSample) {
+  const SampleStats s = summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.median, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, OddCountMedian) {
+  const SampleStats s = summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Summarize, EvenCountMedianAveragesMiddlePair) {
+  const SampleStats s = summarize({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summarize, StddevOfKnownSample) {
+  // Population stddev of {2,4,4,4,5,5,7,9} is 2.
+  const SampleStats s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(RepeatTimed, RunsRequestedRepsAndWarmups) {
+  int calls = 0;
+  const SampleStats s = repeatTimed([&] { ++calls; }, 5, 2);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.min, s.max);
+}
+
+TEST(Timer, MeasuresMonotonicNonNegative) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sink += i;
+  }
+  testing::internal::CaptureStdout();
+  std::cout << (sink > 0);
+  (void)testing::internal::GetCapturedStdout();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.nanoseconds(), 0);
+  const double first = t.seconds();
+  EXPECT_GE(t.seconds(), first);
+}
+
+} // namespace
+} // namespace fluxdiv::harness

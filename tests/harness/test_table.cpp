@@ -1,0 +1,50 @@
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxdiv::harness {
+namespace {
+
+TEST(Table, AlignsColumnsAndPadsShortRows) {
+  Table t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer-name"});
+  EXPECT_EQ(t.rowCount(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All lines share the header's structure: the "value" column of row "a"
+  // is aligned under the header's "value".
+  const auto headerPos = out.find("value");
+  const auto rowLineStart = out.find("a ");
+  ASSERT_NE(rowLineStart, std::string::npos);
+  const auto valuePosInRow = out.find('1', rowLineStart);
+  EXPECT_EQ(valuePosInRow - rowLineStart, headerPos);
+}
+
+TEST(FormatSeconds, FourDecimals) {
+  EXPECT_EQ(formatSeconds(1.23456), "1.2346");
+  EXPECT_EQ(formatSeconds(0.5), "0.5000");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(formatBytes(512), "512.0 B");
+  EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(formatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(formatBytes(5ull * 1024 * 1024), "5.00 MiB");
+  EXPECT_EQ(formatBytes(3ull * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+} // namespace
+} // namespace fluxdiv::harness

@@ -1,0 +1,118 @@
+#include "kernels/exemplar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace fluxdiv::kernels {
+namespace {
+
+TEST(EvalFlux1, ReproducesHandComputedWeights) {
+  // Face between cells 1 and 2 of the column {a,b,c,d}:
+  // 7/12 (b + c) - 1/12 (a + d).
+  const std::vector<Real> col = {3.0, 5.0, 7.0, 11.0};
+  const Real expect = 7.0 / 12.0 * (5.0 + 7.0) - 1.0 / 12.0 * (3.0 + 11.0);
+  EXPECT_DOUBLE_EQ(evalFlux1(col.data() + 2, 1), expect);
+}
+
+TEST(EvalFlux1, ExactForConstantField) {
+  const std::vector<Real> col(8, 4.25);
+  EXPECT_DOUBLE_EQ(evalFlux1(col.data() + 2, 1), 4.25);
+  EXPECT_DOUBLE_EQ(evalFlux1(col.data() + 4, 2), 4.25);
+}
+
+TEST(EvalFlux1, ExactForLinearField) {
+  // The 4th-order average of a linear cell-average profile equals the
+  // face value exactly: for phi_i = i, the face between cells 1 and 2 is
+  // at 1.5.
+  std::vector<Real> col(8);
+  for (int i = 0; i < 8; ++i) {
+    col[static_cast<std::size_t>(i)] = i;
+  }
+  EXPECT_DOUBLE_EQ(evalFlux1(col.data() + 2, 1), 1.5);
+}
+
+TEST(EvalFlux1, ExactForCubicCellAverages) {
+  // Eq. 6 is the McCorquodale-Colella 4th-order face interpolation: it
+  // maps cell *averages* to face point values exactly for cubics. Cells
+  // are [i, i+1]; the face between cells 1 and 2 sits at x = 2.
+  auto primitive = [](double x) {
+    // antiderivative of p(x) = x^3 - 2x + 1
+    return 0.25 * x * x * x * x - x * x + x;
+  };
+  auto p = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  std::vector<Real> avg(6);
+  for (int i = 0; i < 6; ++i) {
+    avg[static_cast<std::size_t>(i)] = primitive(i + 1.0) - primitive(i);
+  }
+  EXPECT_NEAR(evalFlux1(avg.data() + 2, 1), p(2.0), 1e-12);
+}
+
+TEST(EvalFlux1, StrideSelectsColumnDirection) {
+  // A field varying only in the strided direction must see the stencil.
+  std::vector<Real> plane(64, 0.0);
+  const int stride = 8;
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      plane[static_cast<std::size_t>(r * stride + i)] = r;
+    }
+  }
+  // Column along the stride at row 3, any x: face between rows 2 and 3.
+  EXPECT_DOUBLE_EQ(evalFlux1(plane.data() + 3 * stride + 5, stride), 2.5);
+}
+
+TEST(EvalFlux1, FourthOrderConvergenceOnSmoothField) {
+  // Refine a sine profile and verify the face-interpolation error drops
+  // ~16x per refinement (order 4) when fed cell point samples.
+  auto errorAt = [](int n) {
+    const double h = 1.0 / n;
+    const double twoPi = 2 * std::numbers::pi;
+    std::vector<Real> col(static_cast<std::size_t>(n) + 4);
+    for (int i = 0; i < n + 4; ++i) {
+      // Exact cell average of sin over [x_lo, x_lo + h], 2 ghost cells.
+      const double xlo = (i - 2) * h;
+      col[static_cast<std::size_t>(i)] =
+          (std::cos(twoPi * xlo) - std::cos(twoPi * (xlo + h))) /
+          (twoPi * h);
+    }
+    double worst = 0.0;
+    for (int f = 0; f <= n; ++f) {
+      const double xf = f * h;
+      const double approx = evalFlux1(col.data() + 2 + f, 1);
+      worst = std::max(worst,
+                       std::abs(approx - std::sin(2 * std::numbers::pi * xf)));
+    }
+    return worst;
+  };
+  const double e1 = errorAt(32);
+  const double e2 = errorAt(64);
+  const double rate = std::log2(e1 / e2);
+  EXPECT_GT(rate, 3.7) << "expected ~4th-order convergence, e1=" << e1
+                       << " e2=" << e2;
+}
+
+TEST(EvalFlux2, IsPlainProduct) {
+  EXPECT_DOUBLE_EQ(evalFlux2(3.0, -2.0), -6.0);
+  EXPECT_DOUBLE_EQ(evalFlux2(0.0, 123.0), 0.0);
+}
+
+TEST(FaceFlux, ComposesTheTwoStages) {
+  const std::vector<Real> c = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<Real> v = {2.0, 2.0, 2.0, 2.0};
+  const Real phi = evalFlux1(c.data() + 2, 1);
+  EXPECT_DOUBLE_EQ(faceFlux(c.data() + 2, v.data() + 2, 1),
+                   evalFlux2(phi, 2.0));
+}
+
+TEST(Constants, MatchThePaper) {
+  EXPECT_EQ(kNumComp, 5);  // <rho, u, v, w, e>
+  EXPECT_EQ(kNumGhost, 2); // 4-point face stencil reach
+  EXPECT_EQ(velocityComp(0), 1);
+  EXPECT_EQ(velocityComp(1), 2);
+  EXPECT_EQ(velocityComp(2), 3);
+}
+
+} // namespace
+} // namespace fluxdiv::kernels

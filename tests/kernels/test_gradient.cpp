@@ -1,0 +1,103 @@
+#include "kernels/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+
+namespace fluxdiv::kernels {
+namespace {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::Real;
+
+TEST(CentralDeriv4, ExactForCubic) {
+  auto p = [](double x) { return x * x * x - 4.0 * x + 2.0; };
+  std::vector<Real> col(9);
+  for (int i = 0; i < 9; ++i) {
+    col[static_cast<std::size_t>(i)] = p(i);
+  }
+  // Derivative 3x^2 - 4 at x = 4.
+  EXPECT_NEAR(centralDeriv4(col.data() + 4, 1, 1.0), 3.0 * 16 - 4.0,
+              1e-11);
+}
+
+TEST(CentralDeriv4, ZeroForConstant) {
+  std::vector<Real> col(8, 5.5);
+  EXPECT_EQ(centralDeriv4(col.data() + 3, 1, 2.0), 0.0);
+}
+
+TEST(Gradient, LinearFieldHasConstantGradient) {
+  const Box valid = Box::cube(6);
+  FArrayBox phi(valid.grow(kNumGhost), 1);
+  forEachCell(phi.box(), [&](int i, int j, int k) {
+    phi(i, j, k, 0) = 2.0 * i - 3.0 * j + 0.5 * k;
+  });
+  FArrayBox grad(valid, 3);
+  gradient(phi, grad, valid, 0);
+  forEachCell(valid, [&](int i, int j, int k) {
+    ASSERT_NEAR(grad(i, j, k, 0), 2.0, 1e-12);
+    ASSERT_NEAR(grad(i, j, k, 1), -3.0, 1e-12);
+    ASSERT_NEAR(grad(i, j, k, 2), 0.5, 1e-12);
+  });
+}
+
+TEST(Gradient, InvDxScales) {
+  const Box valid = Box::cube(4);
+  FArrayBox phi(valid.grow(kNumGhost), 1);
+  forEachCell(phi.box(), [&](int i, int j, int k) {
+    phi(i, j, k, 0) = 1.0 * i;
+  });
+  FArrayBox grad(valid, 3);
+  gradient(phi, grad, valid, 0, /*invDx=*/8.0);
+  EXPECT_NEAR(grad(1, 1, 1, 0), 8.0, 1e-12);
+}
+
+TEST(Gradient, FourthOrderConvergenceOnSine) {
+  auto errorAt = [](int n) {
+    const double h = 1.0 / n;
+    const double twoPi = 2 * std::numbers::pi;
+    const Box valid = Box::cube(n);
+    FArrayBox phi(valid.grow(kNumGhost), 1);
+    forEachCell(phi.box(), [&](int i, int j, int k) {
+      phi(i, j, k, 0) = std::sin(twoPi * (i + 0.5) * h);
+    });
+    FArrayBox grad(valid, 3);
+    gradient(phi, grad, valid, 0, 1.0 / h);
+    double worst = 0.0;
+    forEachCell(valid, [&](int i, int j, int k) {
+      const double exact = twoPi * std::cos(twoPi * (i + 0.5) * h);
+      worst = std::max(worst, std::abs(grad(i, j, k, 0) - exact));
+    });
+    return worst;
+  };
+  const double e1 = errorAt(16);
+  const double e2 = errorAt(32);
+  EXPECT_GT(std::log2(e1 / e2), 3.6);
+}
+
+TEST(Gradient, AosVariantMatchesSoA) {
+  const Box valid = Box::cube(6);
+  FArrayBox phi(valid.grow(kNumGhost), kNumComp);
+  initializeExemplar(phi, valid);
+  FArrayBox gradSoA(valid, 3);
+  gradient(phi, gradSoA, valid, 2);
+
+  AosFab aosPhi(phi.box(), kNumComp);
+  packAos(phi, aosPhi, phi.box());
+  AosFab gradAos(valid, 3);
+  aosGradient(aosPhi, gradAos, valid, 2);
+  forEachCell(valid, [&](int i, int j, int k) {
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_EQ(gradAos(i, j, k, d), gradSoA(i, j, k, d));
+    }
+  });
+}
+
+} // namespace
+} // namespace fluxdiv::kernels

@@ -1,0 +1,68 @@
+#include "kernels/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::kernels {
+namespace {
+
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::LevelData;
+using grid::ProblemDomain;
+using grid::Real;
+
+TEST(ExemplarValue, StrictlyPositiveAndBounded) {
+  const Box dom = Box::cube(16);
+  for (int c = 0; c < kNumComp; ++c) {
+    forEachCell(dom, [&](int i, int j, int k) {
+      const Real v = exemplarValue(i, j, k, c, dom);
+      ASSERT_GT(v, 0.5);
+      ASSERT_LT(v, 1.5);
+    });
+  }
+}
+
+TEST(ExemplarValue, ComponentsDiffer) {
+  const Box dom = Box::cube(8);
+  EXPECT_NE(exemplarValue(1, 2, 3, 0, dom), exemplarValue(1, 2, 3, 1, dom));
+}
+
+TEST(InitializeExemplar, GhostsHoldPeriodicImagesAfterExchange) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(16)), 8);
+  LevelData phi(dbl, kNumComp, kNumGhost);
+  initializeExemplar(phi);
+  const Box dom = dbl.domain().box();
+  // Low-side ghost of box 0 equals the domain's far side value.
+  EXPECT_DOUBLE_EQ(phi[0](-1, 0, 0, 0), exemplarValue(15, 0, 0, 0, dom));
+  EXPECT_DOUBLE_EQ(phi[0](-2, -1, -2, 3),
+                   exemplarValue(14, 15, 14, 3, dom));
+}
+
+TEST(InitializeExemplar, IndependentOfDecomposition) {
+  // The same global field regardless of box size — the invariant behind
+  // all equal-work cross-box-size comparisons.
+  ProblemDomain dom(Box::cube(16));
+  LevelData a(DisjointBoxLayout(dom, 16), kNumComp, kNumGhost);
+  LevelData b(DisjointBoxLayout(dom, 4), kNumComp, kNumGhost);
+  initializeExemplar(a);
+  initializeExemplar(b);
+  EXPECT_EQ(LevelData::maxAbsDiffValid(a, b), 0.0);
+}
+
+TEST(InitializeExemplar, StandaloneFabMatchesLevelFill) {
+  const Box dom = Box::cube(8);
+  DisjointBoxLayout dbl(ProblemDomain(dom), 8);
+  LevelData level(dbl, kNumComp, kNumGhost);
+  initializeExemplar(level);
+
+  FArrayBox fab(Box::cube(8).grow(kNumGhost), kNumComp);
+  initializeExemplar(fab, dom);
+  EXPECT_EQ(FArrayBox::maxAbsDiff(level[0], fab, fab.box()), 0.0);
+}
+
+} // namespace
+} // namespace fluxdiv::kernels

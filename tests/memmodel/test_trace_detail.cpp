@@ -1,0 +1,122 @@
+// Invariants of the memory-trace generators beyond the traffic orderings
+// of test_traffic.cpp: address-space layout, request-volume formulas, and
+// the recomputation surcharge of overlapped tiles.
+
+#include <gtest/gtest.h>
+
+#include "kernels/exemplar.hpp"
+#include "memmodel/trace.hpp"
+
+namespace fluxdiv::memmodel {
+namespace {
+
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+using kernels::kNumComp;
+
+TEST(VirtualFab, AddressingMatchesFArrayBoxLayout) {
+  const grid::Box b(grid::IntVect(-2, -2, -2), grid::IntVect(5, 5, 5));
+  const VirtualFab vf(1000, b, kNumComp);
+  EXPECT_EQ(vf.addr(-2, -2, -2, 0), 1000u);
+  EXPECT_EQ(vf.addr(-1, -2, -2, 0), 1008u);          // x stride = 1 value
+  EXPECT_EQ(vf.addr(-2, -1, -2, 0), 1000u + 8u * 8); // y stride = 8
+  EXPECT_EQ(vf.addr(-2, -2, -1, 0), 1000u + 64u * 8);
+  EXPECT_EQ(vf.addr(-2, -2, -2, 1), 1000u + 512u * 8); // comp slowest
+  EXPECT_EQ(vf.bytes(kNumComp), 512u * kNumComp * 8);
+}
+
+/// An "infinite" cache makes requestBytes() an exact operation count.
+CacheSim hugeSim() {
+  return CacheSim({{"L1", 1ull << 30, 16, 64}});
+}
+
+TEST(Trace, BaselineRequestBytesMatchClosedForm) {
+  const int n = 8;
+  CacheSim sim = hugeSim();
+  traceBoxEvaluation(
+      sim, core::makeBaseline(ParallelGranularity::OverBoxes), n);
+  // Per direction: faces = n^2 (n+1). EvalFlux1: C*(4 reads + 1 write);
+  // EvalFlux2: C*(2 reads + 1 write); accumulate over cells:
+  // C*(3 reads + 1 write).
+  const std::int64_t faces = std::int64_t(n) * n * (n + 1);
+  const std::int64_t cells = std::int64_t(n) * n * n;
+  const std::int64_t perDir =
+      kNumComp * (5 * faces + 3 * faces + 4 * cells);
+  EXPECT_EQ(sim.requestBytes(),
+            static_cast<std::uint64_t>(3 * perDir) * 8);
+}
+
+TEST(Trace, CliAddsVelocityCopyTraffic) {
+  const int n = 8;
+  CacheSim clo = hugeSim(), cli = hugeSim();
+  traceBoxEvaluation(
+      clo, core::makeBaseline(ParallelGranularity::OverBoxes), n);
+  traceBoxEvaluation(
+      cli,
+      core::makeBaseline(ParallelGranularity::OverBoxes,
+                         ComponentLoop::Inside),
+      n);
+  // CLI copies the velocity out (1 read + 1 write per face per dir).
+  const std::int64_t faces = std::int64_t(n) * n * (n + 1);
+  EXPECT_EQ(cli.requestBytes() - clo.requestBytes(),
+            static_cast<std::uint64_t>(3 * 2 * faces) * 8);
+}
+
+TEST(Trace, OverlappedTilesRequestMoreThanBaseline) {
+  // The recomputation surcharge: OT must *request* strictly more than the
+  // same intra-tile schedule untiled (shared tile-boundary fluxes are
+  // computed twice).
+  const int n = 16;
+  CacheSim base = hugeSim(), ot = hugeSim();
+  traceBoxEvaluation(
+      base, core::makeBaseline(ParallelGranularity::OverBoxes), n);
+  traceBoxEvaluation(ot,
+                     core::makeOverlapped(IntraTileSchedule::Basic, 4,
+                                          ParallelGranularity::WithinBox),
+                     n);
+  EXPECT_GT(ot.requestBytes(), base.requestBytes());
+  // ...but by a bounded factor (one extra face layer per tile dimension:
+  // (T+1)/T per direction ~ 1.25 at T=4 for face work).
+  EXPECT_LT(double(ot.requestBytes()), 1.6 * double(base.requestBytes()));
+}
+
+TEST(Trace, ShiftFuseRequestsLessThanBaseline) {
+  // Fusion eliminates the flux-temporary round trips, so even the raw
+  // request volume drops.
+  const int n = 8;
+  CacheSim base = hugeSim(), fused = hugeSim();
+  traceBoxEvaluation(
+      base, core::makeBaseline(ParallelGranularity::OverBoxes), n);
+  traceBoxEvaluation(
+      fused,
+      core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Outside),
+      n);
+  EXPECT_LT(fused.requestBytes(), base.requestBytes());
+}
+
+TEST(Trace, BlockedWavefrontRunsAndTouchesAllCells) {
+  const int n = 16;
+  CacheSim sim = hugeSim();
+  traceBoxEvaluation(sim,
+                     core::makeBlockedWF(4, ParallelGranularity::WithinBox,
+                                         ComponentLoop::Inside),
+                     n);
+  // Lower bound: every cell's phi1 RMW for every component.
+  const std::uint64_t rmw =
+      static_cast<std::uint64_t>(n) * n * n * kNumComp * 2 * 8;
+  EXPECT_GT(sim.requestBytes(), rmw);
+}
+
+TEST(Trace, DeterministicReplay) {
+  const auto cfg = core::makeShiftFuse(ParallelGranularity::OverBoxes);
+  CacheSim a = hugeSim(), b = hugeSim();
+  traceBoxEvaluation(a, cfg, 8);
+  traceBoxEvaluation(b, cfg, 8);
+  EXPECT_EQ(a.requestBytes(), b.requestBytes());
+  EXPECT_EQ(a.dramBytes(), b.dramBytes());
+}
+
+} // namespace
+} // namespace fluxdiv::memmodel

@@ -1,0 +1,159 @@
+// Cross-validation of the memory-traffic substrate: the trace-driven
+// CacheSim and the analytic model must both reproduce the orderings the
+// paper measured with VTune (Sec. VI-B): baseline traffic blows up once
+// temporaries exceed cache, shift-fuse cuts it substantially, tiled
+// schedules approach the compulsory floor.
+
+#include <gtest/gtest.h>
+
+#include "memmodel/trace.hpp"
+#include "memmodel/traffic_model.hpp"
+
+namespace fluxdiv::memmodel {
+namespace {
+
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+using core::VariantConfig;
+
+double simDramBytes(const VariantConfig& cfg, int n, std::size_t llc) {
+  CacheSim sim = CacheSim::makeTypical(32 * 1024, 256 * 1024, llc);
+  traceBoxEvaluation(sim, cfg, n);
+  return static_cast<double>(sim.dramBytes());
+}
+
+TEST(Trace, RequestVolumeScalesWithBox) {
+  CacheSim a = CacheSim::makeTypical();
+  CacheSim b = CacheSim::makeTypical();
+  const auto cfg = core::makeBaseline(ParallelGranularity::OverBoxes);
+  traceBoxEvaluation(a, cfg, 8);
+  traceBoxEvaluation(b, cfg, 16);
+  // ~8x the cells -> ~8x the requested bytes (faces add a bit less).
+  const double ratio =
+      double(b.requestBytes()) / double(a.requestBytes());
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Trace, SmallBoxFitsInCacheSoTrafficIsCompulsory) {
+  // N=16 with a 6 MiB LLC: the paper's small-box regime. DRAM traffic
+  // should be near the compulsory floor (read phi0, RMW phi1), far below
+  // the requested volume.
+  const auto cfg = core::makeBaseline(ParallelGranularity::OverBoxes);
+  CacheSim sim = CacheSim::makeTypical();
+  traceBoxEvaluation(sim, cfg, 16);
+  const double compulsory = 8.0 * 5 * (20.0 * 20 * 20 + 2 * 16.0 * 16 * 16);
+  EXPECT_LT(double(sim.dramBytes()), 2.0 * compulsory);
+}
+
+TEST(Trace, BaselineTrafficExplodesWhenTemporariesSpill) {
+  // Shrink the LLC so an N=32 box is to it what N=128 was to the paper's
+  // machines. Baseline bytes/cell must grow well beyond the in-cache
+  // regime's.
+  const auto cfg = core::makeBaseline(ParallelGranularity::OverBoxes);
+  const double small = simDramBytes(cfg, 32, 64 * 1024 * 1024);
+  const double spilled = simDramBytes(cfg, 32, 512 * 1024);
+  EXPECT_GT(spilled, 3.0 * small);
+}
+
+TEST(Trace, ShiftFuseMovesLessThanBaselineWhenSpilling) {
+  const std::size_t llc = 512 * 1024; // force the out-of-cache regime
+  const double base = simDramBytes(
+      core::makeBaseline(ParallelGranularity::OverBoxes), 32, llc);
+  const double fused = simDramBytes(
+      core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Inside),
+      32, llc);
+  EXPECT_LT(fused, base) << "shift-fuse must reduce DRAM traffic";
+}
+
+TEST(Trace, OverlappedTilesApproachCompulsoryFloor) {
+  const std::size_t llc = 512 * 1024;
+  const auto base = core::makeBaseline(ParallelGranularity::OverBoxes);
+  const auto ot = core::makeOverlapped(IntraTileSchedule::ShiftFuse, 8,
+                                       ParallelGranularity::WithinBox);
+  const double baseBytes = simDramBytes(base, 32, llc);
+  const double otBytes = simDramBytes(ot, 32, llc);
+  EXPECT_LT(otBytes, 0.6 * baseBytes);
+}
+
+TEST(Trace, RejectsInvalidConfig) {
+  CacheSim sim = CacheSim::makeTypical();
+  auto bad = core::makeOverlapped(IntraTileSchedule::Basic, 32,
+                                  ParallelGranularity::WithinBox);
+  EXPECT_THROW(traceBoxEvaluation(sim, bad, 16), std::invalid_argument);
+}
+
+TEST(TrafficModel, WorkingSetFormulasOrdering) {
+  // Table I ordering at N=128: baseline >> shift-fuse CLO (velocity
+  // dominated) > blocked WF > overlapped tiles.
+  const int n = 128;
+  const double base = workingSetBytes(
+      core::makeBaseline(ParallelGranularity::OverBoxes), n);
+  const double wf = workingSetBytes(
+      core::makeBlockedWF(16, ParallelGranularity::WithinBox,
+                          ComponentLoop::Inside),
+      n);
+  const double ot = workingSetBytes(
+      core::makeOverlapped(IntraTileSchedule::ShiftFuse, 16,
+                           ParallelGranularity::WithinBox),
+      n);
+  EXPECT_GT(base, wf);
+  EXPECT_GT(wf, ot);
+}
+
+TEST(TrafficModel, RegimeSwitchAtCacheCapacity) {
+  const auto cfg = core::makeBaseline(ParallelGranularity::OverBoxes);
+  const auto inCache = estimateTraffic(cfg, 16, 25 * 1024 * 1024);
+  const auto spilled = estimateTraffic(cfg, 128, 25 * 1024 * 1024);
+  EXPECT_TRUE(inCache.workingSetFits);
+  EXPECT_FALSE(spilled.workingSetFits);
+  // Paper Sec. VI-B: bandwidth demand roughly quadruples (4.9 -> 18.3
+  // GB/s on the desktop). Bytes/cell must grow by a similar factor.
+  EXPECT_GT(spilled.bytesPerCell, 2.5 * inCache.bytesPerCell);
+  EXPECT_LT(spilled.bytesPerCell, 8.0 * inCache.bytesPerCell);
+}
+
+TEST(TrafficModel, ShiftFuseRoughlyHalvesBaselineAtLargeN) {
+  // Paper: 18.3 GB/s baseline vs ~9.4/6 GB/s shift-fuse at N=128.
+  const std::size_t llc = 25 * 1024 * 1024;
+  const auto base = estimateTraffic(
+      core::makeBaseline(ParallelGranularity::OverBoxes), 128, llc);
+  const auto fused = estimateTraffic(
+      core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                          ComponentLoop::Inside),
+      128, llc);
+  EXPECT_LT(fused.bytesPerCell, 0.7 * base.bytesPerCell);
+  EXPECT_GT(fused.bytesPerCell, 0.05 * base.bytesPerCell);
+}
+
+TEST(TrafficModel, TiledSchedulesNearCompulsoryFloor) {
+  const std::size_t llc = 25 * 1024 * 1024;
+  const auto ot = estimateTraffic(
+      core::makeOverlapped(IntraTileSchedule::ShiftFuse, 16,
+                           ParallelGranularity::WithinBox),
+      128, llc);
+  // Compulsory floor: read ghosted phi0 + RMW phi1 = C*8*((N+4)^3+2N^3).
+  const double floor =
+      5 * 8.0 * (132.0 * 132 * 132 + 2 * 128.0 * 128 * 128);
+  EXPECT_GT(ot.totalBytes, 0.9 * floor);
+  EXPECT_LT(ot.totalBytes, 2.0 * floor);
+}
+
+TEST(TrafficModel, AgreesWithSimulatorWithinFactorTwo) {
+  // Small-N cross-check between the closed forms and the exact simulator.
+  const std::size_t llc = 512 * 1024;
+  for (const auto& cfg :
+       {core::makeBaseline(ParallelGranularity::OverBoxes),
+        core::makeShiftFuse(ParallelGranularity::OverBoxes,
+                            ComponentLoop::Inside)}) {
+    const double sim = simDramBytes(cfg, 32, llc);
+    const double model = estimateTraffic(cfg, 32, llc).totalBytes;
+    EXPECT_LT(model, 2.5 * sim) << cfg.name();
+    EXPECT_GT(model, sim / 2.5) << cfg.name();
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::memmodel

@@ -1,0 +1,70 @@
+#include "sched/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxdiv::sched {
+namespace {
+
+TEST(StaticSlice, CoversRangeWithoutOverlap) {
+  for (int total : {0, 1, 7, 16, 100}) {
+    for (int workers : {1, 2, 3, 8, 24}) {
+      std::int64_t expectedBegin = 0;
+      for (int r = 0; r < workers; ++r) {
+        const auto [begin, end] = staticSlice(total, workers, r);
+        EXPECT_EQ(begin, expectedBegin);
+        EXPECT_LE(begin, end);
+        expectedBegin = end;
+      }
+      EXPECT_EQ(expectedBegin, total);
+    }
+  }
+}
+
+TEST(StaticSlice, BalancedWithinOne) {
+  const int total = 103;
+  const int workers = 8;
+  std::int64_t smallest = total, largest = 0;
+  for (int r = 0; r < workers; ++r) {
+    const auto [begin, end] = staticSlice(total, workers, r);
+    smallest = std::min(smallest, end - begin);
+    largest = std::max(largest, end - begin);
+  }
+  EXPECT_LE(largest - smallest, 1);
+}
+
+TEST(ZSlab, PartitionsBoxExactly) {
+  const grid::Box box = grid::Box::cube(16, grid::IntVect(0, 0, 5));
+  const int workers = 5;
+  std::int64_t total = 0;
+  int expectedLo = box.lo(2);
+  for (int r = 0; r < workers; ++r) {
+    const grid::Box slab = zSlab(box, workers, r);
+    ASSERT_FALSE(slab.empty());
+    EXPECT_EQ(slab.lo(0), box.lo(0));
+    EXPECT_EQ(slab.hi(1), box.hi(1));
+    EXPECT_EQ(slab.lo(2), expectedLo);
+    expectedLo = slab.hi(2) + 1;
+    total += slab.numPts();
+  }
+  EXPECT_EQ(expectedLo, box.hi(2) + 1);
+  EXPECT_EQ(total, box.numPts());
+}
+
+TEST(ZSlab, MoreWorkersThanPlanesYieldsEmptySlabs) {
+  const grid::Box box = grid::Box::cube(2);
+  int nonEmpty = 0;
+  for (int r = 0; r < 8; ++r) {
+    if (!zSlab(box, 8, r).empty()) {
+      ++nonEmpty;
+    }
+  }
+  EXPECT_EQ(nonEmpty, 2);
+}
+
+TEST(ZSlab, SingleWorkerGetsWholeBox) {
+  const grid::Box box = grid::Box::cube(8);
+  EXPECT_EQ(zSlab(box, 1, 0), box);
+}
+
+} // namespace
+} // namespace fluxdiv::sched

@@ -1,0 +1,171 @@
+#include "sched/tiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fluxdiv::sched {
+namespace {
+
+TEST(TileSet, DividingTileSize) {
+  TileSet tiles(Box::cube(32), 8);
+  EXPECT_EQ(tiles.gridSize(), IntVect(4, 4, 4));
+  EXPECT_EQ(tiles.size(), 64u);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    EXPECT_EQ(tiles.tileBox(t).numPts(), 8 * 8 * 8);
+  }
+}
+
+TEST(TileSet, NonDividingTileSizeClipsEdges) {
+  TileSet tiles(Box::cube(10), 4);
+  EXPECT_EQ(tiles.gridSize(), IntVect(3, 3, 3));
+  // The last tile in each direction has extent 2.
+  const Box last = tiles.tileBox(tiles.size() - 1);
+  EXPECT_EQ(last.size(), IntVect(2, 2, 2));
+  EXPECT_EQ(last.hi(), IntVect(9, 9, 9));
+}
+
+TEST(TileSet, TilesPartitionTheBoxExactly) {
+  const Box box = Box::cube(12, IntVect(4, -8, 0));
+  TileSet tiles(box, 5);
+  std::int64_t total = 0;
+  for (std::size_t a = 0; a < tiles.size(); ++a) {
+    const Box ta = tiles.tileBox(a);
+    EXPECT_TRUE(box.contains(ta));
+    total += ta.numPts();
+    for (std::size_t b = a + 1; b < tiles.size(); ++b) {
+      EXPECT_FALSE(ta.intersects(tiles.tileBox(b)));
+    }
+  }
+  EXPECT_EQ(total, box.numPts());
+}
+
+TEST(TileSet, RespectsBoxOrigin) {
+  TileSet tiles(Box::cube(8, IntVect(16, 16, 16)), 4);
+  EXPECT_EQ(tiles.tileBox(std::size_t(0)).lo(), IntVect(16, 16, 16));
+}
+
+TEST(TileSet, RejectsBadTileSize) {
+  EXPECT_THROW(TileSet(Box::cube(8), 0), std::invalid_argument);
+  EXPECT_THROW(TileSet(Box::cube(8), -2), std::invalid_argument);
+}
+
+TEST(TileSet, TileLargerThanBoxYieldsOneTile) {
+  TileSet tiles(Box::cube(8), 32);
+  EXPECT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles.tileBox(std::size_t(0)), Box::cube(8));
+}
+
+TEST(TileWavefronts, FrontCountAndMembership) {
+  TileSet tiles(Box::cube(32), 8); // 4x4x4 tiles
+  TileWavefronts fronts(tiles);
+  EXPECT_EQ(fronts.count(), std::size_t(4 + 4 + 4 - 2));
+  // First and last fronts hold exactly the corner tiles.
+  EXPECT_EQ(fronts.front(0).size(), 1u);
+  EXPECT_EQ(fronts.front(fronts.count() - 1).size(), 1u);
+  // All tiles appear exactly once.
+  std::vector<int> seen(tiles.size(), 0);
+  for (std::size_t w = 0; w < fronts.count(); ++w) {
+    for (std::size_t t : fronts.front(w)) {
+      ++seen[t];
+      EXPECT_EQ(static_cast<std::size_t>(tiles.tileCoords(t).sum()), w);
+    }
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(TileWavefronts, FrontsAreATopologicalOrderOfTheDependences) {
+  // A tile depends on its -x/-y/-z neighbors; every dependence must cross
+  // from a strictly earlier front.
+  TileSet tiles(Box::cube(24), 8);
+  TileWavefronts fronts(tiles);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const IntVect c = tiles.tileCoords(t);
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      if (c[d] > 0) {
+        const IntVect dep = c - IntVect::basis(d);
+        EXPECT_LT(dep.sum(), c.sum());
+      }
+    }
+  }
+}
+
+TEST(TileWavefronts, PairwiseDistinctOrthogonalCoordsWithinAFront) {
+  // The property that makes the blocked-wavefront cache slots disjoint
+  // (Sec. IV-C): two tiles in one front never share their orthogonal
+  // coordinate pair for any direction.
+  TileSet tiles(Box::cube(32), 8);
+  TileWavefronts fronts(tiles);
+  for (std::size_t w = 0; w < fronts.count(); ++w) {
+    const auto& front = fronts.front(w);
+    for (std::size_t a = 0; a < front.size(); ++a) {
+      for (std::size_t b = a + 1; b < front.size(); ++b) {
+        const IntVect ca = tiles.tileCoords(front[a]);
+        const IntVect cb = tiles.tileCoords(front[b]);
+        for (int d = 0; d < grid::SpaceDim; ++d) {
+          const int o1 = (d + 1) % 3;
+          const int o2 = (d + 2) % 3;
+          EXPECT_FALSE(ca[o1] == cb[o1] && ca[o2] == cb[o2]);
+        }
+      }
+    }
+  }
+}
+
+TEST(TileWavefronts, PencilTileSetHasLinearFronts) {
+  // Pencil tiles (full x): the tile grid is 1 x 4 x 4, so fronts follow
+  // ty + tz and the widest front has min(4,4) tiles.
+  TileSet tiles(Box::cube(32), IntVect(32, 8, 8));
+  EXPECT_EQ(tiles.gridSize(), IntVect(1, 4, 4));
+  TileWavefronts fronts(tiles);
+  EXPECT_EQ(fronts.count(), std::size_t(1 + 4 + 4 - 2));
+  std::size_t widest = 0;
+  for (std::size_t w = 0; w < fronts.count(); ++w) {
+    widest = std::max(widest, fronts.front(w).size());
+  }
+  EXPECT_EQ(widest, 4u);
+}
+
+TEST(TileTraversal, LexicographicIsIdentity) {
+  TileSet tiles(Box::cube(16), 4);
+  const auto perm = tileTraversal(tiles, TileOrder::Lexicographic);
+  for (std::size_t t = 0; t < perm.size(); ++t) {
+    EXPECT_EQ(perm[t], t);
+  }
+}
+
+TEST(TileTraversal, MortonIsAPermutation) {
+  TileSet tiles(Box::cube(24), 8); // 27 tiles, non-power-of-two grid
+  const auto perm = tileTraversal(tiles, TileOrder::Morton);
+  std::vector<int> seen(tiles.size(), 0);
+  for (std::size_t t : perm) {
+    ASSERT_LT(t, tiles.size());
+    ++seen[t];
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(TileTraversal, MortonVisitsOctantsContiguously) {
+  // For a 4x4x4 grid, Z-order visits each 2x2x2 octant's 8 tiles before
+  // moving on — the spatial-locality property the order exists for.
+  TileSet tiles(Box::cube(16), 4);
+  const auto perm = tileTraversal(tiles, TileOrder::Morton);
+  ASSERT_EQ(perm.size(), 64u);
+  for (std::size_t group = 0; group < 8; ++group) {
+    const IntVect first = tiles.tileCoords(perm[group * 8]);
+    for (std::size_t i = 1; i < 8; ++i) {
+      const IntVect c = tiles.tileCoords(perm[group * 8 + i]);
+      for (int d = 0; d < grid::SpaceDim; ++d) {
+        EXPECT_EQ(c[d] / 2, first[d] / 2)
+            << "tile left its octant within a Morton group";
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::sched

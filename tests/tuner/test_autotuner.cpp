@@ -1,0 +1,117 @@
+#include "tuner/autotuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+
+namespace fluxdiv::tuner {
+namespace {
+
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::LevelData;
+using grid::ProblemDomain;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+struct Fixture {
+  DisjointBoxLayout dbl{ProblemDomain(Box::cube(16)), 16};
+  LevelData phi0{dbl, kNumComp, kNumGhost};
+  LevelData phi1{dbl, kNumComp, kNumGhost};
+  Fixture() { kernels::initializeExemplar(phi0); }
+};
+
+TEST(Autotuner, CoversEveryRegisteredVariant) {
+  Fixture f;
+  TuneOptions opts;
+  opts.threads = 1;
+  opts.reps = 1;
+  opts.modelPruning = false;
+  const TuneResult result = autotune(f.phi0, f.phi1, opts);
+  EXPECT_EQ(result.measurements.size(),
+            core::enumerateVariants(16).size());
+  EXPECT_EQ(result.prunedCount, 0);
+  for (const auto& m : result.measurements) {
+    EXPECT_GT(m.seconds, 0.0) << m.cfg.name();
+    EXPECT_GT(m.predictedBytesPerCell, 0.0) << m.cfg.name();
+  }
+}
+
+TEST(Autotuner, BestIsTheMinimumMeasured) {
+  Fixture f;
+  TuneOptions opts;
+  opts.threads = 1;
+  opts.reps = 1;
+  opts.modelPruning = false;
+  const TuneResult result = autotune(f.phi0, f.phi1, opts);
+  for (const auto& m : result.measurements) {
+    EXPECT_LE(result.bestSeconds, m.seconds) << m.cfg.name();
+  }
+  EXPECT_TRUE(result.best.validFor(16));
+}
+
+TEST(Autotuner, PruningSkipsHighTrafficCandidates) {
+  Fixture f;
+  TuneOptions opts;
+  opts.threads = 1;
+  opts.reps = 1;
+  opts.modelPruning = true;
+  opts.pruneFactor = 1.05; // aggressive: keep only near-optimal traffic
+  opts.cacheBytes = 256 * 1024; // small LLC so predictions spread out
+  const TuneResult result = autotune(f.phi0, f.phi1, opts);
+  EXPECT_GT(result.prunedCount, 0);
+  EXPECT_LT(result.prunedCount,
+            static_cast<int>(result.measurements.size()));
+  for (const auto& m : result.measurements) {
+    if (m.pruned) {
+      EXPECT_EQ(m.seconds, 0.0);
+    }
+  }
+  // A winner is still produced.
+  EXPECT_GT(result.bestSeconds, 0.0);
+}
+
+TEST(Autotuner, RankedPutsFastestFirstAndPrunedLast) {
+  Fixture f;
+  TuneOptions opts;
+  opts.threads = 1;
+  opts.reps = 1;
+  opts.pruneFactor = 1.5;
+  opts.cacheBytes = 256 * 1024;
+  const TuneResult result = autotune(f.phi0, f.phi1, opts);
+  const auto ranked = result.ranked();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().cfg.name(), result.best.name());
+  bool seenPruned = false;
+  double prev = 0.0;
+  for (const auto& m : ranked) {
+    if (m.pruned) {
+      seenPruned = true;
+      continue;
+    }
+    EXPECT_FALSE(seenPruned) << "measured candidate after pruned ones";
+    EXPECT_GE(m.seconds, prev);
+    prev = m.seconds;
+  }
+}
+
+TEST(Autotuner, TunedVariantProducesCorrectResult) {
+  Fixture f;
+  TuneOptions opts;
+  opts.threads = 2;
+  opts.reps = 1;
+  const TuneResult result = autotune(f.phi0, f.phi1, opts);
+  // Rerun the winner and compare against the baseline schedule.
+  LevelData expected(f.dbl, kNumComp, kNumGhost);
+  LevelData actual(f.dbl, kNumComp, kNumGhost);
+  core::FluxDivRunner base(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 1);
+  base.run(f.phi0, expected);
+  core::FluxDivRunner tuned(result.best, 2);
+  tuned.run(f.phi0, actual);
+  EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12);
+}
+
+} // namespace
+} // namespace fluxdiv::tuner
