@@ -1,0 +1,40 @@
+#pragma once
+// Deliberately-broken schedule mutations. Each takes a *legal* lowered
+// ScheduleModel and miscompiles it the way a buggy executor or a wrong
+// tuning decision would, so the tests (tests/analysis) and the verify tool
+// can prove ScheduleVerifier rejects each class of illegality with the
+// right diagnostic — not merely accepts the legal ones.
+
+#include <cstddef>
+
+#include "analysis/model.hpp"
+
+namespace fluxdiv::analysis::mutate {
+
+/// Understate the ghost depth on Phi0 (a too-shallow halo exchange).
+/// Every variant's EvalFlux1 reads 2 deep, so depth 1 must be rejected
+/// with HaloTooShallow.
+ScheduleModel shallowHalo(ScheduleModel m);
+
+/// Zero the z component of every wavefront skew (a diagonal that no
+/// longer covers the z carry). Rejected with SkewTooSmall naming the
+/// carry-z dependence.
+ScheduleModel weakSkew(ScheduleModel m);
+
+/// Shrink the x-direction EvalFlux1 recompute region by one face on the
+/// high side (an overlapped tile whose interior recomputation is too
+/// thin). Rejected with RecomputeUncovered at the first consuming stage.
+ScheduleModel thinOverlap(ScheduleModel m);
+
+/// Grow every Phi1 write footprint by one cell (tiles that also commit
+/// their overlap region). Concurrent tiles then write intersecting
+/// regions: rejected with WriteOverlap naming the two tiles.
+ScheduleModel overlappingTileWrites(ScheduleModel m);
+
+/// Remove the barrier after `phase`, merging it with its successor (the
+/// classic dropped omp barrier). For the slab-parallel baseline in the z
+/// direction this races a slab's flux-difference read against its
+/// neighbor's face writes: rejected with ReadWriteRace.
+ScheduleModel droppedBarrier(ScheduleModel m, std::size_t phase);
+
+} // namespace fluxdiv::analysis::mutate

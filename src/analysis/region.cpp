@@ -1,0 +1,68 @@
+#include "analysis/region.hpp"
+
+namespace fluxdiv::analysis {
+
+using grid::IntVect;
+
+std::vector<Box> boxDiff(const Box& a, const Box& b) {
+  if (a.empty()) {
+    return {};
+  }
+  const Box cut = a & b;
+  if (cut.empty()) {
+    return {a};
+  }
+  if (cut == a) {
+    return {};
+  }
+  // Peel the six slabs of `a` around `cut`, direction by direction. After
+  // peeling direction d the remaining core matches `cut` in every
+  // direction <= d, so the slabs are disjoint by construction.
+  std::vector<Box> out;
+  Box core = a;
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    if (core.lo(d) < cut.lo(d)) {
+      IntVect hi = core.hi();
+      hi[d] = cut.lo(d) - 1;
+      out.emplace_back(core.lo(), hi);
+      IntVect lo = core.lo();
+      lo[d] = cut.lo(d);
+      core = Box(lo, core.hi());
+    }
+    if (core.hi(d) > cut.hi(d)) {
+      IntVect lo = core.lo();
+      lo[d] = cut.hi(d) + 1;
+      out.emplace_back(lo, core.hi());
+      IntVect hi = core.hi();
+      hi[d] = cut.hi(d);
+      core = Box(core.lo(), hi);
+    }
+  }
+  return out;
+}
+
+bool covered(const Box& target, const std::vector<Box>& cover) {
+  return firstUncovered(target, cover).empty();
+}
+
+Box firstUncovered(const Box& target, const std::vector<Box>& cover) {
+  if (target.empty()) {
+    return {};
+  }
+  std::vector<Box> remaining{target};
+  for (const Box& c : cover) {
+    std::vector<Box> next;
+    next.reserve(remaining.size() + 4);
+    for (const Box& r : remaining) {
+      auto pieces = boxDiff(r, c);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    remaining.swap(next);
+    if (remaining.empty()) {
+      return {};
+    }
+  }
+  return remaining.front();
+}
+
+} // namespace fluxdiv::analysis

@@ -1,0 +1,29 @@
+#pragma once
+// Region algebra for the schedule verifier: box subtraction and coverage
+// queries over unions of boxes. The verifier's questions are all of the
+// form "is this read region fully inside that union of written regions,
+// and if not, which cells are missing?" — answered here with exact
+// rectangular decompositions (no rasterization).
+
+#include <vector>
+
+#include "grid/box.hpp"
+
+namespace fluxdiv::analysis {
+
+using grid::Box;
+
+/// Rectangular decomposition of `a` minus `b`: up to six disjoint boxes
+/// whose union is exactly the points of `a` not in `b`. Returns {a} when
+/// the boxes do not intersect and {} when `b` covers `a`.
+std::vector<Box> boxDiff(const Box& a, const Box& b);
+
+/// True if `target` is fully covered by the union of `cover`.
+bool covered(const Box& target, const std::vector<Box>& cover);
+
+/// A maximal rectangular piece of `target` not covered by the union of
+/// `cover`; the empty box when `target` is fully covered. This is the
+/// "violating cell region" reported in diagnostics.
+Box firstUncovered(const Box& target, const std::vector<Box>& cover);
+
+} // namespace fluxdiv::analysis

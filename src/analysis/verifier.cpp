@@ -1,0 +1,322 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/lower.hpp"
+#include "analysis/region.hpp"
+
+namespace fluxdiv::analysis {
+
+const char* fieldName(FieldId f) {
+  switch (f) {
+  case FieldId::Phi0:
+    return "phi0";
+  case FieldId::Phi1:
+    return "phi1";
+  case FieldId::Flux:
+    return "flux";
+  case FieldId::Velocity:
+    return "velocity";
+  case FieldId::CacheX:
+    return "cacheX";
+  case FieldId::CacheY:
+    return "cacheY";
+  case FieldId::CacheZ:
+    return "cacheZ";
+  }
+  return "?";
+}
+
+const char* diagnosticKindName(DiagnosticKind k) {
+  switch (k) {
+  case DiagnosticKind::Ok:
+    return "ok";
+  case DiagnosticKind::HaloTooShallow:
+    return "halo-too-shallow";
+  case DiagnosticKind::RecomputeUncovered:
+    return "recompute-uncovered";
+  case DiagnosticKind::ReadUncovered:
+    return "read-uncovered";
+  case DiagnosticKind::WriteOverlap:
+    return "write-overlap";
+  case DiagnosticKind::ReadWriteRace:
+    return "read-write-race";
+  case DiagnosticKind::SkewTooSmall:
+    return "skew-too-small";
+  }
+  return "?";
+}
+
+std::string Diagnostic::message() const {
+  std::ostringstream os;
+  os << diagnosticKindName(kind);
+  if (ok()) {
+    return os.str();
+  }
+  os << ": " << stageA;
+  if (!itemA.empty()) {
+    os << " [" << itemA << "]";
+  }
+  os << " vs " << stageB;
+  if (!itemB.empty()) {
+    os << " [" << itemB << "]";
+  }
+  os << " over " << region;
+  return os.str();
+}
+
+namespace {
+
+std::string pointName(const IntVect& p) {
+  std::ostringstream os;
+  os << "(" << p[0] << "," << p[1] << "," << p[2] << ")";
+  return os.str();
+}
+
+/// R3a: every carried dependence must be strictly dominated by the skew.
+Diagnostic checkCone(const ScheduleModel& m, const ConeCheck& cone) {
+  for (const auto& dep : cone.deps) {
+    const int dot = cone.skew[0] * dep.vector[0] +
+                    cone.skew[1] * dep.vector[1] +
+                    cone.skew[2] * dep.vector[2];
+    if (dot < 1) {
+      Diagnostic d;
+      d.kind = DiagnosticKind::SkewTooSmall;
+      d.variant = m.variant;
+      d.stageA = dep.consumerStage;
+      d.stageB = dep.producerStage;
+      d.itemA = cone.name + " iteration " +
+                pointName(cone.lattice.lo() + dep.vector);
+      d.itemB = cone.name + " iteration " + pointName(cone.lattice.lo());
+      d.region = Box(IntVect::min(cone.lattice.lo(),
+                                  cone.lattice.lo() + dep.vector),
+                     IntVect::max(cone.lattice.lo(),
+                                  cone.lattice.lo() + dep.vector));
+      return d;
+    }
+  }
+  return {};
+}
+
+/// R3b: no two same-front iterations may address the same storage slot.
+/// A collision is a nonzero lattice offset delta with skew . delta == 0
+/// that is invisible to the field's indexing (zero on all indexed
+/// directions). Search is exact for the small skews in use: any collision
+/// has a witness with |delta_d| <= max(8, |skew|_inf).
+Diagnostic checkSlotCollisions(const ScheduleModel& m,
+                               const ConeCheck& cone) {
+  int radius = 8;
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    radius = std::max(radius, std::abs(cone.skew[d]));
+  }
+  for (const auto& w : cone.writes) {
+    int range[3];
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      // Indexed directions pin delta to 0; free directions roam the
+      // lattice (clipped to the search radius).
+      range[d] = w.indexed[static_cast<std::size_t>(d)]
+                     ? 0
+                     : std::min(radius, cone.lattice.size(d) - 1);
+    }
+    for (int dz = -range[2]; dz <= range[2]; ++dz) {
+      for (int dy = -range[1]; dy <= range[1]; ++dy) {
+        for (int dx = -range[0]; dx <= range[0]; ++dx) {
+          const IntVect delta(dx, dy, dz);
+          if (delta == IntVect::zero()) {
+            continue;
+          }
+          if (cone.skew[0] * dx + cone.skew[1] * dy + cone.skew[2] * dz !=
+              0) {
+            continue;
+          }
+          Diagnostic diag;
+          diag.kind = DiagnosticKind::WriteOverlap;
+          diag.variant = m.variant;
+          diag.stageA = w.stage;
+          diag.stageB = w.stage;
+          diag.itemA =
+              cone.name + " iteration " + pointName(cone.lattice.lo());
+          diag.itemB = cone.name + " iteration " +
+                       pointName(cone.lattice.lo() + delta);
+          diag.region = Box(
+              IntVect::min(cone.lattice.lo(), cone.lattice.lo() + delta),
+              IntVect::max(cone.lattice.lo(), cone.lattice.lo() + delta));
+          return diag;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+/// A committed shared write: who wrote what, for coverage and messages.
+struct CommittedWrite {
+  Access access;
+  std::string stage;
+  std::string item;
+};
+
+bool compContains(const Access& a, int c) {
+  return c >= a.comp0 && c < a.comp0 + a.nComp;
+}
+
+/// R2: pairwise conflicts between two concurrent items. Private storage
+/// never conflicts across items.
+Diagnostic checkItemPair(const ScheduleModel& m, const Phase& phase,
+                         const WorkItem& a, const WorkItem& b) {
+  for (const auto& sa : a.stages) {
+    for (const auto& wa : sa.writes) {
+      if (wa.storage != StorageClass::Shared) {
+        continue;
+      }
+      for (const auto& sb : b.stages) {
+        for (const auto& wb : sb.writes) {
+          if (wb.storage == StorageClass::Shared && wa.overlaps(wb)) {
+            Diagnostic d;
+            d.kind = DiagnosticKind::WriteOverlap;
+            d.variant = m.variant;
+            d.stageA = sa.stage;
+            d.stageB = sb.stage;
+            d.itemA = phase.name + " / " + a.name;
+            d.itemB = phase.name + " / " + b.name;
+            d.region = wa.box & wb.box;
+            return d;
+          }
+        }
+        for (const auto& rb : sb.reads) {
+          if (rb.storage == StorageClass::Shared && wa.overlaps(rb)) {
+            Diagnostic d;
+            d.kind = DiagnosticKind::ReadWriteRace;
+            d.variant = m.variant;
+            d.stageA = sb.stage;
+            d.stageB = sa.stage;
+            d.itemA = phase.name + " / " + b.name;
+            d.itemB = phase.name + " / " + a.name;
+            d.region = wa.box & rb.box;
+            return d;
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+} // namespace
+
+Diagnostic ScheduleVerifier::verify(const ScheduleModel& m) const {
+  // R3: symbolic wavefront checks.
+  for (const auto& cone : m.cones) {
+    if (Diagnostic d = checkCone(m, cone); !d.ok()) {
+      return d;
+    }
+    if (Diagnostic d = checkSlotCollisions(m, cone); !d.ok()) {
+      return d;
+    }
+  }
+
+  const Box ghosted = m.valid.grow(m.ghost);
+  std::vector<CommittedWrite> committed;
+
+  for (const auto& phase : m.phases) {
+    // R2: concurrency conflicts between the phase's items.
+    for (std::size_t i = 0; i + 1 < phase.items.size(); ++i) {
+      for (std::size_t j = i + 1; j < phase.items.size(); ++j) {
+        if (Diagnostic d =
+                checkItemPair(m, phase, phase.items[i], phase.items[j]);
+            !d.ok()) {
+          return d;
+        }
+      }
+    }
+
+    // R1: every read covered, walking each item's stages in order.
+    // Same-phase writes of *other* items are not visible (that would be a
+    // race, caught by R2): commits are staged until the phase ends.
+    std::vector<CommittedWrite> pending;
+    for (const auto& item : phase.items) {
+      std::vector<std::pair<Access, std::string>> local; // this item's writes
+      for (const auto& stage : item.stages) {
+        for (const auto& r : stage.reads) {
+          if (r.box.empty()) {
+            continue;
+          }
+          if (r.field == FieldId::Phi0) {
+            if (!ghosted.contains(r.box)) {
+              Diagnostic d;
+              d.kind = DiagnosticKind::HaloTooShallow;
+              d.variant = m.variant;
+              d.stageA = stage.stage;
+              d.stageB = "ghost exchange (depth " +
+                         std::to_string(m.ghost) + ")";
+              d.itemA = phase.name + " / " + item.name;
+              d.region = firstUncovered(r.box, {ghosted});
+              return d;
+            }
+            continue;
+          }
+          for (int c = r.comp0; c < r.comp0 + r.nComp; ++c) {
+            std::vector<Box> cover;
+            std::string lastProducer;
+            if (r.storage == StorageClass::Shared) {
+              for (const auto& cw : committed) {
+                if (cw.access.field == r.field &&
+                    cw.access.storage == StorageClass::Shared &&
+                    compContains(cw.access, c)) {
+                  cover.push_back(cw.access.box);
+                  lastProducer = cw.stage;
+                }
+              }
+            }
+            for (const auto& [acc, st] : local) {
+              if (acc.field == r.field && acc.storage == r.storage &&
+                  compContains(acc, c)) {
+                cover.push_back(acc.box);
+                lastProducer = st;
+              }
+            }
+            const Box missing = firstUncovered(r.box, cover);
+            if (!missing.empty()) {
+              Diagnostic d;
+              d.kind = r.storage == StorageClass::Private
+                           ? DiagnosticKind::RecomputeUncovered
+                           : DiagnosticKind::ReadUncovered;
+              d.variant = m.variant;
+              d.stageA = stage.stage;
+              d.stageB = lastProducer.empty()
+                             ? std::string("<no producer of ") +
+                                   fieldName(r.field) + ">"
+                             : lastProducer;
+              d.itemA = phase.name + " / " + item.name;
+              d.region = missing;
+              return d;
+            }
+          }
+        }
+        for (const auto& w : stage.writes) {
+          if (!w.box.empty()) {
+            local.emplace_back(w, stage.stage);
+          }
+        }
+      }
+      for (const auto& [acc, st] : local) {
+        if (acc.storage == StorageClass::Shared) {
+          pending.push_back({acc, st, phase.name + " / " + item.name});
+        }
+      }
+    }
+    committed.insert(committed.end(), pending.begin(), pending.end());
+  }
+  Diagnostic okDiag;
+  okDiag.variant = m.variant;
+  return okDiag;
+}
+
+Diagnostic ScheduleVerifier::verify(const core::VariantConfig& cfg,
+                                    int boxSize, int nThreads) const {
+  return verify(lowerVariant(cfg, grid::Box::cube(boxSize), nThreads));
+}
+
+} // namespace fluxdiv::analysis

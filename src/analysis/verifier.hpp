@@ -1,0 +1,66 @@
+#pragma once
+// ScheduleVerifier: proves a lowered ScheduleModel legal, or returns a
+// structured diagnostic naming the offending stage pair and the violating
+// cell region. The legality rules (docs/static-analysis.md):
+//
+//   R1 (coverage)     every read is covered by prior writes, by the
+//                     declared ghost region (Phi0), or by the item's own
+//                     recomputation (Private storage).
+//   R2 (disjointness) no two concurrently-scheduled items have
+//                     intersecting write footprints, and no item reads
+//                     what a concurrent item writes.
+//   R3 (skew)         wavefront skews strictly dominate the carried
+//                     dependence cone (skew . dep >= 1), and same-front
+//                     iterations never share a storage slot.
+//
+// Verification is pure box arithmetic: cheap enough to run on every
+// variant at registration in debug builds (see FluxDivRunner).
+
+#include <string>
+
+#include "analysis/model.hpp"
+#include "core/variant.hpp"
+
+namespace fluxdiv::analysis {
+
+enum class DiagnosticKind {
+  Ok,
+  HaloTooShallow,     ///< Phi0 read reaches beyond the declared ghost depth
+  RecomputeUncovered, ///< private temporary read the item never produced
+  ReadUncovered,      ///< shared field read with no prior producing write
+  WriteOverlap,       ///< concurrent items write intersecting regions
+  ReadWriteRace,      ///< item reads what a concurrent item writes
+  SkewTooSmall,       ///< wavefront skew does not dominate a dependence
+};
+
+const char* diagnosticKindName(DiagnosticKind k);
+
+/// Structured verification verdict. `stageA` is the consuming/first stage,
+/// `stageB` the producing/conflicting stage, `region` the violating cell
+/// (or cache-slot) region.
+struct Diagnostic {
+  DiagnosticKind kind = DiagnosticKind::Ok;
+  std::string variant;
+  std::string stageA;
+  std::string stageB;
+  std::string itemA;
+  std::string itemB;
+  grid::Box region;
+
+  [[nodiscard]] bool ok() const { return kind == DiagnosticKind::Ok; }
+  /// One-line human-readable rendering of the verdict.
+  [[nodiscard]] std::string message() const;
+};
+
+class ScheduleVerifier {
+public:
+  /// Verify an explicit model (possibly hand-mutated; see mutate.hpp).
+  [[nodiscard]] Diagnostic verify(const ScheduleModel& model) const;
+
+  /// Lower `cfg` over a cube of side `boxSize` for `nThreads` workers and
+  /// verify the result.
+  [[nodiscard]] Diagnostic verify(const core::VariantConfig& cfg,
+                                  int boxSize, int nThreads) const;
+};
+
+} // namespace fluxdiv::analysis

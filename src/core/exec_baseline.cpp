@@ -68,6 +68,7 @@ void accumulatePass(const FArrayBox& flux, FArrayBox& phi1, int d, int c,
   if (cb.empty()) {
     return;
   }
+  FLUXDIV_SHADOW_WRITE(phi1, cb, c, 1);
   const Idx ix(flux);
   const Idx io(phi1);
   const std::int64_t s = ix.stride(d);
@@ -166,6 +167,7 @@ void cliAccumulate(const FArrayBox& flux, FArrayBox& phi1, int d,
   if (cb.empty()) {
     return;
   }
+  FLUXDIV_SHADOW_WRITE(phi1, cb, 0, kNumComp);
   const Idx ix(flux);
   const Idx io(phi1);
   const std::int64_t s = ix.stride(d);

@@ -21,6 +21,7 @@ namespace {
 void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
                   const Box& valid, Real* cacheX, Real* cacheY,
                   Real* cacheZ, Real scale) {
+  FLUXDIV_SHADOW_WRITE(phi1, tb, 0, kNumComp);
   const Idx ip(phi0);
   const Idx io(phi1);
   const ConstComps p(phi0);
@@ -50,6 +51,7 @@ void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
 void sweepTileCLO(const FArrayBox& phi0, FArrayBox& phi1, int c,
                   const FArrayBox& vel, const Box& tb, const Box& valid,
                   Real* cacheX, Real* cacheY, Real* cacheZ, Real scale) {
+  FLUXDIV_SHADOW_WRITE(phi1, tb, c, 1);
   const Idx ip(phi0);
   const Idx io(phi1);
   const Idx iv(vel);

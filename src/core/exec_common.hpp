@@ -11,6 +11,20 @@
 #include "kernels/exemplar.hpp"
 #include "sched/tiles.hpp"
 
+// Shadow-memory instrumentation of the executors' phi1 commits (see
+// grid/shadow.hpp). Each expansion records "the calling OpenMP worker
+// wrote this region of these components in the current epoch"; the legal
+// schedules keep every (cell, component) of the output single-writer per
+// evaluation, so any cross-worker double write is a real race. Expands to
+// nothing unless FLUXDIV_SHADOW_CHECK is on.
+#ifdef FLUXDIV_SHADOW_CHECK
+#include <omp.h>
+#define FLUXDIV_SHADOW_WRITE(fab, region, c0, nc)                          \
+  (fab).shadowRecordWrite((region), (c0), (nc), omp_get_thread_num())
+#else
+#define FLUXDIV_SHADOW_WRITE(fab, region, c0, nc) ((void)0)
+#endif
+
 namespace fluxdiv::core::detail {
 
 using grid::Box;

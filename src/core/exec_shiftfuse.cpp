@@ -7,6 +7,7 @@
 
 #include <omp.h>
 
+#include "core/exec_common.hpp"
 #include "core/exec_fused.hpp"
 #include "sched/partition.hpp"
 
@@ -117,6 +118,7 @@ void serialCLO(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
 void shiftFuseBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
                         FArrayBox& phi1, const Box& valid, Workspace& ws,
                         Real scale) {
+  FLUXDIV_SHADOW_WRITE(phi1, valid, 0, kNumComp);
   if (cfg.comp == ComponentLoop::Inside) {
     serialCLI(phi0, phi1, valid, ws, scale);
   } else {
@@ -163,6 +165,8 @@ void shiftFuseBoxWavefront(const VariantConfig& cfg, const FArrayBox& phi0,
           const int i = valid.lo(0) + ii;
           const int jj = j - valid.lo(1);
           const int kk = k - valid.lo(2);
+          FLUXDIV_SHADOW_WRITE(phi1, Box(IntVect(i, j, k), IntVect(i, j, k)),
+                               0, kNumComp);
           fusedCellCLI(
               p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz, ii == 0,
               jj == 0, kk == 0,
@@ -199,6 +203,8 @@ void shiftFuseBoxWavefront(const VariantConfig& cfg, const FArrayBox& phi0,
               const int i = valid.lo(0) + ii;
               const int jj = j - valid.lo(1);
               const int kk = k - valid.lo(2);
+              FLUXDIV_SHADOW_WRITE(
+                  phi1, Box(IntVect(i, j, k), IntVect(i, j, k)), c, 1);
               fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy,
                            ip.sz, velx, vely, velz, iv(i, j, k), iv.sy,
                            iv.sz, ii == 0, jj == 0, kk == 0,

@@ -6,7 +6,32 @@
 
 #include "core/exec_common.hpp"
 
+#ifdef FLUXDIV_SCHEDULE_VERIFY
+#include "analysis/lower.hpp"
+#include "analysis/verifier.hpp"
+#endif
+
 namespace fluxdiv::core {
+
+#ifdef FLUXDIV_SHADOW_CHECK
+namespace {
+/// Fail loudly when the shadow memory caught a race during the evaluation
+/// that just finished. Call only after all workers have joined.
+void throwOnShadowViolations(grid::FArrayBox& fab, const char* where) {
+  grid::ShadowMemory& shadow = fab.shadow();
+  if (shadow.violationCount() == 0) {
+    return;
+  }
+  std::string msg = std::string(where) + ": shadow memory detected " +
+                    std::to_string(shadow.violationCount()) +
+                    " violation(s)";
+  for (const auto& v : shadow.violations()) {
+    msg += "\n  " + v.message();
+  }
+  throw std::runtime_error(msg);
+}
+} // namespace
+#endif
 
 using detail::Box;
 using detail::FArrayBox;
@@ -18,6 +43,27 @@ FluxDivRunner::FluxDivRunner(VariantConfig cfg, int nThreads)
   if (nThreads < 1) {
     throw std::invalid_argument("FluxDivRunner: nThreads must be >= 1");
   }
+}
+
+void FluxDivRunner::verifySchedule(const Box& valid) {
+#ifdef FLUXDIV_SCHEDULE_VERIFY
+  const grid::IntVect extents = valid.size();
+  for (const auto& shape : verifiedShapes_) {
+    if (shape == extents) {
+      return;
+    }
+  }
+  const Box shape(grid::IntVect::zero(), extents - grid::IntVect::unit(1));
+  const analysis::Diagnostic diag = analysis::ScheduleVerifier{}.verify(
+      analysis::lowerVariant(cfg_, shape, nThreads_));
+  if (!diag.ok()) {
+    throw std::logic_error("schedule verification failed for variant '" +
+                           cfg_.name() + "': " + diag.message());
+  }
+  verifiedShapes_.push_back(extents);
+#else
+  (void)valid;
+#endif
 }
 
 void FluxDivRunner::runBoxSerial(const FArrayBox& phi0, FArrayBox& phi1,
@@ -45,8 +91,15 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
     throw std::invalid_argument("variant '" + cfg_.name() +
                                 "' is not valid for this box size");
   }
+  verifySchedule(valid);
+#ifdef FLUXDIV_SHADOW_CHECK
+  phi1.shadowBeginEpoch();
+#endif
   if (cfg_.par == ParallelGranularity::OverBoxes) {
     runBoxSerial(phi0, phi1, valid, pool_[0], scale);
+#ifdef FLUXDIV_SHADOW_CHECK
+    throwOnShadowViolations(phi1, "runBox");
+#endif
     return;
   }
   if (cfg_.par == ParallelGranularity::HybridBoxTile) {
@@ -54,6 +107,9 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
     // tiles within the box.
     detail::overlappedBoxParallel(cfg_, phi0, phi1, valid, pool_,
                                   nThreads_, scale);
+#ifdef FLUXDIV_SHADOW_CHECK
+    throwOnShadowViolations(phi1, "runBox");
+#endif
     return;
   }
   // WithinBox keeps its schedule-specific code path even at one thread so
@@ -76,6 +132,9 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
                                   nThreads_, scale);
     break;
   }
+#ifdef FLUXDIV_SHADOW_CHECK
+  throwOnShadowViolations(phi1, "runBox");
+#endif
 }
 
 void FluxDivRunner::run(const LevelData& phi0, LevelData& phi1,
@@ -90,6 +149,15 @@ void FluxDivRunner::run(const LevelData& phi0, LevelData& phi1,
   if (phi0.nGhost() < detail::kNumGhost) {
     throw std::invalid_argument("run: phi0 needs >= kNumGhost ghost layers");
   }
+
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    verifySchedule(phi0.validBox(b)); // cached after the first box shape
+  }
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    phi1[b].shadowBeginEpoch();
+  }
+#endif
 
   if (cfg_.par == ParallelGranularity::OverBoxes) {
     // The Chombo/MPI proxy: one OpenMP thread per box (Sec. I, III-C).
@@ -136,6 +204,11 @@ void FluxDivRunner::run(const LevelData& phi0, LevelData& phi1,
       runBox(phi0[b], phi1[b], phi0.validBox(b), scale);
     }
   }
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    throwOnShadowViolations(phi1[b], "run");
+  }
+#endif
 }
 
 } // namespace fluxdiv::core

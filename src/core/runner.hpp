@@ -3,6 +3,13 @@
 // evaluation (one "time step" of the exemplar's stencil pipeline) over a
 // LevelData under a chosen scheduling variant and thread count. This is
 // the object the examples, tests, and every figure bench drive.
+//
+// In Debug builds (or with -DFLUXDIV_VERIFY_SCHEDULES=ON) the runner
+// additionally proves the configured schedule legal before the first
+// execution over each box shape — see src/analysis and
+// docs/static-analysis.md. Release builds compile the gate out entirely.
+
+#include <vector>
 
 #include "core/variant.hpp"
 #include "core/workspace.hpp"
@@ -52,9 +59,17 @@ private:
                     const grid::Box& valid, Workspace& ws,
                     grid::Real scale);
 
+  /// Schedule-legality gate (no-op unless FLUXDIV_SCHEDULE_VERIFY is
+  /// defined): lowers the variant over this box shape and runs the
+  /// ScheduleVerifier, throwing std::logic_error with the diagnostic on
+  /// an illegal schedule. Legality is translation-invariant, so results
+  /// are cached per box extent.
+  void verifySchedule(const grid::Box& valid);
+
   VariantConfig cfg_;
   int nThreads_;
   WorkspacePool pool_;
+  std::vector<grid::IntVect> verifiedShapes_; ///< box extents proven legal
 };
 
 } // namespace fluxdiv::core

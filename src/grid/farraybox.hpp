@@ -14,6 +14,12 @@
 #include "grid/box.hpp"
 #include "grid/real.hpp"
 
+#ifdef FLUXDIV_SHADOW_CHECK
+#include <memory>
+
+#include "grid/shadow.hpp"
+#endif
+
 namespace fluxdiv::grid {
 
 /// Multi-component double-precision array over a Box (including any ghost
@@ -105,6 +111,46 @@ public:
   static Real maxAbsDiff(const FArrayBox& a, const FArrayBox& b,
                          const Box& region);
 
+#ifdef FLUXDIV_SHADOW_CHECK
+  // Shadow-memory race-detection hooks (see grid/shadow.hpp and
+  // docs/static-analysis.md). The shadow is allocated lazily on first use,
+  // so untracked fabs pay only the empty member. These members exist only
+  // under FLUXDIV_SHADOW_CHECK; the option is a global compile definition
+  // precisely because it changes this class's layout.
+
+  /// The fab's shadow (lazily shaped to the fab).
+  [[nodiscard]] ShadowMemory& shadow() {
+    ensureShadow();
+    return *shadow_;
+  }
+
+  /// Start a new write epoch (call at a known whole-fab barrier point,
+  /// e.g. the start of one flux-divergence evaluation).
+  void shadowBeginEpoch() {
+    ensureShadow();
+    shadow_->beginEpoch();
+  }
+
+  /// Record that `worker` wrote `region` (clipped to the fab) x
+  /// [c0, c0+nc) in the current epoch.
+  void shadowRecordWrite(const Box& region, int c0, int nc, int worker) {
+    ensureShadow();
+    shadow_->recordWriteRegion(region & box_, c0, nc, worker);
+  }
+
+  /// Record that `worker` read `region` x [c0, c0+nc), flagging slots not
+  /// produced this epoch.
+  void shadowRecordRead(const Box& region, int c0, int nc, int worker) {
+    ensureShadow();
+    const Box r = region & box_;
+    for (int c = c0; c < c0 + nc; ++c) {
+      forEachCell(r, [&](int i, int j, int k) {
+        shadow_->recordRead(IntVect(i, j, k), c, worker);
+      });
+    }
+  }
+#endif
+
 private:
   Box box_;
   int ncomp_ = 0;
@@ -112,6 +158,23 @@ private:
   std::int64_t sz_ = 0;
   std::int64_t sc_ = 0;
   std::vector<Real> data_;
+
+#ifdef FLUXDIV_SHADOW_CHECK
+  void ensureShadow() {
+    if (!shadow_) {
+      shadow_ = std::make_unique<ShadowMemory>();
+    }
+    if (!shadow_->defined() || shadow_->box() != box_ ||
+        shadow_->nComp() != ncomp_) {
+      shadow_->define(box_, ncomp_);
+    }
+  }
+
+  // unique_ptr keeps FArrayBox movable (ShadowMemory owns a mutex and
+  // atomics); shadow state does not follow copies — fabs are move-only
+  // under FLUXDIV_SHADOW_CHECK, which LevelData and Workspace satisfy.
+  std::unique_ptr<ShadowMemory> shadow_;
+#endif
 };
 
 } // namespace fluxdiv::grid

@@ -1,0 +1,157 @@
+#include "grid/shadow.hpp"
+
+#include <sstream>
+
+#include "grid/farraybox.hpp"
+
+namespace fluxdiv::grid {
+
+namespace {
+
+const char* kindName(ShadowMemory::ViolationKind k) {
+  switch (k) {
+  case ShadowMemory::ViolationKind::WriteWrite:
+    return "write-write race";
+  case ShadowMemory::ViolationKind::ReadBeforeWrite:
+    return "read-before-write";
+  case ShadowMemory::ViolationKind::OutOfBounds:
+    return "out-of-bounds access";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string ShadowMemory::Violation::message() const {
+  std::ostringstream os;
+  os << kindName(kind) << " at (" << cell[0] << "," << cell[1] << ","
+     << cell[2] << ") comp " << comp << " by worker " << workerA;
+  if (workerB >= 0) {
+    os << " (last writer: worker " << workerB << ")";
+  }
+  return os.str();
+}
+
+void ShadowMemory::define(const Box& box, int ncomp) {
+  box_ = box;
+  ncomp_ = ncomp;
+  sy_ = box.size(0);
+  sz_ = sy_ * box.size(1);
+  sc_ = sz_ * box.size(2);
+  // vector<atomic> has no fill; reconstruct to zero-initialize.
+  tags_ = std::vector<std::atomic<std::uint32_t>>(
+      static_cast<std::size_t>(sc_) * static_cast<std::size_t>(ncomp));
+  epoch_ = 1;
+  count_.store(0, std::memory_order_relaxed);
+  stored_.clear();
+}
+
+void ShadowMemory::beginEpoch() {
+  ++epoch_;
+  if ((epoch_ & 0xffffu) == 0) {
+    epoch_ = 1; // skip 0 so "never written" stays distinguishable
+  }
+}
+
+void ShadowMemory::fillAll() {
+  const std::uint32_t tag = (epoch_ << 16); // worker field 0: no owner
+  for (auto& t : tags_) {
+    t.store(tag | kWorkerMask, std::memory_order_relaxed);
+  }
+}
+
+void ShadowMemory::report(const Violation& v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stored_.size() < kMaxStored) {
+    stored_.push_back(v);
+  }
+}
+
+void ShadowMemory::recordWrite(const IntVect& p, int c, int worker) {
+  if (!box_.contains(p) || c < 0 || c >= ncomp_) {
+    report({ViolationKind::OutOfBounds, p, c, worker, -1});
+    return;
+  }
+  const std::uint32_t tag =
+      (epoch_ << 16) | (static_cast<std::uint32_t>(worker) + 1);
+  const std::uint32_t prev =
+      tags_[static_cast<std::size_t>(slot(p, c))].exchange(
+          tag, std::memory_order_relaxed);
+  const std::uint32_t prevWorker = prev & kWorkerMask;
+  if ((prev >> 16) == (epoch_ & 0xffffu) && prevWorker != 0 &&
+      prevWorker != kWorkerMask &&
+      prevWorker != static_cast<std::uint32_t>(worker) + 1) {
+    report({ViolationKind::WriteWrite, p, c, worker,
+            static_cast<int>(prevWorker) - 1});
+  }
+}
+
+void ShadowMemory::recordWriteRegion(const Box& region, int c0, int nc,
+                                     int worker) {
+  for (int c = c0; c < c0 + nc; ++c) {
+    forEachCell(region, [&](int i, int j, int k) {
+      recordWrite(IntVect(i, j, k), c, worker);
+    });
+  }
+}
+
+void ShadowMemory::recordRead(const IntVect& p, int c, int worker) {
+  if (!box_.contains(p) || c < 0 || c >= ncomp_) {
+    report({ViolationKind::OutOfBounds, p, c, worker, -1});
+    return;
+  }
+  const std::uint32_t tag =
+      tags_[static_cast<std::size_t>(slot(p, c))].load(
+          std::memory_order_relaxed);
+  if ((tag >> 16) != (epoch_ & 0xffffu)) {
+    const std::uint32_t prevWorker = tag & kWorkerMask;
+    report({ViolationKind::ReadBeforeWrite, p, c, worker,
+            prevWorker == 0 || prevWorker == kWorkerMask
+                ? -1
+                : static_cast<int>(prevWorker) - 1});
+  }
+}
+
+void ShadowMemory::recordOutOfBounds(const IntVect& p, int c, int worker) {
+  report({ViolationKind::OutOfBounds, p, c, worker, -1});
+}
+
+std::vector<ShadowMemory::Violation> ShadowMemory::violations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stored_;
+}
+
+void ShadowMemory::clearViolations() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stored_.clear();
+  count_.store(0, std::memory_order_relaxed);
+}
+
+CheckedAccessor::CheckedAccessor(FArrayBox& fab, ShadowMemory& shadow,
+                                 int worker)
+    : fab_(fab), shadow_(shadow), worker_(worker) {}
+
+bool CheckedAccessor::inBounds(const IntVect& p, int c) const {
+  return fab_.box().contains(p) && c >= 0 && c < fab_.nComp();
+}
+
+Real CheckedAccessor::read(const IntVect& p, int c) const {
+  if (!inBounds(p, c)) {
+    shadow_.recordOutOfBounds(p, c, worker_);
+    return 0.0;
+  }
+  shadow_.recordRead(p, c, worker_);
+  return fab_(p, c);
+}
+
+void CheckedAccessor::write(const IntVect& p, int c, Real value) {
+  if (!inBounds(p, c)) {
+    shadow_.recordOutOfBounds(p, c, worker_);
+    return;
+  }
+  shadow_.recordWrite(p, c, worker_);
+  fab_(p, c) = value;
+}
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,147 @@
+#pragma once
+// Shadow-memory race detection for FArrayBox data. Every (cell, component)
+// slot gets a shadow tag packing the write epoch and the last writer's
+// worker id; instrumented accesses then flag, at the exact cell:
+//
+//   * write-write races  — two different workers writing one slot within
+//     the same epoch (no barrier can have separated them), and
+//   * read-before-write  — reading a temporary slot no stage has produced
+//     in the current epoch (consuming stale or uninitialized data).
+//
+// Epochs advance at points where the runner knows all workers have
+// synchronized (one per flux-divergence evaluation), so a write in epoch N
+// read in epoch N is "produced this step" and legal across workers.
+//
+// ShadowMemory and CheckedAccessor are always compiled (and unit-tested in
+// every build); the FArrayBox/runner/executor instrumentation that feeds
+// them only exists under FLUXDIV_SHADOW_CHECK (-DFLUXDIV_SHADOW_CHECK=ON),
+// so Release builds pay nothing. See docs/static-analysis.md.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "grid/box.hpp"
+#include "grid/real.hpp"
+
+namespace fluxdiv::grid {
+
+class FArrayBox;
+
+/// Per-slot last-writer tracking over a Box x components index space.
+class ShadowMemory {
+public:
+  /// What an instrumented access detected.
+  enum class ViolationKind : std::uint8_t {
+    WriteWrite,      ///< two workers wrote one slot in the same epoch
+    ReadBeforeWrite, ///< slot read before any write in the current epoch
+    OutOfBounds,     ///< access outside the box or component range
+  };
+
+  struct Violation {
+    ViolationKind kind = ViolationKind::WriteWrite;
+    IntVect cell;      ///< the exact violating cell
+    int comp = 0;      ///< the violating component
+    int workerA = -1;  ///< the accessing worker
+    int workerB = -1;  ///< the prior writer (-1 if none)
+    [[nodiscard]] std::string message() const;
+  };
+
+  ShadowMemory() = default;
+
+  /// (Re)shape the shadow to `box` x `ncomp`; clears all tags and recorded
+  /// violations and restarts the epoch counter.
+  void define(const Box& box, int ncomp);
+
+  [[nodiscard]] bool defined() const { return ncomp_ > 0; }
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] int nComp() const { return ncomp_; }
+
+  /// Start a new epoch: all prior writes become "previous step" data that
+  /// may be read or overwritten freely. Call only when no worker is
+  /// accessing the tracked fab (a barrier point).
+  void beginEpoch();
+
+  /// Declare every slot produced in the current epoch without naming a
+  /// writer (pre-initialized input data such as exchanged ghosts).
+  void fillAll();
+
+  /// Record a write of (p, c) by `worker` (>= 0). Thread-safe.
+  void recordWrite(const IntVect& p, int c, int worker);
+  /// Record a write of every slot in `region` x [c0, c0+nc) by `worker`.
+  void recordWriteRegion(const Box& region, int c0, int nc, int worker);
+  /// Record a read of (p, c) by `worker`: flags ReadBeforeWrite if no
+  /// write this epoch produced the slot. Thread-safe.
+  void recordRead(const IntVect& p, int c, int worker);
+  /// Record an access already known to be out of bounds (e.g. detected by
+  /// CheckedAccessor against the fab's own box). Thread-safe.
+  void recordOutOfBounds(const IntVect& p, int c, int worker);
+
+  /// Number of violations detected since define()/beginEpoch-reset.
+  [[nodiscard]] std::size_t violationCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// The first violations detected (bounded; see kMaxStored). Callers
+  /// should quiesce all workers before inspecting.
+  [[nodiscard]] std::vector<Violation> violations() const;
+  /// Drop recorded violations (the epoch and tags are kept).
+  void clearViolations();
+
+  /// How many violations are stored in detail (the count keeps counting).
+  static constexpr std::size_t kMaxStored = 64;
+
+private:
+  // Tag layout: epoch in the high 16 bits, worker id + 1 in the low 16
+  // (0 = never written). Epochs wrap; a wrap-induced false negative needs
+  // 65535 epochs between write and read of one slot, which no single
+  // evaluation does.
+  static constexpr std::uint32_t kWorkerMask = 0xffffu;
+
+  [[nodiscard]] std::int64_t slot(const IntVect& p, int c) const {
+    return (p[0] - box_.lo(0)) +
+           sy_ * (p[1] - box_.lo(1)) +
+           sz_ * (p[2] - box_.lo(2)) + sc_ * c;
+  }
+  void report(const Violation& v);
+
+  Box box_;
+  int ncomp_ = 0;
+  std::int64_t sy_ = 0;
+  std::int64_t sz_ = 0;
+  std::int64_t sc_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::vector<std::atomic<std::uint32_t>> tags_;
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex mutex_;
+  std::vector<Violation> stored_;
+};
+
+/// Bounds- and race-checked view of an FArrayBox: every access validates
+/// the index against the fab's box and component count, and feeds the
+/// given ShadowMemory. Used by the shadow tests and available to any
+/// debug harness; the hot kernels instead use the gated hooks on
+/// FArrayBox itself.
+class CheckedAccessor {
+public:
+  CheckedAccessor(FArrayBox& fab, ShadowMemory& shadow, int worker);
+
+  /// Checked read of (p, c).
+  [[nodiscard]] Real read(const IntVect& p, int c) const;
+  /// Checked write of value into (p, c).
+  void write(const IntVect& p, int c, Real value);
+
+  [[nodiscard]] int worker() const { return worker_; }
+
+private:
+  /// Validates bounds; records OutOfBounds and returns false when the
+  /// access would fall outside the fab.
+  [[nodiscard]] bool inBounds(const IntVect& p, int c) const;
+
+  FArrayBox& fab_;
+  ShadowMemory& shadow_;
+  int worker_;
+};
+
+} // namespace fluxdiv::grid

@@ -81,7 +81,8 @@ MachineInfo queryMachine() {
     }
     CacheLevel c;
     c.type = type;
-    c.level = std::stoi("0" + readFileTrimmed(base + "/level"));
+    const std::string level = readFileTrimmed(base + "/level");
+    c.level = level.empty() ? 0 : std::stoi(level);
     c.sizeBytes = parseCacheSize(readFileTrimmed(base + "/size"));
     const std::string lineSize =
         readFileTrimmed(base + "/coherency_line_size");

@@ -1,0 +1,109 @@
+#pragma once
+// Declared read/write footprints of the exemplar's pipeline stages
+// (EvalFlux1, EvalFlux2, flux-difference, and the fused per-cell
+// iteration). These are the machine-checkable contract between the
+// arithmetic in exemplar.hpp / exec_fused.hpp and the schedule executors:
+// the analysis layer (src/analysis) proves every VariantConfig legal purely
+// from these boxes, so a stencil change here re-verifies every schedule.
+//
+// Footprints are *offset boxes*: the set of relative indices a stage reads
+// from its input field (or writes to its output field) per produced index.
+// The concrete region a stage touches is outputRegion "grown" by the
+// offsets (Minkowski sum; see readRegion()).
+
+#include <array>
+
+#include "grid/box.hpp"
+#include "kernels/exemplar.hpp"
+
+namespace fluxdiv::kernels {
+
+using grid::Box;
+using grid::IntVect;
+
+/// The pipeline stages whose footprints the schedules must respect.
+enum class Stage {
+  EvalFlux1,      ///< Eq. 6: cell field -> face average (per direction)
+  EvalFlux2,      ///< Eq. 7: face average x face velocity -> face flux
+  FluxDifference, ///< cell += scale * (hi-face flux - lo-face flux)
+  FusedCell,      ///< one shifted+fused iteration (all faces of one cell)
+};
+
+/// Offsets of the *cells* read by EvalFlux1 relative to the produced face
+/// index in direction d: face f reads cells f-2 .. f+1 (Eq. 6).
+constexpr Box evalFlux1ReadOffsets(int d) {
+  return {IntVect::basis(d) * -2, IntVect::basis(d)};
+}
+
+/// Offsets of the *faces* read by the flux-difference accumulation relative
+/// to the updated cell in direction d: cell i reads faces i and i+1.
+constexpr Box fluxDifferenceReadOffsets(int d) {
+  return {IntVect::zero(), IntVect::basis(d)};
+}
+
+/// Offsets of the cells read by one fused iteration from the solution
+/// field, restricted to direction d: computing both the low and high face
+/// of the cell reaches cells -2 .. +2 along d.
+constexpr Box fusedCellReadOffsets(int d) {
+  return {IntVect::basis(d) * -2, IntVect::basis(d) * 2};
+}
+
+/// Read offsets of `stage` on its primary input field in direction d.
+/// EvalFlux2 is pointwise (reads the face average and face velocity at the
+/// produced face only).
+constexpr Box readOffsets(Stage stage, int d) {
+  switch (stage) {
+  case Stage::EvalFlux1:
+    return evalFlux1ReadOffsets(d);
+  case Stage::EvalFlux2:
+    return {IntVect::zero(), IntVect::zero()};
+  case Stage::FluxDifference:
+    return fluxDifferenceReadOffsets(d);
+  case Stage::FusedCell:
+    return fusedCellReadOffsets(d);
+  }
+  return {IntVect::zero(), IntVect::zero()};
+}
+
+/// Write offsets of every stage: each stage writes exactly the produced
+/// index (no stage scatters).
+constexpr Box writeOffsets(Stage) {
+  return {IntVect::zero(), IntVect::zero()};
+}
+
+/// The concrete region of the input field read when `stage` produces every
+/// index of `outputRegion` (Minkowski sum of the region with the offsets).
+constexpr Box readRegion(Stage stage, int d, const Box& outputRegion) {
+  if (outputRegion.empty()) {
+    return outputRegion; // nothing produced, nothing read
+  }
+  const Box off = readOffsets(stage, d);
+  return {outputRegion.lo() + off.lo(), outputRegion.hi() + off.hi()};
+}
+
+/// Loop-carried dependence vectors of the fused sweep: cell u consumes the
+/// shared-face flux deposited by cell u - e_d for every direction (via the
+/// carry slots of exec_fused.hpp), so the flow dependences are exactly the
+/// three unit vectors. Any wavefront/tile skew must strictly dominate this
+/// cone (skew . dep >= 1) for concurrent execution to be legal.
+constexpr std::array<IntVect, 3> fusedCarryDeps() {
+  return {IntVect::basis(0), IntVect::basis(1), IntVect::basis(2)};
+}
+
+/// Ghost depth the pipeline needs on the solution field: the deepest read
+/// of any stage producing boundary faces. Faces on the box boundary
+/// (faceBox extends one past the cells) read evalFlux1ReadOffsets deep:
+/// lo face reads 2 cells below, hi face (at cells.hi + 1) reads 1 cell
+/// above it = cells.hi + 2. Must equal kNumGhost (statically checked).
+constexpr int requiredGhost() {
+  const Box off = evalFlux1ReadOffsets(0);
+  const int below = -off.lo(0);       // cells below the low face
+  const int above = off.hi(0) + 1;    // cells above the high face (+1 for
+                                      // the face offset itself)
+  return below > above ? below : above;
+}
+
+static_assert(requiredGhost() == kNumGhost,
+              "declared stencil footprint disagrees with kNumGhost");
+
+} // namespace fluxdiv::kernels

@@ -1,0 +1,112 @@
+#include "analysis/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "grid/intvect.hpp"
+
+namespace fluxdiv::analysis {
+namespace {
+
+using grid::Box;
+using grid::IntVect;
+
+/// Exact cell count of a union of disjoint boxes.
+std::int64_t totalCells(const std::vector<Box>& boxes) {
+  std::int64_t n = 0;
+  for (const auto& b : boxes) {
+    n += b.numPts();
+  }
+  return n;
+}
+
+/// Exhaustive membership check: every cell of `a` is in `pieces` iff it is
+/// not in `b`, and `pieces` are pairwise disjoint.
+void checkDiffExact(const Box& a, const Box& b) {
+  const std::vector<Box> pieces = boxDiff(a, b);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    EXPECT_FALSE(pieces[i].empty());
+    EXPECT_TRUE(a.contains(pieces[i]));
+    EXPECT_FALSE(pieces[i].intersects(b));
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].intersects(pieces[j]))
+          << "pieces " << i << " and " << j << " overlap";
+    }
+  }
+  const std::int64_t expect = a.numPts() - (a & b).numPts();
+  EXPECT_EQ(totalCells(pieces), expect);
+}
+
+TEST(RegionAlgebra, DiffDisjointReturnsWhole) {
+  const Box a = Box::cube(4);
+  const Box b = Box::cube(4, IntVect(10, 0, 0));
+  const std::vector<Box> d = boxDiff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], a);
+}
+
+TEST(RegionAlgebra, DiffCoveredReturnsEmpty) {
+  const Box a = Box::cube(4);
+  const Box b = a.grow(1);
+  EXPECT_TRUE(boxDiff(a, b).empty());
+  EXPECT_TRUE(boxDiff(a, a).empty());
+}
+
+TEST(RegionAlgebra, DiffPartialOverlapsAreExact) {
+  const Box a(IntVect::zero(), IntVect(7, 7, 7));
+  // Corner, face, edge, interior, and pencil-shaped subtrahends.
+  checkDiffExact(a, Box(IntVect(4, 4, 4), IntVect(10, 10, 10)));
+  checkDiffExact(a, Box(IntVect(-2, 0, 0), IntVect(1, 7, 7)));
+  checkDiffExact(a, Box(IntVect(3, 3, -5), IntVect(5, 5, 20)));
+  checkDiffExact(a, Box(IntVect(2, 2, 2), IntVect(5, 5, 5)));
+  checkDiffExact(a, Box(IntVect(0, 3, 0), IntVect(7, 3, 7)));
+}
+
+TEST(RegionAlgebra, CoveredBySingleBox) {
+  const Box target = Box::cube(6);
+  EXPECT_TRUE(covered(target, {target}));
+  EXPECT_TRUE(covered(target, {target.grow(2)}));
+  EXPECT_FALSE(covered(target, {Box::cube(5)}));
+  EXPECT_FALSE(covered(target, {}));
+}
+
+TEST(RegionAlgebra, CoveredByUnionOfPieces) {
+  const Box target = Box::cube(8);
+  // Two overlapping halves cover; two with a one-plane gap do not.
+  const Box lowHalf(IntVect::zero(), IntVect(4, 7, 7));
+  const Box highHalf(IntVect(4, 0, 0), IntVect(7, 7, 7));
+  EXPECT_TRUE(covered(target, {lowHalf, highHalf}));
+  const Box gapHigh(IntVect(5, 0, 0), IntVect(7, 7, 7));
+  const Box lowThin(IntVect::zero(), IntVect(3, 7, 7));
+  EXPECT_FALSE(covered(target, {lowThin, gapHigh}));
+}
+
+TEST(RegionAlgebra, FirstUncoveredNamesAMissingRegion) {
+  const Box target = Box::cube(8);
+  const Box lowThin(IntVect::zero(), IntVect(3, 7, 7));
+  const Box gapHigh(IntVect(5, 0, 0), IntVect(7, 7, 7));
+  const Box miss = firstUncovered(target, {lowThin, gapHigh});
+  ASSERT_FALSE(miss.empty());
+  // The reported region is inside the target, disjoint from the cover,
+  // and contains the gap plane x == 4.
+  EXPECT_TRUE(target.contains(miss));
+  EXPECT_FALSE(miss.intersects(lowThin));
+  EXPECT_FALSE(miss.intersects(gapHigh));
+  EXPECT_LE(miss.lo(0), 4);
+  EXPECT_GE(miss.hi(0), 4);
+}
+
+TEST(RegionAlgebra, FirstUncoveredEmptyWhenCovered) {
+  const Box target = Box::cube(8);
+  EXPECT_TRUE(firstUncovered(target, {target}).empty());
+}
+
+TEST(RegionAlgebra, EmptyTargetAlwaysCovered) {
+  const Box empty;
+  EXPECT_TRUE(covered(empty, {}));
+  EXPECT_TRUE(firstUncovered(empty, {}).empty());
+}
+
+} // namespace
+} // namespace fluxdiv::analysis

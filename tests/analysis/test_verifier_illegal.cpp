@@ -1,0 +1,146 @@
+// Deliberately-broken schedules: each mutation in analysis/mutate.hpp must
+// be rejected with the *right* DiagnosticKind, naming the offending stage
+// pair and a plausible violating region — a verifier that rejects for the
+// wrong reason would pass a weaker test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/lower.hpp"
+#include "analysis/mutate.hpp"
+#include "analysis/verifier.hpp"
+#include "core/variant.hpp"
+
+namespace fluxdiv::analysis {
+namespace {
+
+using core::ComponentLoop;
+using core::IntraTileSchedule;
+using core::ParallelGranularity;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// The slab-parallel baseline (CLI so each direction is one face phase
+/// followed by one accumulate phase).
+ScheduleModel baselineSlabs() {
+  return lowerVariant(core::makeBaseline(ParallelGranularity::WithinBox,
+                                         ComponentLoop::Inside),
+                      grid::Box::cube(16), 4);
+}
+
+/// The per-cell wavefront schedule (carries all three flux dependences).
+ScheduleModel cellWavefront() {
+  return lowerVariant(core::makeShiftFuse(ParallelGranularity::WithinBox,
+                                          ComponentLoop::Inside),
+                      grid::Box::cube(16), 4);
+}
+
+/// Parallel overlapped tiles (recomputation + concurrent tile commits).
+ScheduleModel overlappedTiles() {
+  return lowerVariant(
+      core::makeOverlapped(IntraTileSchedule::Basic, 8,
+                           ParallelGranularity::WithinBox),
+      grid::Box::cube(16), 4);
+}
+
+TEST(VerifierIllegal, MutationBaseModelsAreLegal) {
+  const ScheduleVerifier v;
+  EXPECT_TRUE(v.verify(baselineSlabs()).ok());
+  EXPECT_TRUE(v.verify(cellWavefront()).ok());
+  EXPECT_TRUE(v.verify(overlappedTiles()).ok());
+}
+
+TEST(VerifierIllegal, ShallowHaloRejected) {
+  const Diagnostic d =
+      ScheduleVerifier{}.verify(mutate::shallowHalo(baselineSlabs()));
+  ASSERT_EQ(d.kind, DiagnosticKind::HaloTooShallow) << d.message();
+  // The first stage to fall off the understated halo is the x face pass,
+  // whose low faces read Phi0 two cells outside the valid region.
+  EXPECT_EQ(d.stageA, "EvalFlux1[d=x]");
+  EXPECT_TRUE(contains(d.stageB, "ghost exchange")) << d.message();
+  EXPECT_TRUE(contains(d.stageB, "depth 1")) << d.message();
+  ASSERT_FALSE(d.region.empty());
+  EXPECT_EQ(d.region.lo(0), -2);
+  EXPECT_EQ(d.region.hi(0), -2);
+}
+
+TEST(VerifierIllegal, WeakSkewRejected) {
+  const Diagnostic d =
+      ScheduleVerifier{}.verify(mutate::weakSkew(cellWavefront()));
+  ASSERT_EQ(d.kind, DiagnosticKind::SkewTooSmall) << d.message();
+  // Zeroing skew[2] breaks exactly the carry-z dependence: a cell would
+  // read the z-flux its -z neighbor deposits on the same wavefront.
+  EXPECT_TRUE(contains(d.stageA, "carry-z")) << d.message();
+  EXPECT_TRUE(contains(d.stageB, "carry-z")) << d.message();
+  EXPECT_TRUE(contains(d.itemA, "wavefront")) << d.message();
+}
+
+TEST(VerifierIllegal, ThinOverlapRejected) {
+  const Diagnostic d =
+      ScheduleVerifier{}.verify(mutate::thinOverlap(overlappedTiles()));
+  ASSERT_EQ(d.kind, DiagnosticKind::RecomputeUncovered) << d.message();
+  // A tile whose private x-flux recomputation is one face short starves
+  // the first consumer of those fluxes (the x EvalFlux2 pass).
+  EXPECT_TRUE(contains(d.stageA, "EvalFlux2[d=x")) << d.message();
+  EXPECT_TRUE(contains(d.stageB, "EvalFlux1[d=x]")) << d.message();
+  // The missing faces sit on the tile's high-x recompute boundary.
+  ASSERT_FALSE(d.region.empty());
+  EXPECT_EQ(d.region.lo(0), d.region.hi(0));
+}
+
+TEST(VerifierIllegal, OverlappingTileWritesRejected) {
+  const Diagnostic d = ScheduleVerifier{}.verify(
+      mutate::overlappingTileWrites(overlappedTiles()));
+  ASSERT_EQ(d.kind, DiagnosticKind::WriteOverlap) << d.message();
+  // Two *different* concurrent tiles must be named, and the violating
+  // region must straddle a tile boundary (tile size 8 on a 16 box).
+  EXPECT_NE(d.itemA, d.itemB);
+  EXPECT_TRUE(contains(d.itemA, "tile")) << d.message();
+  EXPECT_TRUE(contains(d.itemB, "tile")) << d.message();
+  ASSERT_FALSE(d.region.empty());
+  EXPECT_LE(d.region.lo(0), 8);
+  EXPECT_GE(d.region.hi(0), 7);
+}
+
+TEST(VerifierIllegal, DroppedBarrierRejected) {
+  // Phases of the slab-parallel CLI baseline come in (face, accumulate)
+  // pairs per direction; index 4 is the z face pass. Merging it with the
+  // z accumulate races a slab's flux-difference reads against its
+  // neighbor's face writes (the z partition of faces and cells differs
+  // between the two passes).
+  const Diagnostic d = ScheduleVerifier{}.verify(
+      mutate::droppedBarrier(baselineSlabs(), 4));
+  ASSERT_EQ(d.kind, DiagnosticKind::ReadWriteRace) << d.message();
+  EXPECT_TRUE(contains(d.stageA, "FluxDifference[d=z")) << d.message();
+  EXPECT_TRUE(contains(d.stageB, "EvalFlux1[d=z]")) << d.message();
+  EXPECT_NE(d.itemA, d.itemB);
+}
+
+TEST(VerifierIllegal, DiagnosticMessageNamesEverything) {
+  const Diagnostic d =
+      ScheduleVerifier{}.verify(mutate::shallowHalo(baselineSlabs()));
+  const std::string msg = d.message();
+  // The rendered message is what the runner's exception carries; it must
+  // name the kind, both stages, and the violating region.
+  EXPECT_TRUE(contains(msg, "halo-too-shallow")) << msg;
+  EXPECT_TRUE(contains(msg, "EvalFlux1[d=x]")) << msg;
+  EXPECT_TRUE(contains(msg, "ghost exchange")) << msg;
+  EXPECT_TRUE(contains(msg, "(-2,")) << msg;
+}
+
+TEST(VerifierIllegal, EveryKindHasAName) {
+  for (const auto k :
+       {DiagnosticKind::Ok, DiagnosticKind::HaloTooShallow,
+        DiagnosticKind::RecomputeUncovered, DiagnosticKind::ReadUncovered,
+        DiagnosticKind::WriteOverlap, DiagnosticKind::ReadWriteRace,
+        DiagnosticKind::SkewTooSmall}) {
+    EXPECT_NE(diagnosticKindName(k), nullptr);
+    EXPECT_GT(std::string(diagnosticKindName(k)).size(), 1u);
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::analysis

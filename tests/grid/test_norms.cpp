@@ -40,7 +40,8 @@ TEST(Norms, L2OfConstantField) {
 TEST(Norms, InfPicksLargestMagnitude) {
   LevelData ld = makeLevel();
   EXPECT_EQ(levelNormInf(ld, 1), 3.0);
-  ld[3](IntVect(5, 1, 1), 0) = -7.25;
+  // Box 3 owns [4..7]x[4..7]x[0..3]; poke a cell inside its valid region.
+  ld[3](IntVect(5, 5, 1), 0) = -7.25;
   EXPECT_EQ(levelNormInf(ld, 0), 7.25);
 }
 
