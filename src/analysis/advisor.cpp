@@ -1,0 +1,105 @@
+#include "analysis/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/lower.hpp"
+#include "harness/table.hpp"
+
+namespace fluxdiv::analysis {
+
+namespace {
+
+/// Strict ordering for the ranking: traffic, then recompute, then
+/// available concurrency (more is better), then name for determinism.
+bool rankedBefore(const RankedVariant& a, const RankedVariant& b) {
+  return std::make_tuple(a.cost.trafficBytes, a.cost.recomputeFraction,
+                         -a.cost.maxConcurrency, a.cost.variant) <
+         std::make_tuple(b.cost.trafficBytes, b.cost.recomputeFraction,
+                         -b.cost.maxConcurrency, b.cost.variant);
+}
+
+} // namespace
+
+CostReport ScheduleAdvisor::analyze(const core::VariantConfig& cfg,
+                                    int boxSize, int nThreads) const {
+  return analyzeCost(cfg, boxSize, nThreads, spec_);
+}
+
+std::vector<RankedVariant>
+ScheduleAdvisor::rank(int boxSize, int nThreads,
+                      bool includeExtensions) const {
+  std::vector<RankedVariant> ranked;
+  for (const auto& cfg :
+       core::enumerateVariants(boxSize, includeExtensions)) {
+    if (!cfg.validFor(boxSize)) {
+      continue;
+    }
+    ranked.push_back({cfg, analyze(cfg, boxSize, nThreads)});
+  }
+  std::sort(ranked.begin(), ranked.end(), rankedBefore);
+  return ranked;
+}
+
+TileAdvice ScheduleAdvisor::recommendBlockedTile(int boxSize,
+                                                 int nThreads) const {
+  std::vector<TileAdvice> fitsL2;
+  std::vector<TileAdvice> fitsLlc;
+  std::vector<TileAdvice> all;
+  for (const int tileSize : core::kTileSizes) {
+    if (tileSize >= boxSize) {
+      continue;
+    }
+    for (const auto comp :
+         {core::ComponentLoop::Outside, core::ComponentLoop::Inside}) {
+      const auto cfg = core::makeBlockedWF(
+          tileSize, core::ParallelGranularity::WithinBox, comp);
+      TileAdvice advice{cfg, analyze(cfg, boxSize, nThreads), {}};
+      all.push_back(advice);
+      if (advice.cost.maxItemBytes <= static_cast<double>(spec_.llcBytes)) {
+        fitsLlc.push_back(advice);
+        if (advice.cost.maxItemBytes <=
+            static_cast<double>(spec_.l2Bytes)) {
+          fitsL2.push_back(advice);
+        }
+      }
+    }
+  }
+  const auto lessTraffic = [](const TileAdvice& a, const TileAdvice& b) {
+    return a.cost.trafficBytes < b.cost.trafficBytes;
+  };
+  const auto lessFootprint = [](const TileAdvice& a, const TileAdvice& b) {
+    return a.cost.maxItemBytes < b.cost.maxItemBytes;
+  };
+
+  TileAdvice best;
+  std::ostringstream why;
+  if (!fitsL2.empty()) {
+    best = *std::min_element(fitsL2.begin(), fitsL2.end(), lessTraffic);
+    why << "tile footprint " << harness::formatBytes(static_cast<std::size_t>(
+               best.cost.maxItemBytes))
+        << " fits L2 ("
+        << harness::formatBytes(spec_.l2Bytes)
+        << "); lowest predicted traffic among L2-resident tiles";
+  } else if (!fitsLlc.empty()) {
+    best = *std::min_element(fitsLlc.begin(), fitsLlc.end(), lessTraffic);
+    why << "no tile fits L2; footprint "
+        << harness::formatBytes(
+               static_cast<std::size_t>(best.cost.maxItemBytes))
+        << " fits LLC (" << harness::formatBytes(spec_.llcBytes)
+        << ") with the lowest predicted traffic";
+  } else if (!all.empty()) {
+    best = *std::min_element(all.begin(), all.end(), lessFootprint);
+    why << "no blocked-wavefront tile fits the LLC ("
+        << harness::formatBytes(spec_.llcBytes)
+        << "); smallest footprint chosen";
+  } else {
+    why << "box size " << boxSize
+        << " too small for any registry tile size";
+  }
+  best.rationale = why.str();
+  return best;
+}
+
+} // namespace fluxdiv::analysis

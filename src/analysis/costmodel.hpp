@@ -1,0 +1,113 @@
+#pragma once
+// Static working-set / memory-traffic analyzer over lowered ScheduleModels.
+// Where the verifier (verifier.hpp) proves a schedule *legal*, this pass
+// predicts whether it is *fast*: per-phase working sets, DRAM traffic under
+// a cache-capacity model, recomputation volume, and parallelism metrics —
+// all from the declared rectangular access regions, without executing a
+// kernel. docs/cost-model.md derives the equations; the memmodel cache
+// simulator cross-validates the traffic prediction in tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+#include "core/variant.hpp"
+
+namespace fluxdiv::harness {
+struct MachineInfo;
+} // namespace fluxdiv::harness
+
+namespace fluxdiv::analysis {
+
+/// The cache capacities the static model prices a schedule against. Only
+/// capacities matter here — the model counts distinct bytes, not lines or
+/// conflict misses (docs/cost-model.md states the resulting tolerance).
+struct CacheSpec {
+  std::size_t l2Bytes = 256 * 1024;
+  std::size_t llcBytes = 6 * 1024 * 1024;
+  std::size_t lineBytes = 64;
+
+  /// Derive a spec from a probed machine description: LLC = last-level
+  /// data/unified cache, L2 = the largest level-2 entry. Zero-sized
+  /// detection results are replaced by the documented harness defaults.
+  static CacheSpec fromMachine(const harness::MachineInfo& info);
+
+  /// The desktop-class hierarchy memmodel::CacheSim::makeTypical models
+  /// (256 KiB L2, 6 MiB LLC) — the cross-validation baseline.
+  static CacheSpec typical() { return {}; }
+};
+
+/// Kinds of structured cost findings, mirroring the verifier's
+/// DiagnosticKind: machine-readable kind + human-readable message().
+enum class CostNoteKind {
+  CapacityBound,  ///< a phase's working set exceeds the LLC
+  ItemExceedsL2,  ///< a concurrent work item's footprint exceeds L2
+  HighRecompute,  ///< duplicated temporary production above threshold
+  ModelError,     ///< internal inconsistency (tool-level strict checks)
+};
+
+const char* costNoteKindName(CostNoteKind k);
+
+/// One structured advisor explanation, e.g. "phase 'fused sweep c=2'
+/// working set 18.9 MiB > LLC 12.0 MiB -> capacity-bound".
+struct CostNote {
+  CostNoteKind kind = CostNoteKind::CapacityBound;
+  std::string where;          ///< phase or item the note is about
+  double actualBytes = 0;     ///< offending size (bytes, 0 if n/a)
+  double limitBytes = 0;      ///< the capacity compared against (0 if n/a)
+  double fraction = 0;        ///< ratio detail for HighRecompute
+
+  [[nodiscard]] std::string message() const;
+};
+
+/// Per-phase slice of the analysis.
+struct PhaseCost {
+  std::string name;
+  double workingSetBytes = 0; ///< distinct bytes the phase touches
+  double maxItemBytes = 0;    ///< largest single work item footprint
+  int items = 1;              ///< concurrently-executing items
+};
+
+/// The complete static cost analysis of one lowered schedule.
+struct CostReport {
+  std::string variant;
+  std::int64_t validCells = 0;
+
+  // (a) working sets
+  double workingSetBytes = 0; ///< max over phases
+  double maxItemBytes = 0;    ///< max over all work items
+
+  // (b) predicted DRAM traffic for one evaluation of the box
+  double trafficBytes = 0;
+  double compulsoryBytes = 0; ///< cold-cache floor: phi0 in, 2x phi1 out
+  double bytesPerCell = 0;    ///< trafficBytes / validCells
+
+  // (c) recomputation volume
+  double recomputeCells = 0;   ///< temporary values produced more than once
+  double recomputeFraction = 0; ///< recomputeCells / all produced values
+
+  // (d) parallelism
+  int maxConcurrency = 1;      ///< largest phase item count / wavefront front
+  double avgConcurrency = 1;   ///< total items / barrier count
+  std::int64_t barrierCount = 0; ///< phases executed (explicit barriers)
+  std::int64_t frontCount = 0;   ///< wavefront fronts across all cones
+
+  bool capacityBound = false; ///< some phase working set exceeds the LLC
+  std::vector<PhaseCost> phases;
+  std::vector<CostNote> notes;
+};
+
+/// Analyze a lowered model against a cache spec. `nWorkers` bounds how
+/// many concurrent items hold private scratch simultaneously (the model
+/// exposes *available* concurrency — e.g. every overlapped tile — while
+/// scratch is allocated per executing worker); 0 means "one per item".
+CostReport analyzeCost(const ScheduleModel& m, const CacheSpec& spec,
+                       int nWorkers = 0);
+
+/// Convenience: lower `cfg` over an N^3 box with `nThreads` workers first.
+CostReport analyzeCost(const core::VariantConfig& cfg, int boxSize,
+                       int nThreads, const CacheSpec& spec);
+
+} // namespace fluxdiv::analysis

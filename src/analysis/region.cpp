@@ -1,5 +1,9 @@
 #include "analysis/region.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
 namespace fluxdiv::analysis {
 
 using grid::IntVect;
@@ -63,6 +67,120 @@ Box firstUncovered(const Box& target, const std::vector<Box>& cover) {
     }
   }
   return remaining.front();
+}
+
+namespace {
+
+/// Disjoint-decomposition fallback for unionPts: O(boxes^2) but no grid
+/// allocation, used when the compressed grid would be degenerate (many
+/// unaligned boxes). Our box sets are tile-aligned so this rarely runs.
+std::int64_t unionPtsByDecomposition(const std::vector<Box>& boxes) {
+  std::vector<Box> disjoint;
+  disjoint.reserve(boxes.size());
+  std::vector<Box> pieces;
+  std::vector<Box> next;
+  for (const Box& b : boxes) {
+    if (b.empty()) {
+      continue;
+    }
+    pieces.assign(1, b);
+    for (const Box& d : disjoint) {
+      next.clear();
+      for (const Box& p : pieces) {
+        auto cut = boxDiff(p, d);
+        next.insert(next.end(), cut.begin(), cut.end());
+      }
+      pieces.swap(next);
+      if (pieces.empty()) {
+        break;
+      }
+    }
+    disjoint.insert(disjoint.end(), pieces.begin(), pieces.end());
+  }
+  std::int64_t total = 0;
+  for (const Box& d : disjoint) {
+    total += d.numPts();
+  }
+  return total;
+}
+
+} // namespace
+
+std::int64_t unionPts(const std::vector<Box>& boxes) {
+  std::array<std::vector<int>, 3> cuts;
+  for (const Box& b : boxes) {
+    if (b.empty()) {
+      continue;
+    }
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      cuts[static_cast<std::size_t>(d)].push_back(b.lo(d));
+      cuts[static_cast<std::size_t>(d)].push_back(b.hi(d) + 1);
+    }
+  }
+  if (cuts[0].empty()) {
+    return 0;
+  }
+  std::array<std::int64_t, 3> nSlabs{};
+  for (auto& c : cuts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  for (std::size_t d = 0; d < 3; ++d) {
+    nSlabs[d] = static_cast<std::int64_t>(cuts[d].size()) - 1;
+  }
+  // Guard against pathological unaligned sets whose compressed grid would
+  // be nearly full resolution in every direction.
+  constexpr std::int64_t kMaxGridCells = std::int64_t{1} << 26;
+  if (nSlabs[0] * nSlabs[1] * nSlabs[2] > kMaxGridCells) {
+    return unionPtsByDecomposition(boxes);
+  }
+
+  const auto slabIndex = [&](std::size_t d, int coord) {
+    return static_cast<std::int64_t>(
+        std::lower_bound(cuts[d].begin(), cuts[d].end(), coord) -
+        cuts[d].begin());
+  };
+  std::vector<char> occupied(
+      static_cast<std::size_t>(nSlabs[0] * nSlabs[1] * nSlabs[2]), 0);
+  for (const Box& b : boxes) {
+    if (b.empty()) {
+      continue;
+    }
+    const std::int64_t x0 = slabIndex(0, b.lo(0));
+    const std::int64_t x1 = slabIndex(0, b.hi(0) + 1);
+    const std::int64_t y0 = slabIndex(1, b.lo(1));
+    const std::int64_t y1 = slabIndex(1, b.hi(1) + 1);
+    const std::int64_t z0 = slabIndex(2, b.lo(2));
+    const std::int64_t z1 = slabIndex(2, b.hi(2) + 1);
+    for (std::int64_t z = z0; z < z1; ++z) {
+      for (std::int64_t y = y0; y < y1; ++y) {
+        char* row = occupied.data() +
+                    static_cast<std::size_t>((z * nSlabs[1] + y) * nSlabs[0]);
+        std::fill(row + x0, row + x1, char{1});
+      }
+    }
+  }
+  std::int64_t total = 0;
+  for (std::int64_t z = 0; z < nSlabs[2]; ++z) {
+    const std::int64_t dz =
+        cuts[2][static_cast<std::size_t>(z) + 1] -
+        cuts[2][static_cast<std::size_t>(z)];
+    for (std::int64_t y = 0; y < nSlabs[1]; ++y) {
+      const std::int64_t dyz =
+          dz * (cuts[1][static_cast<std::size_t>(y) + 1] -
+                cuts[1][static_cast<std::size_t>(y)]);
+      const char* row = occupied.data() +
+                        static_cast<std::size_t>((z * nSlabs[1] + y) *
+                                                 nSlabs[0]);
+      for (std::int64_t x = 0; x < nSlabs[0]; ++x) {
+        if (row[x] != 0) {
+          total += dyz * (cuts[0][static_cast<std::size_t>(x) + 1] -
+                          cuts[0][static_cast<std::size_t>(x)]);
+        }
+      }
+    }
+  }
+  return total;
 }
 
 } // namespace fluxdiv::analysis

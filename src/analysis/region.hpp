@@ -1,10 +1,13 @@
 #pragma once
-// Region algebra for the schedule verifier: box subtraction and coverage
-// queries over unions of boxes. The verifier's questions are all of the
-// form "is this read region fully inside that union of written regions,
-// and if not, which cells are missing?" — answered here with exact
-// rectangular decompositions (no rasterization).
+// Region algebra for the schedule verifier and cost model: box subtraction,
+// coverage queries, and union volumes over sets of boxes. The verifier's
+// questions are all of the form "is this read region fully inside that
+// union of written regions, and if not, which cells are missing?"; the cost
+// model's are "how many distinct cells does this union of accesses touch?"
+// Both are answered exactly (rectangular decomposition / compressed
+// coordinates — no full-resolution rasterization).
 
+#include <cstdint>
 #include <vector>
 
 #include "grid/box.hpp"
@@ -25,5 +28,17 @@ bool covered(const Box& target, const std::vector<Box>& cover);
 /// `cover`; the empty box when `target` is fully covered. This is the
 /// "violating cell region" reported in diagnostics.
 Box firstUncovered(const Box& target, const std::vector<Box>& cover);
+
+/// Exact number of distinct points in the union of `boxes` (each point
+/// counted once however many boxes cover it). Empty boxes are ignored.
+/// Computed on the compressed-coordinate grid spanned by the boxes' slab
+/// boundaries, so cost scales with the number of *distinct* boundaries,
+/// not with box volume — tile decompositions of a 128^3 box stay cheap.
+///
+/// The two derived set measures the cost model needs follow from this one
+/// primitive without extra machinery:
+///   multiplicity excess  sum(numPts) - unionPts  (recompute volume)
+///   |A intersect B|      unionPts(A) + unionPts(B) - unionPts(A ++ B)
+std::int64_t unionPts(const std::vector<Box>& boxes);
 
 } // namespace fluxdiv::analysis

@@ -2,12 +2,18 @@
 
 #include <omp.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <stdexcept>
 
+#include "analysis/costmodel.hpp"
 #include "core/exec_common.hpp"
+#include "harness/machine.hpp"
+
+#include "analysis/lower.hpp"
 
 #ifdef FLUXDIV_SCHEDULE_VERIFY
-#include "analysis/lower.hpp"
 #include "analysis/verifier.hpp"
 #endif
 
@@ -66,6 +72,40 @@ void FluxDivRunner::verifySchedule(const Box& valid) {
 #endif
 }
 
+void FluxDivRunner::adviseSchedule(const Box& valid) {
+  const char* env = std::getenv("FLUXDIV_ADVISE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) {
+    return;
+  }
+  const grid::IntVect extents = valid.size();
+  for (const auto& shape : advisedShapes_) {
+    if (shape == extents) {
+      return;
+    }
+  }
+  advisedShapes_.push_back(extents);
+  try {
+    const Box shape(grid::IntVect::zero(), extents - grid::IntVect::unit(1));
+    const analysis::CacheSpec spec =
+        analysis::CacheSpec::fromMachine(harness::queryMachine());
+    const analysis::CostReport cost = analysis::analyzeCost(
+        analysis::lowerVariant(cfg_, shape, nThreads_), spec, nThreads_);
+    if (!cost.capacityBound && cost.notes.empty()) {
+      return;
+    }
+    std::cerr << "FLUXDIV_ADVISE: variant '" << cfg_.name() << "' over "
+              << extents[0] << "x" << extents[1] << "x" << extents[2]
+              << " (threads=" << nThreads_ << "):\n";
+    for (const auto& note : cost.notes) {
+      std::cerr << "  " << note.message() << "\n";
+    }
+  } catch (const std::exception& e) {
+    // Advisory only — a cost-model failure must never break execution.
+    std::cerr << "FLUXDIV_ADVISE: cost analysis unavailable for '"
+              << cfg_.name() << "': " << e.what() << "\n";
+  }
+}
+
 void FluxDivRunner::runBoxSerial(const FArrayBox& phi0, FArrayBox& phi1,
                                  const Box& valid, Workspace& ws,
                                  Real scale) {
@@ -92,6 +132,7 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
                                 "' is not valid for this box size");
   }
   verifySchedule(valid);
+  adviseSchedule(valid);
 #ifdef FLUXDIV_SHADOW_CHECK
   phi1.shadowBeginEpoch();
 #endif
@@ -152,6 +193,7 @@ void FluxDivRunner::run(const LevelData& phi0, LevelData& phi1,
 
   for (std::size_t b = 0; b < phi0.size(); ++b) {
     verifySchedule(phi0.validBox(b)); // cached after the first box shape
+    adviseSchedule(phi0.validBox(b));
   }
 #ifdef FLUXDIV_SHADOW_CHECK
   for (std::size_t b = 0; b < phi1.size(); ++b) {

@@ -8,6 +8,12 @@
 // additionally proves the configured schedule legal before the first
 // execution over each box shape — see src/analysis and
 // docs/static-analysis.md. Release builds compile the gate out entirely.
+//
+// With FLUXDIV_ADVISE=1 in the environment, the runner also consults the
+// static cost model (docs/cost-model.md) before the first execution over
+// each box shape and prints a stderr warning when the requested variant is
+// predicted capacity-bound on this machine's caches. Advisory only: it
+// never changes execution or throws.
 
 #include <vector>
 
@@ -66,10 +72,16 @@ private:
   /// are cached per box extent.
   void verifySchedule(const grid::Box& valid);
 
+  /// Opt-in cost advisory (FLUXDIV_ADVISE=1): run the static cost model
+  /// over this box shape and warn on stderr when the variant is predicted
+  /// capacity-bound. Cached per box extent; never throws.
+  void adviseSchedule(const grid::Box& valid);
+
   VariantConfig cfg_;
   int nThreads_;
   WorkspacePool pool_;
   std::vector<grid::IntVect> verifiedShapes_; ///< box extents proven legal
+  std::vector<grid::IntVect> advisedShapes_;  ///< box extents already advised
 };
 
 } // namespace fluxdiv::core

@@ -1,7 +1,9 @@
 #include "harness/machine.hpp"
 
 #include <omp.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -49,7 +51,66 @@ std::size_t parseCacheSize(const std::string& text) {
   return value;
 }
 
+/// Second-chance probe via sysconf when sysfs is unavailable (containers
+/// and stripped-down kernels commonly hide /sys/devices/system/cpu).
+void queryCachesSysconf(MachineInfo& info) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE) && defined(_SC_LEVEL2_CACHE_SIZE) && \
+    defined(_SC_LEVEL3_CACHE_SIZE)
+  struct Probe {
+    int level;
+    const char* type;
+    int sizeSel;
+    int lineSel;
+    int assocSel;
+  };
+  const Probe probes[] = {
+      {1, "Data", _SC_LEVEL1_DCACHE_SIZE, _SC_LEVEL1_DCACHE_LINESIZE,
+       _SC_LEVEL1_DCACHE_ASSOC},
+      {2, "Unified", _SC_LEVEL2_CACHE_SIZE, _SC_LEVEL2_CACHE_LINESIZE,
+       _SC_LEVEL2_CACHE_ASSOC},
+      {3, "Unified", _SC_LEVEL3_CACHE_SIZE, _SC_LEVEL3_CACHE_LINESIZE,
+       _SC_LEVEL3_CACHE_ASSOC},
+  };
+  for (const Probe& p : probes) {
+    const long size = sysconf(p.sizeSel);
+    if (size <= 0) {
+      continue;
+    }
+    CacheLevel c;
+    c.level = p.level;
+    c.type = p.type;
+    c.sizeBytes = static_cast<std::size_t>(size);
+    const long line = sysconf(p.lineSel);
+    c.lineBytes = line > 0 ? static_cast<std::size_t>(line) : 64;
+    const long assoc = sysconf(p.assocSel);
+    c.associativity = assoc > 0 ? static_cast<int>(assoc) : 0;
+    info.caches.push_back(c);
+  }
+#else
+  (void)info;
+#endif
+}
+
 } // namespace
+
+std::vector<CacheLevel> defaultCacheHierarchy() {
+  return {
+      {1, "Data", 32 * 1024, 64, 8},
+      {2, "Unified", 256 * 1024, 64, 8},
+      {3, "Unified", 8 * 1024 * 1024, 64, 16},
+  };
+}
+
+bool applyCacheFallback(MachineInfo& info) {
+  std::erase_if(info.caches,
+                [](const CacheLevel& c) { return c.sizeBytes == 0; });
+  if (!info.caches.empty()) {
+    return false;
+  }
+  info.caches = defaultCacheHierarchy();
+  info.cacheFallback = true;
+  return true;
+}
 
 MachineInfo queryMachine() {
   MachineInfo info;
@@ -91,6 +152,12 @@ MachineInfo queryMachine() {
     c.associativity = ways.empty() ? 0 : std::stoi(ways);
     info.caches.push_back(c);
   }
+  std::erase_if(info.caches,
+                [](const CacheLevel& c) { return c.sizeBytes == 0; });
+  if (info.caches.empty()) {
+    queryCachesSysconf(info);
+  }
+  applyCacheFallback(info);
   return info;
 }
 
@@ -115,6 +182,9 @@ void printMachineReport(std::ostream& os, const MachineInfo& info) {
        << formatBytes(c.sizeBytes) << ", line " << c.lineBytes << " B";
     if (c.associativity > 0) {
       os << ", " << c.associativity << "-way";
+    }
+    if (info.cacheFallback) {
+      os << " (default; detection failed)";
     }
     os << '\n';
   }

@@ -26,10 +26,27 @@ struct MachineInfo {
   int logicalCores = 1;
   int ompMaxThreads = 1;
   std::vector<CacheLevel> caches; ///< data/unified levels of cpu0
+  bool cacheFallback = false;     ///< true when `caches` are the documented
+                                  ///< defaults, not detected values
 };
 
-/// Probe /proc/cpuinfo and sysfs. Never throws; missing fields stay default.
+/// Probe /proc/cpuinfo, sysfs and sysconf. Never throws; missing fields
+/// stay default, and a failed cache probe installs the documented default
+/// hierarchy (see defaultCacheHierarchy) rather than zero-sized caches.
 MachineInfo queryMachine();
+
+/// The documented default cache hierarchy used when detection fails: a
+/// paper-era desktop part (32 KiB L1d / 256 KiB L2 / 8 MiB L3, 64 B
+/// lines). Zero-sized caches must never escape queryMachine() — a zero
+/// capacity would make every schedule "fit in cache" and silently corrupt
+/// the cost model's rankings.
+std::vector<CacheLevel> defaultCacheHierarchy();
+
+/// Drop unusable (zero-sized) cache entries from `info` and, if no usable
+/// data/unified level remains, install defaultCacheHierarchy() and set
+/// `info.cacheFallback`. Returns true when the fallback was installed.
+/// Exposed so tests can force the detection-failure path directly.
+bool applyCacheFallback(MachineInfo& info);
 
 /// Size in bytes of the last-level data/unified cache (0 if unknown). Used
 /// by the analytic traffic model as the capacity threshold.

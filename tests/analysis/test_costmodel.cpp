@@ -1,0 +1,239 @@
+// Unit tests for the static cost model: working-set orderings, traffic
+// regimes, recomputation accounting, parallelism metrics, and the
+// structured cost notes. Numeric agreement with the cache simulator is
+// covered separately in test_costmodel_xval.cpp.
+
+#include "analysis/costmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/variant.hpp"
+#include "harness/machine.hpp"
+
+namespace fluxdiv::analysis {
+namespace {
+
+CacheSpec spec(std::size_t l2, std::size_t llc) {
+  CacheSpec s;
+  s.l2Bytes = l2;
+  s.llcBytes = llc;
+  return s;
+}
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * 1024;
+
+bool hasNote(const CostReport& r, CostNoteKind kind) {
+  return std::any_of(r.notes.begin(), r.notes.end(),
+                     [&](const CostNote& n) { return n.kind == kind; });
+}
+
+TEST(CostModel, ReportBasicsAreConsistent) {
+  const auto rep = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 16, 1,
+      spec(256 * kKiB, 6 * kMiB));
+  EXPECT_EQ(rep.validCells, 16 * 16 * 16);
+  EXPECT_GT(rep.workingSetBytes, 0);
+  EXPECT_GT(rep.trafficBytes, 0);
+  EXPECT_GT(rep.compulsoryBytes, 0);
+  EXPECT_NEAR(rep.bytesPerCell * static_cast<double>(rep.validCells),
+              rep.trafficBytes, 1.0);
+  ASSERT_FALSE(rep.phases.empty());
+  double maxPhase = 0;
+  for (const auto& p : rep.phases) {
+    maxPhase = std::max(maxPhase, p.workingSetBytes);
+  }
+  EXPECT_DOUBLE_EQ(rep.workingSetBytes, maxPhase);
+}
+
+TEST(CostModel, FusionShrinksWorkingSetAndTraffic) {
+  // The paper's core claim, statically: shift-fuse needs fewer distinct
+  // bytes live and moves less DRAM traffic than the baseline series of
+  // loops, which streams full flux temporaries between loop nests.
+  const CacheSpec s = spec(256 * kKiB, 512 * kKiB);
+  const auto base = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes,
+                         core::ComponentLoop::Inside),
+      32, 1, s);
+  const auto fused = analyzeCost(
+      core::makeShiftFuse(core::ParallelGranularity::OverBoxes,
+                          core::ComponentLoop::Inside),
+      32, 1, s);
+  EXPECT_LT(fused.workingSetBytes, base.workingSetBytes);
+  EXPECT_LT(fused.trafficBytes, base.trafficBytes);
+}
+
+TEST(CostModel, BlockedTilesShrinkConcurrentWorkingSet) {
+  // Within-box blocked wavefront holds only a front of tiles live, far
+  // below the whole-box working set of the serial schedule.
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  const auto serial = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 1, s);
+  const auto tiled = analyzeCost(
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Inside),
+      32, 4, s);
+  EXPECT_LT(tiled.workingSetBytes, serial.workingSetBytes);
+  EXPECT_LT(tiled.maxItemBytes, tiled.workingSetBytes);
+}
+
+TEST(CostModel, FitsInCacheRegimeLandsNearCompulsoryFloor) {
+  // With an LLC larger than every distinct byte the schedule touches, one
+  // evaluation fetches each byte once: traffic close to the floor, and
+  // far below the same schedule priced against a small cache.
+  const auto big = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 1,
+      spec(256 * kKiB, 64 * kMiB));
+  EXPECT_LT(big.trafficBytes, 1.2 * big.compulsoryBytes);
+  const auto small = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 1,
+      spec(256 * kKiB, 512 * kKiB));
+  EXPECT_GT(small.trafficBytes, 2.0 * big.trafficBytes);
+}
+
+TEST(CostModel, CapacityBoundNoteNamesThePhase) {
+  const auto rep = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 1,
+      spec(64 * kKiB, 256 * kKiB));
+  EXPECT_TRUE(rep.capacityBound);
+  ASSERT_TRUE(hasNote(rep, CostNoteKind::CapacityBound));
+  for (const auto& n : rep.notes) {
+    if (n.kind == CostNoteKind::CapacityBound) {
+      EXPECT_FALSE(n.where.empty());
+      EXPECT_GT(n.actualBytes, n.limitBytes);
+      EXPECT_NE(n.message().find("capacity-bound"), std::string::npos);
+      EXPECT_NE(n.message().find(n.where), std::string::npos);
+    }
+  }
+  const auto fits = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 16, 1,
+      spec(256 * kKiB, 64 * kMiB));
+  EXPECT_FALSE(fits.capacityBound);
+  EXPECT_FALSE(hasNote(fits, CostNoteKind::CapacityBound));
+}
+
+TEST(CostModel, RecomputeZeroOutsideOverlappedTiles) {
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  for (const auto& cfg :
+       {core::makeBaseline(core::ParallelGranularity::OverBoxes),
+        core::makeShiftFuse(core::ParallelGranularity::WithinBox),
+        core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                            core::ComponentLoop::Inside)}) {
+    const auto rep = analyzeCost(cfg, 32, 4, s);
+    EXPECT_DOUBLE_EQ(rep.recomputeCells, 0) << rep.variant;
+    EXPECT_DOUBLE_EQ(rep.recomputeFraction, 0) << rep.variant;
+  }
+}
+
+TEST(CostModel, RecomputeGrowsAsOverlappedTilesShrink) {
+  // Halo recomputation is a surface-to-volume effect: smaller tiles
+  // duplicate a larger fraction of the flux evaluations.
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  double prev = 0;
+  for (const int tile : {16, 8, 4}) {
+    const auto rep = analyzeCost(
+        core::makeOverlapped(core::IntraTileSchedule::Basic, tile,
+                             core::ParallelGranularity::OverBoxes),
+        32, 1, s);
+    EXPECT_GT(rep.recomputeFraction, prev) << rep.variant;
+    EXPECT_LT(rep.recomputeFraction, 1.0) << rep.variant;
+    prev = rep.recomputeFraction;
+  }
+}
+
+TEST(CostModel, RecomputeIndependentOfParallelGranularity) {
+  // The duplicated volume is a property of the tiling, not of whether
+  // tiles run serially in one item or as concurrent items.
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  const auto serial = analyzeCost(
+      core::makeOverlapped(core::IntraTileSchedule::Basic, 8,
+                           core::ParallelGranularity::OverBoxes),
+      32, 1, s);
+  const auto parallel = analyzeCost(
+      core::makeOverlapped(core::IntraTileSchedule::Basic, 8,
+                           core::ParallelGranularity::WithinBox),
+      32, 4, s);
+  EXPECT_NEAR(serial.recomputeFraction, parallel.recomputeFraction, 1e-12);
+}
+
+TEST(CostModel, HighRecomputeNoteAboveThreshold) {
+  // 4^3 tiles on a 32^3 box duplicate ~40% of the flux evaluations —
+  // well above the note threshold; 16^3 tiles stay below it.
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  const auto small = analyzeCost(
+      core::makeOverlapped(core::IntraTileSchedule::Basic, 4,
+                           core::ParallelGranularity::OverBoxes),
+      32, 1, s);
+  EXPECT_TRUE(hasNote(small, CostNoteKind::HighRecompute));
+  const auto large = analyzeCost(
+      core::makeOverlapped(core::IntraTileSchedule::Basic, 16,
+                           core::ParallelGranularity::OverBoxes),
+      32, 1, s);
+  EXPECT_FALSE(hasNote(large, CostNoteKind::HighRecompute));
+}
+
+TEST(CostModel, ParallelismMetricsDistinguishSchedules) {
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  const auto serial = analyzeCost(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 1, s);
+  EXPECT_EQ(serial.maxConcurrency, 1);
+  EXPECT_EQ(serial.barrierCount, 1);
+  EXPECT_EQ(serial.frontCount, 0);
+
+  const auto ot = analyzeCost(
+      core::makeOverlapped(core::IntraTileSchedule::ShiftFuse, 8,
+                           core::ParallelGranularity::WithinBox),
+      32, 4, s);
+  EXPECT_EQ(ot.maxConcurrency, 4 * 4 * 4); // every tile is independent
+  EXPECT_EQ(ot.barrierCount, 1);
+
+  const auto wf = analyzeCost(
+      core::makeShiftFuse(core::ParallelGranularity::WithinBox), 32, 4, s);
+  EXPECT_GT(wf.frontCount, 0);
+  EXPECT_GT(wf.maxConcurrency, 1);
+
+  const auto bwf = analyzeCost(
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Inside),
+      32, 4, s);
+  EXPECT_GT(bwf.barrierCount, 1); // one barrier per tile front
+  EXPECT_GT(bwf.avgConcurrency, 1.0);
+}
+
+TEST(CostModel, WorkerCountBoundsConcurrentScratch) {
+  // Available concurrency is thousands of tiles, but scratch is only held
+  // by executing workers: the phase working set must scale with nWorkers,
+  // not with the item count.
+  const CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+  const auto cfg = core::makeOverlapped(
+      core::IntraTileSchedule::ShiftFuse, 8,
+      core::ParallelGranularity::WithinBox);
+  const auto few = analyzeCost(cfg, 32, 2, s);
+  const auto many = analyzeCost(cfg, 32, 32, s);
+  EXPECT_LT(few.workingSetBytes, many.workingSetBytes);
+  EXPECT_EQ(few.maxConcurrency, many.maxConcurrency);
+}
+
+TEST(CostModel, CacheSpecFromMachineUsesProbedLevels) {
+  harness::MachineInfo info;
+  info.caches = {{1, "Data", 32 * kKiB, 64, 8},
+                 {2, "Unified", 512 * kKiB, 64, 8},
+                 {3, "Unified", 4 * kMiB, 64, 16}};
+  const CacheSpec s = CacheSpec::fromMachine(info);
+  EXPECT_EQ(s.l2Bytes, 512 * kKiB);
+  EXPECT_EQ(s.llcBytes, 4 * kMiB);
+  EXPECT_EQ(s.lineBytes, 64u);
+}
+
+TEST(CostModel, CacheSpecFromMachineSurvivesFailedDetection) {
+  // A machine whose cache probe failed entirely must still yield usable
+  // capacities (the documented defaults), never zero.
+  const CacheSpec s = CacheSpec::fromMachine(harness::MachineInfo{});
+  EXPECT_GT(s.l2Bytes, 0u);
+  EXPECT_EQ(s.llcBytes, 8 * kMiB);
+}
+
+} // namespace
+} // namespace fluxdiv::analysis

@@ -108,5 +108,49 @@ TEST(RegionAlgebra, EmptyTargetAlwaysCovered) {
   EXPECT_TRUE(firstUncovered(empty, {}).empty());
 }
 
+TEST(RegionAlgebra, UnionPtsSingleAndDisjoint) {
+  EXPECT_EQ(unionPts({}), 0);
+  EXPECT_EQ(unionPts({Box::cube(4)}), 64);
+  const Box far(IntVect(100, 0, 0), IntVect(103, 3, 3));
+  EXPECT_EQ(unionPts({Box::cube(4), far}), 128);
+}
+
+TEST(RegionAlgebra, UnionPtsOverlapCountedOnce) {
+  // Two 4^3 cubes sharing a 2x4x4 slab: 64 + 64 - 32.
+  const Box a = Box::cube(4);
+  const Box b(IntVect(2, 0, 0), IntVect(5, 3, 3));
+  EXPECT_EQ(unionPts({a, b}), 96);
+  // Fully nested boxes add nothing.
+  EXPECT_EQ(unionPts({a, Box::cube(2), a}), 64);
+}
+
+TEST(RegionAlgebra, UnionPtsIgnoresEmptyBoxes) {
+  EXPECT_EQ(unionPts({Box(), Box::cube(3), Box()}), 27);
+}
+
+TEST(RegionAlgebra, UnionPtsMatchesStencilInclusionExclusion) {
+  // The shifted-stencil shape the cost model measures: a box unioned with
+  // its one-cell shifts along each axis. |U| checked against a manual
+  // cell count.
+  const Box base = Box::cube(8);
+  std::vector<Box> shifted = {base};
+  for (int d = 0; d < 3; ++d) {
+    shifted.push_back(base.shift(IntVect::basis(d)));
+    shifted.push_back(base.shift(-IntVect::basis(d)));
+  }
+  std::int64_t count = 0;
+  const Box hull = base.grow(1);
+  grid::forEachCell(hull, [&](int i, int j, int k) {
+    const IntVect p(i, j, k);
+    for (const Box& s : shifted) {
+      if (s.contains(p)) {
+        ++count;
+        return;
+      }
+    }
+  });
+  EXPECT_EQ(unionPts(shifted), count);
+}
+
 } // namespace
 } // namespace fluxdiv::analysis

@@ -44,6 +44,58 @@ TEST(Machine, ReportMentionsCoresAndCaches) {
   EXPECT_NE(out.find("6.00 MiB"), std::string::npos);
 }
 
+TEST(Machine, QueryNeverReturnsZeroSizedCaches) {
+  // The cost model divides by cache capacities; a zero-sized level must
+  // never escape queryMachine() even when detection fails.
+  const MachineInfo info = queryMachine();
+  ASSERT_FALSE(info.caches.empty());
+  for (const auto& c : info.caches) {
+    EXPECT_GT(c.sizeBytes, 0u);
+    EXPECT_GT(c.lineBytes, 0u);
+  }
+  EXPECT_GT(lastLevelCacheBytes(info), 0u);
+}
+
+TEST(Machine, CacheFallbackInstallsDocumentedDefaults) {
+  // Force the detection-failure path: no cache entries at all.
+  MachineInfo info;
+  EXPECT_TRUE(applyCacheFallback(info));
+  EXPECT_TRUE(info.cacheFallback);
+  EXPECT_EQ(info.caches.size(), defaultCacheHierarchy().size());
+  for (const auto& c : info.caches) {
+    EXPECT_GT(c.sizeBytes, 0u);
+    EXPECT_EQ(c.lineBytes, 64u);
+  }
+  EXPECT_EQ(lastLevelCacheBytes(info), 8u * 1024 * 1024);
+}
+
+TEST(Machine, CacheFallbackDropsZeroSizedEntries) {
+  // A partially-failed probe (zero-sized L2, usable L3) keeps the usable
+  // level and does not install defaults.
+  MachineInfo info;
+  info.caches = {{2, "Unified", 0, 64, 8},
+                 {3, "Unified", 6 * 1024 * 1024, 64, 12}};
+  EXPECT_FALSE(applyCacheFallback(info));
+  EXPECT_FALSE(info.cacheFallback);
+  ASSERT_EQ(info.caches.size(), 1u);
+  EXPECT_EQ(info.caches[0].level, 3);
+  // All-zero probes fall through to the full default hierarchy.
+  MachineInfo allZero;
+  allZero.caches = {{1, "Data", 0, 0, 0}, {3, "Unified", 0, 0, 0}};
+  EXPECT_TRUE(applyCacheFallback(allZero));
+  EXPECT_TRUE(allZero.cacheFallback);
+  EXPECT_EQ(lastLevelCacheBytes(allZero), 8u * 1024 * 1024);
+}
+
+TEST(Machine, FallbackReportIsMarked) {
+  MachineInfo info;
+  applyCacheFallback(info);
+  info.cpuModel = "TestCPU";
+  std::ostringstream os;
+  printMachineReport(os, info);
+  EXPECT_NE(os.str().find("default; detection failed"), std::string::npos);
+}
+
 TEST(Machine, DefaultThreadSweepShape) {
   EXPECT_EQ(defaultThreadSweep(1), (std::vector<std::int64_t>{1}));
   EXPECT_EQ(defaultThreadSweep(8), (std::vector<std::int64_t>{1, 2, 4, 8}));

@@ -1,0 +1,173 @@
+// Static schedule advisor: rank every registered scheduling variant for a
+// box size / thread count by predicted DRAM traffic, recomputation volume
+// and available parallelism — without executing a single kernel. The cache
+// capacities default to the probed host hierarchy (harness/machine) and can
+// be overridden to model the paper's nodes. Also prints the recommended
+// blocked-wavefront tile size and every structured cost note (the
+// "explanations" of docs/cost-model.md).
+//
+//   ./tools/fluxdiv_advisor [--boxsize 128] [--threads 8] [--extensions]
+//                           [--l2 BYTES] [--llc BYTES] [--csv out.csv]
+//                           [--strict]
+//
+// --strict additionally runs internal consistency checks over every report
+// (finite traffic, non-degenerate working sets, traffic not far below the
+// compulsory floor) and exits nonzero if any fails — the CI guard that the
+// cost model stays sane over the whole registry.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.hpp"
+#include "harness/args.hpp"
+#include "harness/csv.hpp"
+#include "harness/machine.hpp"
+#include "harness/table.hpp"
+
+using namespace fluxdiv;
+
+namespace {
+
+std::string fmtBytes(double b) {
+  return harness::formatBytes(static_cast<std::size_t>(b));
+}
+
+/// Tool-level sanity checks on one report; append ModelError notes for any
+/// violated invariant. Returns the number of failures.
+int strictCheck(analysis::CostReport& rep) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what, double actual,
+                        double limit) {
+    analysis::CostNote note;
+    note.kind = analysis::CostNoteKind::ModelError;
+    note.where = rep.variant + ": " + what;
+    note.actualBytes = actual;
+    note.limitBytes = limit;
+    rep.notes.push_back(note);
+    ++failures;
+  };
+  if (!std::isfinite(rep.trafficBytes) || rep.trafficBytes <= 0) {
+    fail("non-finite or non-positive traffic", rep.trafficBytes, 0);
+  }
+  if (rep.workingSetBytes <= 0 || rep.maxItemBytes <= 0) {
+    fail("degenerate working set", rep.workingSetBytes, 0);
+  }
+  // One cold evaluation can dip below the steady-state floor (the final
+  // writeback stays cached), but never below half of it.
+  if (rep.trafficBytes < 0.5 * rep.compulsoryBytes) {
+    fail("traffic below half the compulsory floor", rep.trafficBytes,
+         rep.compulsoryBytes);
+  }
+  if (rep.maxConcurrency < 1 || rep.barrierCount < 1) {
+    fail("degenerate parallelism metrics",
+         static_cast<double>(rep.maxConcurrency),
+         static_cast<double>(rep.barrierCount));
+  }
+  return failures;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("boxsize", 128, "box side N");
+  args.addInt("threads", 8, "worker count the schedules are priced for");
+  args.addBool("extensions", "include the beyond-paper variant axes");
+  args.addInt("l2", 0, "L2 capacity in bytes (0 = probe this machine)");
+  args.addInt("llc", 0, "LLC capacity in bytes (0 = probe this machine)");
+  args.addString("csv", "", "also write the ranking table to this CSV file");
+  args.addBool("strict",
+               "fail (exit 1) on any internal model-consistency error");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  const int n = static_cast<int>(args.getInt("boxsize"));
+  const int nThreads = static_cast<int>(args.getInt("threads"));
+  if (n < 1 || nThreads < 1) {
+    std::cerr << "error: --boxsize and --threads must be >= 1\n";
+    return 1;
+  }
+
+  const harness::MachineInfo machine = harness::queryMachine();
+  analysis::CacheSpec spec = analysis::CacheSpec::fromMachine(machine);
+  if (args.getInt("l2") > 0) {
+    spec.l2Bytes = static_cast<std::size_t>(args.getInt("l2"));
+  }
+  if (args.getInt("llc") > 0) {
+    spec.llcBytes = static_cast<std::size_t>(args.getInt("llc"));
+  }
+
+  harness::printMachineReport(std::cout, machine);
+  std::cout << "\ncost model caches: L2 " << harness::formatBytes(spec.l2Bytes)
+            << ", LLC " << harness::formatBytes(spec.llcBytes) << "\n";
+  std::cout << "ranking " << (args.getBool("extensions") ? "extended " : "")
+            << "registry for N=" << n << ", threads=" << nThreads
+            << " (predicted, no kernel executed)\n\n";
+
+  const analysis::ScheduleAdvisor advisor(spec);
+  auto ranked = advisor.rank(n, nThreads, args.getBool("extensions"));
+
+  const std::vector<std::string> header = {
+      "rank",    "variant",   "traffic",     "bytes/cell", "working set",
+      "recomp",  "max conc",  "barriers",    "bound"};
+  harness::Table table(header);
+  harness::CsvWriter csv(args.getString("csv"), header);
+  int strictFailures = 0;
+  int rank = 1;
+  for (auto& rv : ranked) {
+    if (args.getBool("strict")) {
+      strictFailures += strictCheck(rv.cost);
+    }
+    const std::vector<std::string> row = {
+        std::to_string(rank++),
+        rv.cost.variant,
+        fmtBytes(rv.cost.trafficBytes),
+        harness::formatDouble(rv.cost.bytesPerCell, 1),
+        fmtBytes(rv.cost.workingSetBytes),
+        harness::formatDouble(rv.cost.recomputeFraction, 3),
+        std::to_string(rv.cost.maxConcurrency),
+        std::to_string(rv.cost.barrierCount),
+        rv.cost.capacityBound ? "LLC" : "-"};
+    table.addRow(row);
+    csv.writeRow(row);
+  }
+  table.print(std::cout);
+
+  bool anyNote = false;
+  for (const auto& rv : ranked) {
+    for (const auto& note : rv.cost.notes) {
+      if (!anyNote) {
+        std::cout << "\nnotes:\n";
+        anyNote = true;
+      }
+      std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
+                << rv.cost.variant << ": " << note.message() << "\n";
+    }
+  }
+
+  const analysis::TileAdvice advice = advisor.recommendBlockedTile(n, nThreads);
+  std::cout << "\nrecommended blocked-wavefront tile: ";
+  if (advice.cost.variant.empty()) {
+    std::cout << "(none) — " << advice.rationale << "\n";
+  } else {
+    std::cout << advice.cost.variant << "\n  " << advice.rationale << "\n";
+  }
+
+  if (args.getBool("strict")) {
+    if (strictFailures > 0) {
+      std::cerr << "\n" << strictFailures
+                << " model-consistency check(s) failed\n";
+      return 1;
+    }
+    std::cout << "\nall model-consistency checks passed over "
+              << ranked.size() << " variants\n";
+  }
+  return 0;
+}

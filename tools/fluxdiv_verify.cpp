@@ -6,16 +6,24 @@
 // prints the diagnostic each one is rejected with, so the output
 // demonstrates the verifier rejects as well as accepts.
 //
+// With --cost, each row additionally carries the static cost model's
+// working-set / predicted-traffic columns (docs/cost-model.md), so one
+// table answers both "is it legal" and "is it predicted fast".
+//
 //   ./tools/fluxdiv_verify [--boxsize 64] [--threads 1,4,8]
 //                          [--extensions] [--show-illegal]
+//                          [--cost] [--l2 BYTES] [--llc BYTES]
 
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "analysis/costmodel.hpp"
 #include "analysis/lower.hpp"
 #include "analysis/mutate.hpp"
 #include "analysis/verifier.hpp"
 #include "harness/args.hpp"
+#include "harness/machine.hpp"
 #include "harness/table.hpp"
 
 using namespace fluxdiv;
@@ -42,6 +50,9 @@ int main(int argc, char** argv) {
   args.addBool("extensions", "include the beyond-paper variant axes");
   args.addBool("show-illegal",
                "also demonstrate the rejected mutated schedules");
+  args.addBool("cost", "append static cost-model columns to each row");
+  args.addInt("l2", 0, "L2 capacity in bytes for --cost (0 = probe)");
+  args.addInt("llc", 0, "LLC capacity in bytes for --cost (0 = probe)");
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -63,19 +74,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool withCost = args.getBool("cost");
+  analysis::CacheSpec spec;
+  if (withCost) {
+    spec = analysis::CacheSpec::fromMachine(harness::queryMachine());
+    if (args.getInt("l2") > 0) {
+      spec.l2Bytes = static_cast<std::size_t>(args.getInt("l2"));
+    }
+    if (args.getInt("llc") > 0) {
+      spec.llcBytes = static_cast<std::size_t>(args.getInt("llc"));
+    }
+  }
+
   const auto variants =
       core::enumerateVariants(n, args.getBool("extensions"));
   std::cout << "=== schedule legality for " << variants.size()
-            << " variants, N=" << n << " ===\n\n";
+            << " variants, N=" << n << " ===\n";
+  if (withCost) {
+    std::cout << "cost model caches: L2 "
+              << harness::formatBytes(spec.l2Bytes) << ", LLC "
+              << harness::formatBytes(spec.llcBytes) << "\n";
+  }
+  std::cout << "\n";
 
-  harness::Table table({"variant", "threads", "verdict"});
+  std::vector<std::string> header = {"variant", "threads", "verdict"};
+  if (withCost) {
+    header.insert(header.end(),
+                  {"working set", "traffic", "bytes/cell", "bound"});
+  }
+  harness::Table table(header);
   int failures = 0;
   for (const auto& cfg : variants) {
     for (const std::int64_t t : threads) {
       const analysis::Diagnostic d = analysis::ScheduleVerifier{}.verify(
           cfg, n, static_cast<int>(t));
-      table.addRow({analysis::variantLabel(cfg), std::to_string(t),
-                    d.ok() ? "ok" : d.message()});
+      std::vector<std::string> row = {analysis::variantLabel(cfg),
+                                      std::to_string(t),
+                                      d.ok() ? "ok" : d.message()};
+      if (withCost) {
+        const analysis::CostReport cost =
+            analysis::analyzeCost(cfg, n, static_cast<int>(t), spec);
+        row.push_back(harness::formatBytes(
+            static_cast<std::size_t>(cost.workingSetBytes)));
+        row.push_back(harness::formatBytes(
+            static_cast<std::size_t>(cost.trafficBytes)));
+        row.push_back(harness::formatDouble(cost.bytesPerCell, 1));
+        row.push_back(cost.capacityBound ? "LLC" : "-");
+      }
+      table.addRow(row);
       failures += d.ok() ? 0 : 1;
     }
   }
