@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   harness::Table table(header);
   harness::CsvWriter csv(args.getString("csv"),
                          {"schedule", "threads", "seconds"});
+  bench::JsonWriter json(args.getString("json"));
 
   bench::Problem problem(n, nWork);
   for (const VariantConfig& cfg : schedules) {
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
       row.push_back(harness::formatSeconds(secs));
       csv.writeRow({cfg.name(), std::to_string(t),
                     harness::formatSeconds(secs)});
+      json.record({{"schedule", cfg.name()}},
+                  {{"threads", static_cast<double>(t)},
+                   {"boxsize", static_cast<double>(n)},
+                   {"seconds", secs}});
       std::cerr << "  " << cfg.name() << " t=" << t << ": "
                 << harness::formatSeconds(secs) << "s\n";
     }

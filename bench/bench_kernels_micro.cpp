@@ -5,11 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/runner.hpp"
 #include "kernels/exemplar.hpp"
 #include "kernels/init.hpp"
 #include "kernels/gradient.hpp"
 #include "kernels/layout.hpp"
+#include "kernels/pencil.hpp"
 #include "kernels/reference.hpp"
 
 namespace {
@@ -160,6 +164,136 @@ void BM_GradientAoS(benchmark::State& state) {
 }
 BENCHMARK(BM_GradientAoS)->Arg(32)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// The pencil fast path vs the scalar seed path (docs/perf.md). Both pairs
+// perform the identical EvalFlux1+EvalFlux2 arithmetic over every x-face
+// of an N^3 box and accumulate the flux difference into the output; the
+// scalar version is the seed executors' fused inner loop — a per-point
+// faceFlux call feeding a loop-carried scalar flux carry — while the
+// pencil version is the row-wise restructure the executors now use
+// (faceFluxPencil + accumulatePencil). BENCH_pencil.json records the
+// resulting speedup; run with --json=FILE to regenerate it.
+// ---------------------------------------------------------------------------
+
+struct SweepProblem {
+  grid::Box valid;
+  grid::FArrayBox phi0;
+  grid::FArrayBox phi1;
+
+  explicit SweepProblem(int n)
+      : valid(grid::Box::cube(n)),
+        phi0(valid.grow(kernels::kNumGhost), kernels::kNumComp),
+        phi1(valid, kernels::kNumComp) {
+    kernels::initializeExemplar(phi0, valid);
+    phi1.setVal(0.0);
+  }
+};
+
+void BM_FaceFluxAccumScalarSeed(benchmark::State& state) {
+  SweepProblem pr(static_cast<int>(state.range(0)));
+  const grid::FabIndexer ip = pr.phi0.indexer();
+  const grid::FabIndexer io = pr.phi1.indexer();
+  const grid::Real* pc = pr.phi0.dataPtr(0);
+  const grid::Real* pv = pr.phi0.dataPtr(kernels::velocityComp(0));
+  grid::Real* out = pr.phi1.dataPtr(0);
+  const grid::Box& b = pr.valid;
+  const int nx = b.size(0);
+  for (auto _ : state) {
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        const std::int64_t a = ip(b.lo(0), j, k);
+        grid::Real* orow = out + io(b.lo(0), j, k);
+        grid::Real carry = kernels::faceFlux(pc + a, pv + a, 1);
+        for (int i = 0; i < nx; ++i) {
+          const grid::Real hi =
+              kernels::faceFlux(pc + a + i + 1, pv + a + i + 1, 1);
+          orow[i] += 0.25 * (hi - carry);
+          carry = hi;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * b.numPts());
+}
+BENCHMARK(BM_FaceFluxAccumScalarSeed)->Arg(64)->Arg(128);
+
+void BM_FaceFluxAccumPencil(benchmark::State& state) {
+  SweepProblem pr(static_cast<int>(state.range(0)));
+  const grid::FabIndexer ip = pr.phi0.indexer();
+  const grid::FabIndexer io = pr.phi1.indexer();
+  const grid::Real* pc = pr.phi0.dataPtr(0);
+  const grid::Real* pv = pr.phi0.dataPtr(kernels::velocityComp(0));
+  grid::Real* out = pr.phi1.dataPtr(0);
+  const grid::Box& b = pr.valid;
+  const int nx = b.size(0);
+  std::vector<grid::Real> fface(static_cast<std::size_t>(nx) + 1);
+  for (auto _ : state) {
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        const std::int64_t a = ip(b.lo(0), j, k);
+        kernels::pencil::faceFluxPencil(pc + a, pv + a, 1, nx + 1,
+                                        fface.data());
+        kernels::pencil::accumulatePencil(fface.data(), 1, nx, 0.25,
+                                          out + io(b.lo(0), j, k));
+      }
+    }
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * b.numPts());
+}
+BENCHMARK(BM_FaceFluxAccumPencil)->Arg(64)->Arg(128);
+
+/// The EvalFlux1-only pair: the seed facePhiPass row loop (no restrict, no
+/// simd assertion — the compiler must version for aliasing) vs the pencil
+/// kernel, on the strided y-direction stencil.
+void BM_EvalFlux1RowScalarSeed(benchmark::State& state) {
+  SweepProblem pr(static_cast<int>(state.range(0)));
+  const grid::FabIndexer ip = pr.phi0.indexer();
+  const grid::FabIndexer io = pr.phi1.indexer();
+  const grid::Real* pc = pr.phi0.dataPtr(0);
+  grid::Real* out = pr.phi1.dataPtr(0);
+  const grid::Box& b = pr.valid;
+  const int nx = b.size(0);
+  const std::int64_t s = ip.stride(1);
+  for (auto _ : state) {
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        const grid::Real* prow = pc + ip(b.lo(0), j, k);
+        grid::Real* orow = out + io(b.lo(0), j, k);
+        for (int i = 0; i < nx; ++i) {
+          orow[i] = kernels::evalFlux1(prow + i, s);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * b.numPts());
+}
+BENCHMARK(BM_EvalFlux1RowScalarSeed)->Arg(64)->Arg(128);
+
+void BM_EvalFlux1RowPencil(benchmark::State& state) {
+  SweepProblem pr(static_cast<int>(state.range(0)));
+  const grid::FabIndexer ip = pr.phi0.indexer();
+  const grid::FabIndexer io = pr.phi1.indexer();
+  const grid::Real* pc = pr.phi0.dataPtr(0);
+  grid::Real* out = pr.phi1.dataPtr(0);
+  const grid::Box& b = pr.valid;
+  const int nx = b.size(0);
+  const std::int64_t s = ip.stride(1);
+  for (auto _ : state) {
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        kernels::pencil::evalFlux1Pencil(pc + ip(b.lo(0), j, k), s, nx,
+                                         out + io(b.lo(0), j, k));
+      }
+    }
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * b.numPts());
+}
+BENCHMARK(BM_EvalFlux1RowPencil)->Arg(64)->Arg(128);
+
 void BM_GhostExchange(benchmark::State& state) {
   const int boxSize = static_cast<int>(state.range(0));
   grid::DisjointBoxLayout dbl(grid::ProblemDomain(grid::Box::cube(64)),
@@ -177,4 +311,32 @@ BENCHMARK(BM_GhostExchange)->Arg(16)->Arg(32)->Arg(64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --json=FILE convenience that expands to google-
+// benchmark's JSON file output (the format BENCH_pencil.json is committed
+// in); all other flags pass through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> expanded;
+  expanded.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      expanded.push_back("--benchmark_out=" + arg.substr(7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(arg);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(expanded.size());
+  for (std::string& s : expanded) {
+    cargs.push_back(s.data());
+  }
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <cstdio>
 #include <iostream>
 
 #include "kernels/exemplar.hpp"
@@ -58,6 +59,53 @@ double timeVariant(const core::VariantConfig& cfg, Problem& problem,
   return best;
 }
 
+JsonWriter::~JsonWriter() {
+  if (path_.empty()) {
+    return;
+  }
+  std::ofstream out(path_);
+  if (!out) {
+    std::cerr << "warning: could not open " << path_ << " for writing\n";
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out << "  " << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+}
+
+void JsonWriter::record(
+    std::vector<std::pair<std::string, std::string>> strings,
+    std::vector<std::pair<std::string, double>> numbers) {
+  if (path_.empty()) {
+    return;
+  }
+  // Field names and values come from variant names / option values; none
+  // contain characters needing JSON escaping beyond quotes.
+  std::string rec = "{";
+  bool first = true;
+  const auto key = [&](const std::string& k) {
+    if (!first) {
+      rec += ", ";
+    }
+    first = false;
+    rec += '"' + k + "\": ";
+  };
+  for (const auto& [k, v] : strings) {
+    key(k);
+    rec += '"' + v + '"';
+  }
+  for (const auto& [k, v] : numbers) {
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    rec += buf;
+  }
+  rec += "}";
+  records_.push_back(std::move(rec));
+}
+
 void addCommonOptions(harness::Args& args) {
   args.addIntList("threads", {},
                   "thread counts to sweep (default: 1,2,4,... up to cores)");
@@ -65,6 +113,8 @@ void addCommonOptions(harness::Args& args) {
               "problem size in 128^3-cell work units (paper: 24)");
   args.addInt("reps", 3, "timed repetitions per point (minimum reported)");
   args.addString("csv", "", "also write results to this CSV file");
+  args.addString("json", "",
+                 "also write results as a JSON array to this file");
   args.addBool("paper", "paper-scale problem (= --nboxes128 24)");
 }
 

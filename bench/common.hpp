@@ -4,7 +4,9 @@
 // the box size), variant timing, and the standard command-line surface
 // (--threads, --nboxes128, --reps, --csv, --paper).
 
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runner.hpp"
@@ -14,6 +16,30 @@
 #include "harness/stats.hpp"
 
 namespace fluxdiv::bench {
+
+/// Machine-readable companion to CsvWriter: collects one flat JSON object
+/// per record and writes the whole array on destruction (so a crashed run
+/// leaves no half-written file behind the comma). An empty path produces
+/// a disabled writer whose record() is a no-op. Drives the --json option
+/// of the figure benches; docs/perf.md shows the output shape.
+class JsonWriter {
+public:
+  explicit JsonWriter(const std::string& path) : path_(path) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Append one record of string and numeric fields.
+  void record(std::vector<std::pair<std::string, std::string>> strings,
+              std::vector<std::pair<std::string, double>> numbers);
+
+private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 /// An equal-work problem: a domain of `nWork` 128^3-cell work units
 /// decomposed into boxes of side `boxSize`. The paper's full problem is 24

@@ -56,6 +56,41 @@ double slotsBytes(const SlotBoxes& slots) {
   return total;
 }
 
+/// A region's x-extent rounded up to the allocation pitch multiple: the
+/// cache lines a row occupies include its pad lanes (rows are contiguous
+/// with their slack), so *resident* footprints grow with the pitch even
+/// though the pad lanes are never referenced.
+Box padBoxX(const Box& b, int pad) {
+  const std::int64_t nx = b.size(0);
+  const std::int64_t rounded = (nx + pad - 1) / pad * pad;
+  if (rounded == nx) {
+    return b;
+  }
+  IntVect hi = b.hi();
+  hi[0] = b.lo(0) + static_cast<int>(rounded) - 1;
+  return {b.lo(), hi};
+}
+
+/// slotsBytes under an x-pitch of `pad` doubles (working-set pricing).
+double slotsBytesPadded(const SlotBoxes& slots, int pad) {
+  if (pad <= 1) {
+    return slotsBytes(slots);
+  }
+  double total = 0;
+  std::vector<Box> padded;
+  for (const auto& [key, boxes] : slots) {
+    padded.clear();
+    padded.reserve(boxes.size());
+    for (const Box& b : boxes) {
+      if (!b.empty()) {
+        padded.push_back(padBoxX(b, pad));
+      }
+    }
+    total += kRealBytes * static_cast<double>(unionPts(padded));
+  }
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // Scratch anchoring. A serial item that runs many tiles in sequence (the
 // OverBoxes overlapped-tile lowering concatenates every tile's pipeline
@@ -115,7 +150,8 @@ struct ItemFootprint {
   double privateBytes = 0; ///< anchored private scratch of this item
 };
 
-ItemFootprint itemFootprint(const WorkItem& item, SlotBoxes& phaseShared) {
+ItemFootprint itemFootprint(const WorkItem& item, SlotBoxes& phaseShared,
+                            int pad) {
   const AnchorMap anchors = scratchAnchors(item);
   SlotBoxes all;
   SlotBoxes priv;
@@ -132,23 +168,24 @@ ItemFootprint itemFootprint(const WorkItem& item, SlotBoxes& phaseShared) {
                 anchor);
     }
   }
-  return {slotsBytes(all), slotsBytes(priv)};
+  return {slotsBytesPadded(all, pad), slotsBytesPadded(priv, pad)};
 }
 
-PhaseCost phaseCost(const Phase& phase, int nWorkers) {
+PhaseCost phaseCost(const Phase& phase, int nWorkers, int pad) {
   PhaseCost pc;
   pc.name = phase.name;
   pc.items = static_cast<int>(phase.items.size());
   SlotBoxes shared;
   double maxPrivate = 0;
   for (const auto& item : phase.items) {
-    const ItemFootprint fp = itemFootprint(item, shared);
+    const ItemFootprint fp = itemFootprint(item, shared, pad);
     pc.maxItemBytes = std::max(pc.maxItemBytes, fp.totalBytes);
     maxPrivate = std::max(maxPrivate, fp.privateBytes);
   }
   const int scratchCopies =
       nWorkers > 0 ? std::min(pc.items, nWorkers) : pc.items;
-  pc.workingSetBytes = slotsBytes(shared) + maxPrivate * scratchCopies;
+  pc.workingSetBytes =
+      slotsBytesPadded(shared, pad) + maxPrivate * scratchCopies;
   return pc;
 }
 
@@ -547,9 +584,10 @@ CostReport analyzeCost(const ScheduleModel& m, const CacheSpec& spec,
   r.variant = m.variant;
   r.validCells = m.valid.numPts();
 
+  const int pad = std::max(1, spec.xPadDoubles);
   std::int64_t totalItems = 0;
   for (const auto& phase : m.phases) {
-    PhaseCost pc = phaseCost(phase, nWorkers);
+    PhaseCost pc = phaseCost(phase, nWorkers, pad);
     r.workingSetBytes = std::max(r.workingSetBytes, pc.workingSetBytes);
     r.maxItemBytes = std::max(r.maxItemBytes, pc.maxItemBytes);
     r.maxConcurrency = std::max(r.maxConcurrency, pc.items);

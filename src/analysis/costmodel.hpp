@@ -29,6 +29,15 @@ struct CacheSpec {
   std::size_t llcBytes = 6 * 1024 * 1024;
   std::size_t lineBytes = 64;
 
+  /// Allocation x-pitch multiple of the fabs being modeled (doubles).
+  /// Working sets round each region's x-extent up to this, pricing the
+  /// pad lanes that occupy cache alongside the referenced row (rows are
+  /// contiguous with their slack). Traffic stays logical: pad lanes are
+  /// never referenced, and the CacheSim cross-validation oracle replays a
+  /// dense trace. 1 models Pitch::Dense; set to grid::kSimdDoubles to
+  /// model the default padded allocation (advisor --pad).
+  int xPadDoubles = 1;
+
   /// Derive a spec from a probed machine description: LLC = last-level
   /// data/unified cache, L2 = the largest level-2 entry. Zero-sized
   /// detection results are replaced by the documented harness defaults.

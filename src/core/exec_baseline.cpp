@@ -3,10 +3,20 @@
 // (accumulation), with whole-box face-centered temporaries. Axes: component
 // loop outside (CLO) or inside (CLI); parallelization over boxes (caller) or
 // over z-slabs within the box.
+//
+// Inner loops go through the pencil layer (kernels/pencil.hpp): every pass
+// walks whole unit-stride x-rows, so the stage structure the legality
+// checker and cost model reason about — which pass touches which region,
+// separated by which barriers — is exactly the seed's; only the per-row
+// arithmetic is vectorized. CLI passes keep the component loop inside the
+// j/k face loops (the axis under study) but hoist it out of the x-row so
+// each (row, component) becomes one pencil; per (cell, component) the
+// expressions and their evaluation order are unchanged.
 
 #include <omp.h>
 
 #include "core/exec_common.hpp"
+#include "kernels/pencil.hpp"
 #include "sched/partition.hpp"
 
 namespace fluxdiv::core::detail {
@@ -14,6 +24,7 @@ namespace fluxdiv::core::detail {
 namespace {
 
 using sched::zSlab;
+namespace pencil = kernels::pencil;
 
 /// EvalFlux1 pass for component c over face region `fb` of direction d.
 void facePhiPass(const FArrayBox& phi0, FArrayBox& flux, int d, int c,
@@ -29,11 +40,8 @@ void facePhiPass(const FArrayBox& phi0, FArrayBox& flux, int d, int c,
   const int nx = fb.size(0);
   for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
     for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
-      const Real* prow = pc + ip(fb.lo(0), j, k);
-      Real* frow = out + ix(fb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        frow[i] = kernels::evalFlux1(prow + i, s);
-      }
+      pencil::evalFlux1Pencil(pc + ip(fb.lo(0), j, k), s, nx,
+                              out + ix(fb.lo(0), j, k));
     }
   }
 }
@@ -49,13 +57,18 @@ void fluxPass(FArrayBox& flux, const FArrayBox& vel, int velComp, int c,
   const Idx iv(vel);
   Real* f = flux.dataPtr(c);
   const Real* v = vel.dataPtr(velComp);
+  // CLO multiplies the velocity component by itself last — the one case
+  // where the in-place row and the velocity row are the same memory, which
+  // the restrict-qualified fluxPencil must not see.
+  const bool selfMultiply = (f == v);
   const int nx = fb.size(0);
   for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
     for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
       Real* frow = f + ix(fb.lo(0), j, k);
-      const Real* vrow = v + iv(fb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        frow[i] = kernels::evalFlux2(frow[i], vrow[i]);
+      if (selfMultiply) {
+        pencil::fluxSquarePencil(frow, nx);
+      } else {
+        pencil::fluxPencil(frow, v + iv(fb.lo(0), j, k), nx);
       }
     }
   }
@@ -77,11 +90,8 @@ void accumulatePass(const FArrayBox& flux, FArrayBox& phi1, int d, int c,
   const int nx = cb.size(0);
   for (int k = cb.lo(2); k <= cb.hi(2); ++k) {
     for (int j = cb.lo(1); j <= cb.hi(1); ++j) {
-      const Real* frow = f + ix(cb.lo(0), j, k);
-      Real* orow = out + io(cb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        orow[i] += scale * (frow[i + s] - frow[i]);
-      }
+      pencil::accumulatePencil(f + ix(cb.lo(0), j, k), s, nx, scale,
+                               out + io(cb.lo(0), j, k));
     }
   }
 }
@@ -100,17 +110,14 @@ void velocityCopy(const FArrayBox& flux, FArrayBox& vel, int velComp,
   const int nx = fb.size(0);
   for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
     for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
-      const Real* frow = f + ix(fb.lo(0), j, k);
-      Real* vrow = v + iv(fb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        vrow[i] = frow[i];
-      }
+      pencil::copyPencil(f + ix(fb.lo(0), j, k), nx,
+                         v + iv(fb.lo(0), j, k));
     }
   }
 }
 
-/// CLI EvalFlux1 pass: the component loop sits inside the face loops, so a
-/// cell's five face-averages are produced together (strided writes across
+/// CLI EvalFlux1 pass: the component loop sits inside the face loops (per
+/// x-row: a row's five component pencils are produced together, touching
 /// the far-apart component planes of the [x,y,z,c] layout — the locality
 /// cost the paper attributes to this axis).
 void cliFacePhi(const FArrayBox& phi0, FArrayBox& flux, int d,
@@ -128,10 +135,8 @@ void cliFacePhi(const FArrayBox& phi0, FArrayBox& flux, int d,
     for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
       const std::int64_t pbase = ip(fb.lo(0), j, k);
       const std::int64_t fbase = ix(fb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        for (int c = 0; c < kNumComp; ++c) {
-          fx[c][fbase + i] = kernels::evalFlux1(pc[c] + pbase + i, s);
-        }
+      for (int c = 0; c < kNumComp; ++c) {
+        pencil::evalFlux1Pencil(pc[c] + pbase, s, nx, fx[c] + fbase);
       }
     }
   }
@@ -151,11 +156,8 @@ void cliFlux2(FArrayBox& flux, const FArrayBox& vel, const Box& fb) {
     for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
       const std::int64_t fbase = ix(fb.lo(0), j, k);
       const Real* vrow = v + iv(fb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        for (int c = 0; c < kNumComp; ++c) {
-          fx[c][fbase + i] =
-              kernels::evalFlux2(fx[c][fbase + i], vrow[i]);
-        }
+      for (int c = 0; c < kNumComp; ++c) {
+        pencil::fluxPencil(fx[c] + fbase, vrow, nx);
       }
     }
   }
@@ -178,11 +180,9 @@ void cliAccumulate(const FArrayBox& flux, FArrayBox& phi1, int d,
     for (int j = cb.lo(1); j <= cb.hi(1); ++j) {
       const std::int64_t fbase = ix(cb.lo(0), j, k);
       const std::int64_t obase = io(cb.lo(0), j, k);
-      for (int i = 0; i < nx; ++i) {
-        for (int c = 0; c < kNumComp; ++c) {
-          out[c][obase + i] +=
-              scale * (fx[c][fbase + i + s] - fx[c][fbase + i]);
-        }
+      for (int c = 0; c < kNumComp; ++c) {
+        pencil::accumulatePencil(fx[c] + fbase, s, nx, scale,
+                                 out[c] + obase);
       }
     }
   }

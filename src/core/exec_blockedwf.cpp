@@ -5,22 +5,40 @@
 // Within one tile wavefront, tiles have pairwise-distinct orthogonal
 // coordinates in every direction, so their cache slots are disjoint and
 // they can execute concurrently.
+//
+// Tile sweeps are vectorized one x-row at a time (kernels/pencil.hpp).
+// The schedule is untouched: boundary fluxes are still *read from* and
+// *deposited into* the box-global caches (never recomputed across tile
+// boundaries), so the sharing/recomputation structure the legality checker
+// and cost model reason about is exactly the seed's. Only the within-row
+// carries become pencils: the x carry is a per-row (tnx+1)-face flux
+// scratch seeded from the cache slot and written back from its last entry,
+// and the y/z carries are contiguous cache rows rolled forward by
+// fusedFaceDiffPencil. To make those cache rows contiguous per component,
+// the CLI caches are laid out component-major (c slowest); the slot set
+// per (tile, front) — hence the disjointness argument — is unchanged.
 
 #include <omp.h>
 
 #include "core/exec_fused.hpp"
+#include "kernels/pencil.hpp"
 
 namespace fluxdiv::core::detail {
 
 namespace {
 
+namespace pencil = kernels::pencil;
+
 /// Fused sweep of one tile, component loop inside, low-face fluxes drawn
 /// from (and high-face fluxes deposited into) the box-global co-dimension
 /// caches. `fresh` applies only on the *box* boundary; on interior tile
 /// boundaries the cache slot was written by the -d neighbor tile.
+/// Cache layouts (component-major): cacheX[(c*nz + kk)*ny + jj],
+/// cacheY[(c*nz + kk)*nx + ii], cacheZ[(c*ny + jj)*nx + ii].
+/// `fface`/`hi` are per-thread row scratch of >= nx+1 entries each.
 void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
                   const Box& valid, Real* cacheX, Real* cacheY,
-                  Real* cacheZ, Real scale) {
+                  Real* cacheZ, Real* fface, Real* hi, Real scale) {
   FLUXDIV_SHADOW_WRITE(phi1, tb, 0, kNumComp);
   const Idx ip(phi0);
   const Idx io(phi1);
@@ -28,19 +46,46 @@ void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
   const MutComps out(phi1);
   const int nx = valid.size(0);
   const int ny = valid.size(1);
+  const int nz = valid.size(2);
+  const int ii0 = tb.lo(0) - valid.lo(0);
+  const int tnx = tb.size(0);
   for (int k = tb.lo(2); k <= tb.hi(2); ++k) {
     const int kk = k - valid.lo(2);
     for (int j = tb.lo(1); j <= tb.hi(1); ++j) {
       const int jj = j - valid.lo(1);
-      for (int i = tb.lo(0); i <= tb.hi(0); ++i) {
-        const int ii = i - valid.lo(0);
-        fusedCellCLI(
-            p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz, ii == 0,
-            jj == 0, kk == 0,
-            cacheX + (static_cast<std::size_t>(kk) * ny + jj) * kNumComp,
-            cacheY + (static_cast<std::size_t>(kk) * nx + ii) * kNumComp,
-            cacheZ + (static_cast<std::size_t>(jj) * nx + ii) * kNumComp,
-            scale);
+      const std::int64_t a = ip(tb.lo(0), j, k);
+      const std::int64_t o = io(tb.lo(0), j, k);
+      for (int c = 0; c < kNumComp; ++c) {
+        // x: seed face 0 from the cache (the -x neighbor's deposit) or
+        // fresh on the box boundary, compute the tnx high faces, then
+        // write the last face back for the +x neighbor.
+        Real* slotX =
+            cacheX + (static_cast<std::size_t>(c) * nz + kk) * ny + jj;
+        fface[0] = ii0 == 0 ? kernels::faceFlux(p[c] + a, p[1] + a, 1)
+                            : *slotX;
+        pencil::faceFluxPencil(p[c] + a + 1, p[1] + a + 1, 1, tnx,
+                               fface + 1);
+        pencil::accumulatePencil(fface, 1, tnx, scale, out[c] + o);
+        *slotX = fface[tnx];
+        // y: the cache row holds the -y neighbor's fluxes (or fresh on
+        // the box boundary); fusedFaceDiffPencil deposits ours for +y.
+        Real* carryY = cacheY +
+                       (static_cast<std::size_t>(c) * nz + kk) * nx + ii0;
+        if (jj == 0) {
+          pencil::faceFluxPencil(p[c] + a, p[2] + a, ip.sy, tnx, carryY);
+        }
+        pencil::faceFluxPencil(p[c] + a + ip.sy, p[2] + a + ip.sy, ip.sy,
+                               tnx, hi);
+        pencil::fusedFaceDiffPencil(hi, carryY, tnx, scale, out[c] + o);
+        // z: same through the plane cache.
+        Real* carryZ = cacheZ +
+                       (static_cast<std::size_t>(c) * ny + jj) * nx + ii0;
+        if (kk == 0) {
+          pencil::faceFluxPencil(p[c] + a, p[3] + a, ip.sz, tnx, carryZ);
+        }
+        pencil::faceFluxPencil(p[c] + a + ip.sz, p[3] + a + ip.sz, ip.sz,
+                               tnx, hi);
+        pencil::fusedFaceDiffPencil(hi, carryZ, tnx, scale, out[c] + o);
       }
     }
   }
@@ -48,9 +93,12 @@ void sweepTileCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& tb,
 
 /// Fused sweep of one tile for a single component (component loop outside
 /// the whole tile-wavefront execution — the "3D flux cache" variant).
+/// Single-entry caches: cacheX[kk*ny + jj], cacheY[kk*nx + ii],
+/// cacheZ[jj*nx + ii] (the seed layout, already row-contiguous).
 void sweepTileCLO(const FArrayBox& phi0, FArrayBox& phi1, int c,
                   const FArrayBox& vel, const Box& tb, const Box& valid,
-                  Real* cacheX, Real* cacheY, Real* cacheZ, Real scale) {
+                  Real* cacheX, Real* cacheY, Real* cacheZ, Real* fface,
+                  Real* hi, Real scale) {
   FLUXDIV_SHADOW_WRITE(phi1, tb, c, 1);
   const Idx ip(phi0);
   const Idx io(phi1);
@@ -62,20 +110,37 @@ void sweepTileCLO(const FArrayBox& phi0, FArrayBox& phi1, int c,
   const Real* velz = vel.dataPtr(2);
   const int nx = valid.size(0);
   const int ny = valid.size(1);
+  const int ii0 = tb.lo(0) - valid.lo(0);
+  const int tnx = tb.size(0);
   for (int k = tb.lo(2); k <= tb.hi(2); ++k) {
     const int kk = k - valid.lo(2);
     for (int j = tb.lo(1); j <= tb.hi(1); ++j) {
       const int jj = j - valid.lo(1);
-      for (int i = tb.lo(0); i <= tb.hi(0); ++i) {
-        const int ii = i - valid.lo(0);
-        fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
-                     velx, vely, velz, iv(i, j, k), iv.sy, iv.sz, ii == 0,
-                     jj == 0, kk == 0,
-                     cacheX + static_cast<std::size_t>(kk) * ny + jj,
-                     cacheY + static_cast<std::size_t>(kk) * nx + ii,
-                     cacheZ + static_cast<std::size_t>(jj) * nx + ii,
-                     scale);
+      const std::int64_t a = ip(tb.lo(0), j, k);
+      const std::int64_t o = io(tb.lo(0), j, k);
+      const std::int64_t av = iv(tb.lo(0), j, k);
+      Real* slotX = cacheX + static_cast<std::size_t>(kk) * ny + jj;
+      fface[0] = ii0 == 0 ? kernels::evalFlux2(
+                                kernels::evalFlux1(pc + a, 1), velx[av])
+                          : *slotX;
+      pencil::evalFlux1MulPencil(pc + a + 1, 1, velx + av + 1, tnx,
+                                 fface + 1);
+      pencil::accumulatePencil(fface, 1, tnx, scale, outc + o);
+      *slotX = fface[tnx];
+      Real* carryY = cacheY + static_cast<std::size_t>(kk) * nx + ii0;
+      if (jj == 0) {
+        pencil::evalFlux1MulPencil(pc + a, ip.sy, vely + av, tnx, carryY);
       }
+      pencil::evalFlux1MulPencil(pc + a + ip.sy, ip.sy, vely + av + iv.sy,
+                                 tnx, hi);
+      pencil::fusedFaceDiffPencil(hi, carryY, tnx, scale, outc + o);
+      Real* carryZ = cacheZ + static_cast<std::size_t>(jj) * nx + ii0;
+      if (kk == 0) {
+        pencil::evalFlux1MulPencil(pc + a, ip.sz, velz + av, tnx, carryZ);
+      }
+      pencil::evalFlux1MulPencil(pc + a + ip.sz, ip.sz, velz + av + iv.sz,
+                                 tnx, hi);
+      pencil::fusedFaceDiffPencil(hi, carryZ, tnx, scale, outc + o);
     }
   }
 }
@@ -83,9 +148,10 @@ void sweepTileCLO(const FArrayBox& phi0, FArrayBox& phi1, int c,
 /// Shared implementation: nThreads == 1 runs the tiles serially in
 /// lexicographic order (a valid topological order of the tile dependences);
 /// otherwise tiles execute wavefront-by-wavefront with an OpenMP team.
+/// `pool` supplies per-thread row scratch when parallel (nullptr serial).
 void blockedWFCore(const VariantConfig& cfg, const FArrayBox& phi0,
                    FArrayBox& phi1, const Box& valid, Workspace& shared,
-                   int nThreads, Real scale) {
+                   WorkspacePool* pool, int nThreads, Real scale) {
   const sched::TileSet tiles = makeTileSet(cfg, valid);
   const sched::TileWavefronts fronts(tiles);
   const int nx = valid.size(0);
@@ -100,21 +166,32 @@ void blockedWFCore(const VariantConfig& cfg, const FArrayBox& phi0,
       Slot::CarryY, static_cast<std::size_t>(nx) * nz * entries);
   Real* cacheZ = shared.buffer(
       Slot::CarryZ, static_cast<std::size_t>(nx) * ny * entries);
+  // Two row-scratch buffers per thread: the (nx+1)-face x row and the
+  // high-face y/z row.
+  const std::size_t scratchLen = 2 * (static_cast<std::size_t>(nx) + 1);
 
   if (cfg.comp == ComponentLoop::Inside) {
 #pragma omp parallel num_threads(nThreads) if (nThreads > 1)
-    for (std::size_t w = 0; w < fronts.count(); ++w) {
-      const auto& front = fronts.front(w);
+    {
+      Workspace& mine = pool ? (*pool)[omp_get_thread_num()] : shared;
+      Real* fface = mine.buffer(Slot::Extra, scratchLen);
+      Real* hi = fface + nx + 1;
+      for (std::size_t w = 0; w < fronts.count(); ++w) {
+        const auto& front = fronts.front(w);
 #pragma omp for schedule(dynamic)
-      for (std::size_t t = 0; t < front.size(); ++t) {
-        sweepTileCLI(phi0, phi1, tiles.tileBox(front[t]), valid, cacheX,
-                     cacheY, cacheZ, scale);
+        for (std::size_t t = 0; t < front.size(); ++t) {
+          sweepTileCLI(phi0, phi1, tiles.tileBox(front[t]), valid, cacheX,
+                       cacheY, cacheZ, fface, hi, scale);
+        }
       }
     }
   } else {
     FArrayBox& vel = shared.fab(Slot::Velocity, faceSupersetBox(valid), 3);
 #pragma omp parallel num_threads(nThreads) if (nThreads > 1)
     {
+      Workspace& mine = pool ? (*pool)[omp_get_thread_num()] : shared;
+      Real* fface = mine.buffer(Slot::Extra, scratchLen);
+      Real* hi = fface + nx + 1;
       precomputeFaceVelocity(phi0, vel, valid, omp_get_num_threads(),
                              omp_get_thread_num());
 #pragma omp barrier
@@ -124,7 +201,7 @@ void blockedWFCore(const VariantConfig& cfg, const FArrayBox& phi0,
 #pragma omp for schedule(dynamic)
           for (std::size_t t = 0; t < front.size(); ++t) {
             sweepTileCLO(phi0, phi1, c, vel, tiles.tileBox(front[t]),
-                         valid, cacheX, cacheY, cacheZ, scale);
+                         valid, cacheX, cacheY, cacheZ, fface, hi, scale);
           }
         }
       }
@@ -137,13 +214,13 @@ void blockedWFCore(const VariantConfig& cfg, const FArrayBox& phi0,
 void blockedWFBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
                         FArrayBox& phi1, const Box& valid, Workspace& ws,
                         Real scale) {
-  blockedWFCore(cfg, phi0, phi1, valid, ws, 1, scale);
+  blockedWFCore(cfg, phi0, phi1, valid, ws, nullptr, 1, scale);
 }
 
 void blockedWFBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
                           FArrayBox& phi1, const Box& valid,
                           WorkspacePool& pool, int nThreads, Real scale) {
-  blockedWFCore(cfg, phi0, phi1, valid, pool[0], nThreads, scale);
+  blockedWFCore(cfg, phi0, phi1, valid, pool[0], &pool, nThreads, scale);
 }
 
 } // namespace fluxdiv::core::detail

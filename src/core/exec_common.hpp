@@ -36,24 +36,10 @@ using kernels::kNumGhost;
 
 /// Linear-offset calculator for one FArrayBox, hoisting the box origin and
 /// strides out of hot loops (the paper's cached-pointer-offset idiom).
-struct Idx {
-  std::int64_t sy = 0;
-  std::int64_t sz = 0;
-  int lo0 = 0, lo1 = 0, lo2 = 0;
-
-  explicit Idx(const FArrayBox& f)
-      : sy(f.strideY()), sz(f.strideZ()), lo0(f.box().lo(0)),
-        lo1(f.box().lo(1)), lo2(f.box().lo(2)) {}
-
-  [[nodiscard]] std::int64_t operator()(int i, int j, int k) const {
-    return (i - lo0) + sy * static_cast<std::int64_t>(j - lo1) +
-           sz * static_cast<std::int64_t>(k - lo2);
-  }
-
-  /// Stride of direction d.
-  [[nodiscard]] std::int64_t stride(int d) const {
-    return d == 0 ? 1 : (d == 1 ? sy : sz);
-  }
+/// Thin executor-side name for the grid layer's single stride accessor, so
+/// padded-pitch allocations are picked up everywhere automatically.
+struct Idx : grid::FabIndexer {
+  explicit Idx(const FArrayBox& f) : grid::FabIndexer(f.indexer()) {}
 };
 
 /// Component base pointers of a const solution fab.

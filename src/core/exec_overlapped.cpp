@@ -5,7 +5,11 @@
 // the series-of-loops baseline ("Basic-Sched OT") or the shifted-and-fused
 // sweep ("Shift-Fuse OT"); both are exactly the per-box serial executors
 // applied to a tile-sized region, which also yields the per-thread
-// tile-sized temporary footprint of Table I row 4.
+// tile-sized temporary footprint of Table I row 4. The overlapped variants
+// therefore inherit the pencil-vectorized inner loops of those executors
+// (tiles keep the x direction whole under Pencil/Slab aspects, so pencils
+// stay long; cube tiles trade pencil length for the paper's locality
+// study, as before).
 
 #include <omp.h>
 

@@ -1,14 +1,26 @@
 // Shifted-and-fused schedule (paper Sec. IV-B): the per-direction face and
 // cell loops are shifted and fused into a single sweep over cells. Serial
-// sweeps carry flux values in a scalar/row/plane set of temporaries (Table
-// I row 2); the within-box parallelization recovers parallelism with a
+// sweeps carry flux values in a row/plane set of temporaries (Table I row
+// 2); the within-box parallelization recovers parallelism with a
 // per-iteration wavefront over the cell diagonal, which requires
 // co-dimension flux caches instead.
+//
+// The serial sweeps are vectorized one x-row at a time through the pencil
+// layer (kernels/pencil.hpp): the y/z carries become whole carry rows
+// rolled forward by fusedFaceDiffPencil, and the x carry chain becomes a
+// fresh (nx+1)-face flux row — each x-face flux is still computed exactly
+// once per sweep (the carried value and the fresh value are the same
+// expression on the same cells), so the schedule's recomputation count and
+// per-(cell, component) x,y,z accumulation order — hence the bits — are
+// unchanged. The wavefront executor keeps the per-cell fused iteration:
+// cells of one diagonal front are not contiguous in any direction, so
+// there is no pencil to form.
 
 #include <omp.h>
 
 #include "core/exec_common.hpp"
 #include "core/exec_fused.hpp"
+#include "kernels/pencil.hpp"
 #include "sched/partition.hpp"
 
 namespace fluxdiv::core::detail {
@@ -28,11 +40,8 @@ void precomputeFaceVelocity(const FArrayBox& phi0, FArrayBox& vel,
     const int nx = fb.size(0);
     for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
       for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
-        const Real* prow = pv + ip(fb.lo(0), j, k);
-        Real* orow = out + iv(fb.lo(0), j, k);
-        for (int i = 0; i < nx; ++i) {
-          orow[i] = kernels::evalFlux1(prow + i, s);
-        }
+        kernels::pencil::evalFlux1Pencil(pv + ip(fb.lo(0), j, k), s, nx,
+                                         out + iv(fb.lo(0), j, k));
       }
     }
   }
@@ -40,9 +49,13 @@ void precomputeFaceVelocity(const FArrayBox& phi0, FArrayBox& vel,
 
 namespace {
 
-/// Serial fused sweep, component loop inside: one pass over the cells with
-/// carry temporaries of size C, C*nx, and C*nx*ny (2 + 2N + 2N^2 scaling of
-/// Table I).
+namespace pencil = kernels::pencil;
+
+/// Serial fused sweep, component loop inside: one pass over the cell rows
+/// with carry temporaries of size ~C*nx (x-face row), C*nx (y row carry),
+/// and C*nx*ny (z plane carry) — the 2N + 2N^2 scaling of Table I row 2.
+/// Carry rows are component-major (c*nx + ii) so each (row, component)
+/// step is one contiguous pencil.
 void serialCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
                Workspace& ws, Real scale) {
   const Idx ip(phi0);
@@ -51,31 +64,49 @@ void serialCLI(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
   const MutComps out(phi1);
   const int nx = valid.size(0);
   const int ny = valid.size(1);
-  Real* carryX = ws.buffer(Slot::CarryX, kNumComp);
+  Real* fface =
+      ws.buffer(Slot::CarryX, static_cast<std::size_t>(nx) + 1);
+  Real* hi = ws.buffer(Slot::Extra, static_cast<std::size_t>(nx));
   Real* rowY = ws.buffer(Slot::CarryY,
                          static_cast<std::size_t>(nx) * kNumComp);
   Real* planeZ = ws.buffer(
       Slot::CarryZ, static_cast<std::size_t>(nx) * ny * kNumComp);
   for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+    const bool freshZ = k == valid.lo(2);
     for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
-      for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
-        const int ii = i - valid.lo(0);
-        const int jj = j - valid.lo(1);
-        fusedCellCLI(p, out, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
-                     /*freshX=*/i == valid.lo(0),
-                     /*freshY=*/j == valid.lo(1),
-                     /*freshZ=*/k == valid.lo(2), carryX,
-                     rowY + static_cast<std::size_t>(ii) * kNumComp,
-                     planeZ + (static_cast<std::size_t>(jj) * nx + ii) *
-                                  kNumComp,
-                     scale);
+      const bool freshY = j == valid.lo(1);
+      const int jj = j - valid.lo(1);
+      const std::int64_t a = ip(valid.lo(0), j, k);
+      const std::int64_t o = io(valid.lo(0), j, k);
+      for (int c = 0; c < kNumComp; ++c) {
+        // x: all nx+1 face fluxes of the row, then the shifted difference.
+        pencil::faceFluxPencil(p[c] + a, p[1] + a, 1, nx + 1, fface);
+        pencil::accumulatePencil(fface, 1, nx, scale, out[c] + o);
+        // y: high faces fresh; low faces carried from row j-1 (computed
+        // fresh on the sweep's low boundary).
+        Real* carryY = rowY + static_cast<std::size_t>(c) * nx;
+        if (freshY) {
+          pencil::faceFluxPencil(p[c] + a, p[2] + a, ip.sy, nx, carryY);
+        }
+        pencil::faceFluxPencil(p[c] + a + ip.sy, p[2] + a + ip.sy, ip.sy,
+                               nx, hi);
+        pencil::fusedFaceDiffPencil(hi, carryY, nx, scale, out[c] + o);
+        // z: same with the plane carry of row (j) from plane k-1.
+        Real* carryZ =
+            planeZ + (static_cast<std::size_t>(c) * ny + jj) * nx;
+        if (freshZ) {
+          pencil::faceFluxPencil(p[c] + a, p[3] + a, ip.sz, nx, carryZ);
+        }
+        pencil::faceFluxPencil(p[c] + a + ip.sz, p[3] + a + ip.sz, ip.sz,
+                               nx, hi);
+        pencil::fusedFaceDiffPencil(hi, carryZ, nx, scale, out[c] + o);
       }
     }
   }
 }
 
 /// Serial fused sweep, component loop outside: per component, a fused pass
-/// with scalar carries; the face-averaged velocities for all three
+/// with row/plane carries; the face-averaged velocities for all three
 /// directions are precomputed (the 3(N+1)^3 velocity temporary of Table I).
 void serialCLO(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
                Workspace& ws, Real scale) {
@@ -86,7 +117,9 @@ void serialCLO(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
   const Idx iv(vel);
   const int nx = valid.size(0);
   const int ny = valid.size(1);
-  Real* carryX = ws.buffer(Slot::CarryX, 1);
+  Real* fface =
+      ws.buffer(Slot::CarryX, static_cast<std::size_t>(nx) + 1);
+  Real* hi = ws.buffer(Slot::Extra, static_cast<std::size_t>(nx));
   Real* rowY = ws.buffer(Slot::CarryY, static_cast<std::size_t>(nx));
   Real* planeZ =
       ws.buffer(Slot::CarryZ, static_cast<std::size_t>(nx) * ny);
@@ -97,17 +130,28 @@ void serialCLO(const FArrayBox& phi0, FArrayBox& phi1, const Box& valid,
     const Real* pc = phi0.dataPtr(c);
     Real* outc = phi1.dataPtr(c);
     for (int k = valid.lo(2); k <= valid.hi(2); ++k) {
+      const bool freshZ = k == valid.lo(2);
       for (int j = valid.lo(1); j <= valid.hi(1); ++j) {
-        for (int i = valid.lo(0); i <= valid.hi(0); ++i) {
-          const int ii = i - valid.lo(0);
-          const int jj = j - valid.lo(1);
-          fusedCellCLO(pc, outc, ip(i, j, k), io(i, j, k), ip.sy, ip.sz,
-                       velx, vely, velz, iv(i, j, k), iv.sy, iv.sz,
-                       i == valid.lo(0), j == valid.lo(1),
-                       k == valid.lo(2), carryX, rowY + ii,
-                       planeZ + static_cast<std::size_t>(jj) * nx + ii,
-                       scale);
+        const bool freshY = j == valid.lo(1);
+        const int jj = j - valid.lo(1);
+        const std::int64_t a = ip(valid.lo(0), j, k);
+        const std::int64_t o = io(valid.lo(0), j, k);
+        const std::int64_t av = iv(valid.lo(0), j, k);
+        pencil::evalFlux1MulPencil(pc + a, 1, velx + av, nx + 1, fface);
+        pencil::accumulatePencil(fface, 1, nx, scale, outc + o);
+        if (freshY) {
+          pencil::evalFlux1MulPencil(pc + a, ip.sy, vely + av, nx, rowY);
         }
+        pencil::evalFlux1MulPencil(pc + a + ip.sy, ip.sy,
+                                   vely + av + iv.sy, nx, hi);
+        pencil::fusedFaceDiffPencil(hi, rowY, nx, scale, outc + o);
+        Real* carryZ = planeZ + static_cast<std::size_t>(jj) * nx;
+        if (freshZ) {
+          pencil::evalFlux1MulPencil(pc + a, ip.sz, velz + av, nx, carryZ);
+        }
+        pencil::evalFlux1MulPencil(pc + a + ip.sz, ip.sz,
+                                   velz + av + iv.sz, nx, hi);
+        pencil::fusedFaceDiffPencil(hi, carryZ, nx, scale, outc + o);
       }
     }
   }

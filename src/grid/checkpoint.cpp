@@ -11,6 +11,40 @@ namespace {
 
 constexpr char kMagic[8] = {'F', 'X', 'D', 'C', 'K', 'P', 'T', '1'};
 
+/// The payload of one fab is the logical dense [x, y, z, c] stream: fabs
+/// are walked row by row through the shared indexer, so the on-disk format
+/// is pitch-independent — a checkpoint written with padded storage reads
+/// back into any pitch, and matches the byte stream the seed's
+/// whole-allocation dump produced for dense fabs.
+void writeFabRows(std::ostream& out, const FArrayBox& fab) {
+  const Box& b = fab.box();
+  const FabIndexer ix = fab.indexer();
+  const std::streamsize rowBytes = b.size(0) * sizeof(Real);
+  for (int c = 0; c < fab.nComp(); ++c) {
+    const Real* p = fab.dataPtr(c);
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        out.write(reinterpret_cast<const char*>(p + ix(b.lo(0), j, k)),
+                  rowBytes);
+      }
+    }
+  }
+}
+
+void readFabRows(std::istream& in, FArrayBox& fab) {
+  const Box& b = fab.box();
+  const FabIndexer ix = fab.indexer();
+  const std::streamsize rowBytes = b.size(0) * sizeof(Real);
+  for (int c = 0; c < fab.nComp(); ++c) {
+    Real* p = fab.dataPtr(c);
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        in.read(reinterpret_cast<char*>(p + ix(b.lo(0), j, k)), rowBytes);
+      }
+    }
+  }
+}
+
 struct Header {
   char magic[8];
   std::int32_t endianTag = 1; ///< written as 1; mismatched on foreign end
@@ -42,9 +76,7 @@ void writeCheckpoint(const std::string& path, const LevelData& level) {
   }
   out.write(reinterpret_cast<const char*>(&h), sizeof(h));
   for (std::size_t b = 0; b < level.size(); ++b) {
-    const FArrayBox& fab = level[b];
-    out.write(reinterpret_cast<const char*>(fab.dataPtr(0)),
-              static_cast<std::streamsize>(fab.bytes()));
+    writeFabRows(out, level[b]);
   }
   if (!out) {
     throw std::runtime_error("writeCheckpoint: write failed for " + path);
@@ -75,9 +107,7 @@ LevelData readCheckpoint(const std::string& path) {
       domain, IntVect(h.boxSize[0], h.boxSize[1], h.boxSize[2]));
   LevelData level(layout, h.ncomp, h.nghost);
   for (std::size_t b = 0; b < level.size(); ++b) {
-    FArrayBox& fab = level[b];
-    in.read(reinterpret_cast<char*>(fab.dataPtr(0)),
-            static_cast<std::streamsize>(fab.bytes()));
+    readFabRows(in, level[b]);
   }
   if (!in) {
     throw std::runtime_error("readCheckpoint: truncated file " + path);

@@ -5,15 +5,17 @@
 
 namespace fluxdiv::grid {
 
-void FArrayBox::define(const Box& box, int ncomp) {
+void FArrayBox::define(const Box& box, int ncomp, Pitch pitch) {
   assert(!box.empty());
   assert(ncomp > 0);
   box_ = box;
   ncomp_ = ncomp;
-  sy_ = box.size(0);
+  sy_ = pitch == Pitch::Padded ? paddedPitch(box.size(0)) : box.size(0);
   sz_ = sy_ * box.size(1);
   sc_ = sz_ * box.size(2);
   data_.assign(static_cast<std::size_t>(sc_) * ncomp, 0.0);
+  assert(reinterpret_cast<std::uintptr_t>(data_.data()) % kFabAlignment ==
+         0);
 }
 
 void FArrayBox::setVal(Real value) {

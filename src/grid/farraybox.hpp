@@ -9,9 +9,9 @@
 
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
 #include "grid/box.hpp"
+#include "grid/indexer.hpp"
 #include "grid/real.hpp"
 
 #ifdef FLUXDIV_SHADOW_CHECK
@@ -22,17 +22,33 @@
 
 namespace fluxdiv::grid {
 
+/// Row-pitch policy of an FArrayBox allocation (docs/perf.md).
+enum class Pitch : std::uint8_t {
+  Padded, ///< x-pitch rounded up to kSimdDoubles; every row 64B-aligned
+  Dense,  ///< x-pitch == box.size(0): the packed layout of the seed code
+};
+
 /// Multi-component double-precision array over a Box (including any ghost
 /// region baked into the box).
+///
+/// Storage contract (relied on by kernels/pencil.hpp): data is 64-byte
+/// aligned (grid::kFabAlignment), and under the default Pitch::Padded the
+/// x-pitch — strideY()/pitch() — is box.size(0) rounded up to a multiple
+/// of grid::kSimdDoubles, so every (j, k, c) row base is itself 64-byte
+/// aligned. Code that indexes through offset()/indexer()/strides is
+/// pitch-agnostic; only code assuming size() == numPts*nComp (raw dumps)
+/// would break, and none remains (checkpoint IO walks rows).
 class FArrayBox {
 public:
   FArrayBox() = default;
 
   /// Allocate over `box` with `ncomp` components, zero-initialized.
-  FArrayBox(const Box& box, int ncomp) { define(box, ncomp); }
+  FArrayBox(const Box& box, int ncomp, Pitch pitch = Pitch::Padded) {
+    define(box, ncomp, pitch);
+  }
 
   /// (Re)allocate. Previous contents are discarded.
-  void define(const Box& box, int ncomp);
+  void define(const Box& box, int ncomp, Pitch pitch = Pitch::Padded);
 
   [[nodiscard]] const Box& box() const { return box_; }
   [[nodiscard]] int nComp() const { return ncomp_; }
@@ -44,9 +60,20 @@ public:
   /// Stride between components.
   [[nodiscard]] std::int64_t strideC() const { return sc_; }
 
-  /// Total allocated values (numPts * nComp).
+  /// Allocation pitch of one x-row in doubles (== strideY()). Equals
+  /// box().size(0) for Pitch::Dense; rounded up to kSimdDoubles otherwise.
+  [[nodiscard]] std::int64_t pitch() const { return sy_; }
+  /// Doubles of padding appended to each x-row.
+  [[nodiscard]] std::int64_t pitchSlack() const {
+    return sy_ - box_.size(0);
+  }
+
+  /// The shared stride accessor over this fab's allocation (pitch-aware).
+  [[nodiscard]] FabIndexer indexer() const { return {box_, sy_}; }
+
+  /// Total allocated values (pitch-padded; >= numPts * nComp).
   [[nodiscard]] std::size_t size() const { return data_.size(); }
-  /// Total allocated bytes.
+  /// Total allocated bytes (pitch-padded).
   [[nodiscard]] std::size_t bytes() const {
     return data_.size() * sizeof(Real);
   }
@@ -157,7 +184,7 @@ private:
   std::int64_t sy_ = 0;
   std::int64_t sz_ = 0;
   std::int64_t sc_ = 0;
-  std::vector<Real> data_;
+  AlignedVector data_;
 
 #ifdef FLUXDIV_SHADOW_CHECK
   void ensureShadow() {

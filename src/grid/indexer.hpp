@@ -1,0 +1,49 @@
+#pragma once
+// FabIndexer: THE stride accessor of the repo. Every piece of code that
+// turns (i, j, k) into a linear offset — executors, shadow memory, IO,
+// norms, the bench harness — goes through this one struct instead of
+// recomputing `size.x` locally, so the padded-pitch storage contract
+// (grid/real.hpp, docs/perf.md) has a single point of truth. The x-pitch
+// is an explicit constructor argument: FArrayBox::indexer() passes its
+// (possibly padded) allocation pitch, while dense() builds the logical
+// packed indexing used for pitch-independent address spaces (shadow tags,
+// flattened IO buffers, checkpoint payloads).
+
+#include <cstdint>
+
+#include "grid/box.hpp"
+
+namespace fluxdiv::grid {
+
+/// Linear-offset calculator over a Box, hoisting the origin and strides
+/// out of hot loops (the paper's cached-pointer-offset idiom).
+struct FabIndexer {
+  std::int64_t sy = 0; ///< x-pitch: doubles between consecutive j rows
+  std::int64_t sz = 0; ///< doubles between consecutive k planes
+  int lo0 = 0, lo1 = 0, lo2 = 0;
+
+  FabIndexer() = default;
+
+  /// Index `box` with row pitch `pitch` (>= box.size(0)).
+  FabIndexer(const Box& box, std::int64_t pitch)
+      : sy(pitch), sz(pitch * box.size(1)), lo0(box.lo(0)), lo1(box.lo(1)),
+        lo2(box.lo(2)) {}
+
+  /// Logical dense indexing of `box` (pitch == row length): the layout of
+  /// pitch-independent address spaces such as shadow tags and IO payloads.
+  [[nodiscard]] static FabIndexer dense(const Box& box) {
+    return {box, box.size(0)};
+  }
+
+  [[nodiscard]] std::int64_t operator()(int i, int j, int k) const {
+    return (i - lo0) + sy * static_cast<std::int64_t>(j - lo1) +
+           sz * static_cast<std::int64_t>(k - lo2);
+  }
+
+  /// Stride of direction d.
+  [[nodiscard]] std::int64_t stride(int d) const {
+    return d == 0 ? 1 : (d == 1 ? sy : sz);
+  }
+};
+
+} // namespace fluxdiv::grid

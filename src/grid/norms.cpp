@@ -18,10 +18,11 @@ Real reduceValid(const LevelData& level, int comp, F&& f) {
 #pragma omp parallel for schedule(static) reduction(+ : total)
   for (std::size_t b = 0; b < level.size(); ++b) {
     const FArrayBox& fab = level[b];
+    const FabIndexer ix = fab.indexer();
     const Real* p = fab.dataPtr(comp);
     Real local = 0.0;
     forEachCell(level.validBox(b), [&](int i, int j, int k) {
-      local += f(p[fab.offset(i, j, k)]);
+      local += f(p[ix(i, j, k)]);
     });
     total += local;
   }
@@ -50,9 +51,10 @@ Real levelNormInf(const LevelData& level, int comp) {
   Real worst = 0.0;
   for (std::size_t b = 0; b < level.size(); ++b) {
     const FArrayBox& fab = level[b];
+    const FabIndexer ix = fab.indexer();
     const Real* p = fab.dataPtr(comp);
     forEachCell(level.validBox(b), [&](int i, int j, int k) {
-      worst = std::max(worst, std::abs(p[fab.offset(i, j, k)]));
+      worst = std::max(worst, std::abs(p[ix(i, j, k)]));
     });
   }
   return worst;
@@ -75,11 +77,13 @@ Real levelDiffInf(const LevelData& a, const LevelData& b, int comp) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     const FArrayBox& fa = a[i];
     const FArrayBox& fb = b[i];
+    const FabIndexer ia = fa.indexer();
+    const FabIndexer ib = fb.indexer();
     const Real* pa = fa.dataPtr(comp);
     const Real* pb = fb.dataPtr(comp);
     forEachCell(a.validBox(i), [&](int x, int y, int z) {
-      worst = std::max(worst, std::abs(pa[fa.offset(x, y, z)] -
-                                       pb[fb.offset(x, y, z)]));
+      worst = std::max(worst,
+                       std::abs(pa[ia(x, y, z)] - pb[ib(x, y, z)]));
     });
   }
   return worst;

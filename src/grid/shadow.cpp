@@ -35,9 +35,8 @@ std::string ShadowMemory::Violation::message() const {
 void ShadowMemory::define(const Box& box, int ncomp) {
   box_ = box;
   ncomp_ = ncomp;
-  sy_ = box.size(0);
-  sz_ = sy_ * box.size(1);
-  sc_ = sz_ * box.size(2);
+  idx_ = FabIndexer::dense(box);
+  sc_ = idx_.sz * box.size(2);
   // vector<atomic> has no fill; reconstruct to zero-initialize.
   tags_ = std::vector<std::atomic<std::uint32_t>>(
       static_cast<std::size_t>(sc_) * static_cast<std::size_t>(ncomp));

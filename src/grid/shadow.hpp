@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "grid/box.hpp"
+#include "grid/indexer.hpp"
 #include "grid/real.hpp"
 
 namespace fluxdiv::grid {
@@ -99,17 +100,17 @@ private:
   // evaluation does.
   static constexpr std::uint32_t kWorkerMask = 0xffffu;
 
+  // Shadow tags index the *logical* cell space densely through the shared
+  // FabIndexer: one tag per (cell, component) regardless of the tracked
+  // fab's allocation pitch, so padded and dense fabs share one tag layout.
   [[nodiscard]] std::int64_t slot(const IntVect& p, int c) const {
-    return (p[0] - box_.lo(0)) +
-           sy_ * (p[1] - box_.lo(1)) +
-           sz_ * (p[2] - box_.lo(2)) + sc_ * c;
+    return idx_(p[0], p[1], p[2]) + sc_ * c;
   }
   void report(const Violation& v);
 
   Box box_;
   int ncomp_ = 0;
-  std::int64_t sy_ = 0;
-  std::int64_t sz_ = 0;
+  FabIndexer idx_;
   std::int64_t sc_ = 0;
   std::uint32_t epoch_ = 1;
   std::vector<std::atomic<std::uint32_t>> tags_;

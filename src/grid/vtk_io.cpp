@@ -11,21 +11,19 @@ namespace fluxdiv::grid {
 namespace {
 
 /// Gather component c of the level's valid cells into a flat x-fastest
-/// array over the whole domain.
+/// array over the whole domain. Both sides index through the shared
+/// FabIndexer: the fab side with its allocation pitch, the flat side with
+/// the domain's dense (pitch-free) layout.
 std::vector<Real> flattenComponent(const LevelData& level, int comp) {
   const Box dom = level.layout().domain().box();
   std::vector<Real> flat(static_cast<std::size_t>(dom.numPts()));
-  const std::int64_t nx = dom.size(0);
-  const std::int64_t ny = dom.size(1);
+  const FabIndexer flatIx = FabIndexer::dense(dom);
   for (std::size_t b = 0; b < level.size(); ++b) {
     const FArrayBox& fab = level[b];
+    const FabIndexer ix = fab.indexer();
     const Real* p = fab.dataPtr(comp);
     forEachCell(level.validBox(b), [&](int i, int j, int k) {
-      const std::size_t at = static_cast<std::size_t>(
-          (i - dom.lo(0)) +
-          nx * ((j - dom.lo(1)) +
-                ny * static_cast<std::int64_t>(k - dom.lo(2))));
-      flat[at] = p[fab.offset(i, j, k)];
+      flat[static_cast<std::size_t>(flatIx(i, j, k))] = p[ix(i, j, k)];
     });
   }
   return flat;

@@ -1,0 +1,17 @@
+#include "kernels/pencil.hpp"
+
+namespace fluxdiv::kernels::pencil {
+
+PencilConfig pencilConfig() {
+  return PencilConfig{
+      grid::kSimdDoubles,
+      grid::kFabAlignment,
+#if defined(_OPENMP)
+      true,
+#else
+      false,
+#endif
+  };
+}
+
+} // namespace fluxdiv::kernels::pencil

@@ -227,6 +227,48 @@ TEST(CostModel, CacheSpecFromMachineUsesProbedLevels) {
   EXPECT_EQ(s.lineBytes, 64u);
 }
 
+TEST(CostModel, PaddedPitchInflatesWorkingSetsButNotTraffic) {
+  // Pricing the padded fab allocation (advisor --pad) rounds every
+  // region's x-extent up to the pad multiple: working sets can only grow.
+  // Traffic is a logical-bytes prediction and must be untouched — pad
+  // lanes are never referenced, and the CacheSim oracle replays a dense
+  // trace (the xval tolerance is pinned at xPadDoubles == 1).
+  const CacheSpec dense = spec(256 * kKiB, 6 * kMiB);
+  CacheSpec padded = dense;
+  padded.xPadDoubles = 8;
+  for (const auto& cfg :
+       {core::makeBaseline(core::ParallelGranularity::OverBoxes),
+        core::makeShiftFuse(core::ParallelGranularity::OverBoxes,
+                            core::ComponentLoop::Inside),
+        core::makeBlockedWF(4, core::ParallelGranularity::OverBoxes,
+                            core::ComponentLoop::Inside),
+        core::makeOverlapped(core::IntraTileSchedule::ShiftFuse, 4,
+                             core::ParallelGranularity::OverBoxes)}) {
+    const auto d = analyzeCost(cfg, 12, 1, dense);
+    const auto p = analyzeCost(cfg, 12, 1, padded);
+    EXPECT_GE(p.workingSetBytes, d.workingSetBytes) << cfg.name();
+    EXPECT_GT(p.workingSetBytes, d.workingSetBytes)
+        << cfg.name() << ": 12-wide extents must actually round up";
+    EXPECT_GE(p.maxItemBytes, d.maxItemBytes) << cfg.name();
+    // Pad-lane growth is bounded by one pad stretch per x-row.
+    EXPECT_LE(p.workingSetBytes, 2.0 * d.workingSetBytes) << cfg.name();
+    EXPECT_DOUBLE_EQ(p.trafficBytes, d.trafficBytes) << cfg.name();
+    EXPECT_DOUBLE_EQ(p.recomputeCells, d.recomputeCells) << cfg.name();
+  }
+}
+
+TEST(CostModel, PaddedWorkingSetIsMonotoneInThePadMultiple) {
+  const auto cfg = core::makeBaseline(core::ParallelGranularity::OverBoxes);
+  double prev = 0;
+  for (const int pad : {1, 2, 4, 8, 16}) {
+    CacheSpec s = spec(256 * kKiB, 6 * kMiB);
+    s.xPadDoubles = pad;
+    const double ws = analyzeCost(cfg, 12, 1, s).workingSetBytes;
+    EXPECT_GE(ws, prev) << "pad " << pad;
+    prev = ws;
+  }
+}
+
 TEST(CostModel, CacheSpecFromMachineSurvivesFailedDetection) {
   // A machine whose cache probe failed entirely must still yield usable
   // capacities (the documented defaults), never zero.

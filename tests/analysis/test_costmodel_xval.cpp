@@ -78,6 +78,24 @@ TEST(CostModelXval, StaticTrafficWithinToleranceOfSimulator) {
   }
 }
 
+TEST(CostModelXval, PaddedSpecKeepsTrafficWithinTolerance) {
+  // The padded-pitch spec (advisor --pad) reprices working sets only;
+  // its traffic prediction must still land within the stated factor-2 of
+  // the (dense-trace) simulator.
+  for (const std::size_t llc : {512 * kKiB, 6144 * kKiB}) {
+    for (const auto& cfg : sweepVariants()) {
+      CacheSpec s = specWithLlc(llc);
+      s.xPadDoubles = 8;
+      const double model = analyzeCost(cfg, 32, 1, s).trafficBytes;
+      const double sim = simDramBytes(cfg, 32, llc);
+      ASSERT_GT(sim, 0);
+      const double ratio = model / sim;
+      EXPECT_GE(ratio, 1.0 / kTolerance) << cfg.name() << " llc=" << llc;
+      EXPECT_LE(ratio, kTolerance) << cfg.name() << " llc=" << llc;
+    }
+  }
+}
+
 TEST(CostModelXval, ModelOrderMatchesSimulatorOnSeparatedPairs) {
   // Ranking agreement: wherever the simulator separates two schedules
   // clearly (beyond the tolerance band), the static model must order

@@ -24,14 +24,17 @@ TEST(Workspace, FabReshapesOnDifferentRequest) {
 }
 
 TEST(Workspace, BytesAccounting) {
+  // Fab slots allocate with the default padded x-pitch, so accounting
+  // reflects the padded footprint (what the allocation actually holds).
+  const std::size_t fabBytes = static_cast<std::size_t>(grid::paddedPitch(4)) *
+                               4 * 4 * 2 * sizeof(grid::Real);
   Workspace ws;
   EXPECT_EQ(ws.bytes(), 0u);
-  ws.fab(Slot::Flux, Box::cube(4), 2);
-  EXPECT_EQ(ws.bytes(), 4u * 4 * 4 * 2 * sizeof(grid::Real));
+  grid::FArrayBox& f = ws.fab(Slot::Flux, Box::cube(4), 2);
+  EXPECT_EQ(f.bytes(), fabBytes);
+  EXPECT_EQ(ws.bytes(), fabBytes);
   ws.buffer(Slot::CarryX, 100);
-  EXPECT_EQ(ws.bytes(),
-            4u * 4 * 4 * 2 * sizeof(grid::Real) +
-                100 * sizeof(grid::Real));
+  EXPECT_EQ(ws.bytes(), fabBytes + 100 * sizeof(grid::Real));
 }
 
 TEST(Workspace, PeakSurvivesClear) {

@@ -51,6 +51,31 @@ TEST_F(CheckpointTest, RoundTripIsBitExact) {
   }
 }
 
+TEST_F(CheckpointTest, PayloadStaysDenseDespitePaddedFabStorage) {
+  // Fabs allocate with a padded x-pitch, but the checkpoint format is
+  // pitch-independent: the writer emits logical rows only, so the file
+  // holds exactly numPts * ncomp doubles per fab plus a bounded header —
+  // none of the pad-lane slack.
+  LevelData original = makeLevel();
+  std::uintmax_t denseBytes = 0;
+  std::uintmax_t slackBytes = 0;
+  for (std::size_t b = 0; b < original.size(); ++b) {
+    const FArrayBox& fab = original[b];
+    denseBytes += static_cast<std::uintmax_t>(fab.box().numPts()) *
+                  static_cast<std::uintmax_t>(fab.nComp()) * sizeof(Real);
+    slackBytes += fab.bytes() - static_cast<std::uintmax_t>(
+                                    fab.box().numPts()) *
+                                    static_cast<std::uintmax_t>(fab.nComp()) *
+                                    sizeof(Real);
+  }
+  ASSERT_GT(slackBytes, 0u) << "boxes happen to be pad-aligned; pick an "
+                               "extent that is not a SIMD multiple";
+  writeCheckpoint(path_, original);
+  const std::uintmax_t fileBytes = std::filesystem::file_size(path_);
+  EXPECT_GE(fileBytes, denseBytes);
+  EXPECT_LT(fileBytes, denseBytes + 4096) << "pad lanes leaked to disk";
+}
+
 TEST_F(CheckpointTest, RestoredLevelExchangesCorrectly) {
   LevelData original = makeLevel();
   writeCheckpoint(path_, original);

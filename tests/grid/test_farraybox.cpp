@@ -1,5 +1,7 @@
 #include "grid/farraybox.hpp"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 namespace fluxdiv::grid {
@@ -7,12 +9,14 @@ namespace {
 
 TEST(FArrayBox, LayoutIsColumnMajorComponentSlowest) {
   // The paper's data layout (Sec. III-C): [x, y, z, c], x unit-stride.
+  // Dense pitch pins the packed strides of the seed layout exactly.
   const Box b(IntVect(0, 0, 0), IntVect(3, 4, 5));
-  FArrayBox f(b, 2);
+  FArrayBox f(b, 2, Pitch::Dense);
   EXPECT_EQ(f.strideY(), 4);
   EXPECT_EQ(f.strideZ(), 4 * 5);
   EXPECT_EQ(f.strideC(), 4 * 5 * 6);
   EXPECT_EQ(f.size(), std::size_t(4 * 5 * 6 * 2));
+  EXPECT_EQ(f.pitchSlack(), 0);
 
   f(IntVect(1, 0, 0), 0) = 7.0;
   EXPECT_EQ(f.dataPtr(0)[1], 7.0);
@@ -22,9 +26,58 @@ TEST(FArrayBox, LayoutIsColumnMajorComponentSlowest) {
   EXPECT_EQ(f.dataPtr(1)[0], 9.0);
 }
 
+TEST(FArrayBox, PaddedPitchRoundsUpAndStaysConsistent) {
+  const Box b(IntVect(0, 0, 0), IntVect(3, 4, 5));
+  FArrayBox f(b, 2); // Pitch::Padded is the default
+  EXPECT_EQ(f.pitch(), paddedPitch(4));
+  EXPECT_EQ(f.pitch() % kSimdDoubles, 0);
+  EXPECT_EQ(f.pitchSlack(), f.pitch() - 4);
+  EXPECT_EQ(f.strideY(), f.pitch());
+  EXPECT_EQ(f.strideZ(), f.pitch() * 5);
+  EXPECT_EQ(f.strideC(), f.pitch() * 5 * 6);
+  EXPECT_EQ(f.size(), static_cast<std::size_t>(f.strideC()) * 2);
+  // Logical addressing is pitch-agnostic.
+  f(IntVect(1, 2, 3), 1) = 7.0;
+  EXPECT_EQ(f(IntVect(1, 2, 3), 1), 7.0);
+  EXPECT_EQ(f.dataPtr(1)[f.offset(1, 2, 3)], 7.0);
+}
+
+TEST(FArrayBox, StorageIsAlignedWithAlignedRows) {
+  // Both the allocation base and (under the default padded pitch) every
+  // x-row base must sit on kFabAlignment — the pencil-kernel contract.
+  FArrayBox f(Box::cube(5), 2);
+  const auto base = reinterpret_cast<std::uintptr_t>(f.dataPtr(0));
+  EXPECT_EQ(base % kFabAlignment, 0u);
+  EXPECT_EQ(static_cast<std::size_t>(f.pitch()) * sizeof(Real) %
+                kFabAlignment,
+            0u);
+  const auto row = reinterpret_cast<std::uintptr_t>(
+      f.dataPtr(1) + f.offset(0, 3, 2));
+  EXPECT_EQ(row % kFabAlignment, 0u);
+
+  // Dense fabs keep the aligned base (rows may not be aligned).
+  FArrayBox d(Box::cube(5), 2, Pitch::Dense);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.dataPtr(0)) % kFabAlignment,
+            0u);
+}
+
+TEST(FArrayBox, IndexerMatchesOffsetForBothPitches) {
+  const Box b(IntVect(-1, -2, -3), IntVect(3, 2, 1));
+  for (Pitch pitch : {Pitch::Padded, Pitch::Dense}) {
+    FArrayBox f(b, 1, pitch);
+    const FabIndexer ix = f.indexer();
+    forEachCell(b, [&](int i, int j, int k) {
+      EXPECT_EQ(ix(i, j, k), f.offset(i, j, k));
+    });
+    EXPECT_EQ(ix.stride(0), 1);
+    EXPECT_EQ(ix.stride(1), f.strideY());
+    EXPECT_EQ(ix.stride(2), f.strideZ());
+  }
+}
+
 TEST(FArrayBox, OffsetRespectsBoxOrigin) {
   const Box b(IntVect(-2, -2, -2), IntVect(2, 2, 2));
-  FArrayBox f(b, 1);
+  FArrayBox f(b, 1, Pitch::Dense);
   EXPECT_EQ(f.offset(-2, -2, -2), 0);
   EXPECT_EQ(f.offset(-1, -2, -2), 1);
   EXPECT_EQ(f.offset(-2, -1, -2), 5);

@@ -1,0 +1,263 @@
+// Equivalence of the vectorized pencil kernels (kernels/pencil.hpp)
+// against the scalar exemplar kernels they replace, on randomized boxes,
+// for all three stencil directions and both allocation pitches. The
+// pencils perform literally the same per-element expressions, so the
+// expected difference is zero; the assertions allow a couple of ULPs so
+// the contract survives compilers that contract or vectorize the two
+// paths differently.
+
+#include "kernels/pencil.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "grid/farraybox.hpp"
+
+namespace fluxdiv::kernels::pencil {
+namespace {
+
+using grid::Box;
+using grid::FabIndexer;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::Pitch;
+
+constexpr std::int64_t kMaxUlps = 2;
+
+std::int64_t orderedBits(Real x) {
+  const auto i = std::bit_cast<std::int64_t>(x);
+  return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+}
+
+std::int64_t ulpDiff(Real a, Real b) {
+  if (a == b) {
+    return 0;
+  }
+  const std::int64_t d = orderedBits(a) - orderedBits(b);
+  return d < 0 ? -d : d;
+}
+
+#define EXPECT_ULP_EQ(a, b)                                                  \
+  EXPECT_LE(ulpDiff((a), (b)), kMaxUlps) << (a) << " vs " << (b)
+
+/// A reproducibly random box with modest extents and a nonzero origin.
+Box randomBox(std::mt19937& rng) {
+  std::uniform_int_distribution<int> lo(-4, 4);
+  std::uniform_int_distribution<int> len(3, 13);
+  const IntVect l(lo(rng), lo(rng), lo(rng));
+  return {l, l + IntVect(len(rng), len(rng), len(rng)) - IntVect::unit(1)};
+}
+
+void fillRandom(FArrayBox& f, std::mt19937& rng) {
+  std::uniform_real_distribution<Real> dist(-1.0, 1.0);
+  for (int c = 0; c < f.nComp(); ++c) {
+    grid::forEachCell(f.box(), [&](int i, int j, int k) {
+      f(i, j, k, c) = dist(rng);
+    });
+  }
+}
+
+class PencilKernels : public ::testing::TestWithParam<Pitch> {};
+
+TEST_P(PencilKernels, EvalFlux1MatchesScalarInAllDirections) {
+  std::mt19937 rng(12345);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Box cells = randomBox(rng);
+    FArrayBox phi(cells.grow(kNumGhost), 1, GetParam());
+    fillRandom(phi, rng);
+    const FabIndexer ip = phi.indexer();
+    const Real* p = phi.dataPtr(0);
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      const Box fb = cells.faceBox(d);
+      FArrayBox out(fb, 1, GetParam());
+      const FabIndexer ix = out.indexer();
+      const std::int64_t s = ip.stride(d);
+      const int nx = fb.size(0);
+      for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
+        for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
+          evalFlux1Pencil(p + ip(fb.lo(0), j, k), s, nx,
+                          out.dataPtr(0) + ix(fb.lo(0), j, k));
+        }
+      }
+      grid::forEachCell(fb, [&](int i, int j, int k) {
+        EXPECT_ULP_EQ(out(i, j, k, 0), evalFlux1(p + ip(i, j, k), s))
+            << "dir " << d << " at " << i << ',' << j << ',' << k;
+      });
+    }
+  }
+}
+
+TEST_P(PencilKernels, FaceFluxMatchesScalarIncludingAliasedInputs) {
+  std::mt19937 rng(23456);
+  const Box cells = randomBox(rng);
+  FArrayBox phi(cells.grow(kNumGhost), 2, GetParam());
+  fillRandom(phi, rng);
+  const FabIndexer ip = phi.indexer();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const std::int64_t s = ip.stride(d);
+    const Box fb = cells.faceBox(d);
+    const int nx = fb.size(0);
+    std::vector<Real> row(static_cast<std::size_t>(nx));
+    for (int k = fb.lo(2); k <= fb.hi(2); ++k) {
+      for (int j = fb.lo(1); j <= fb.hi(1); ++j) {
+        const std::int64_t a = ip(fb.lo(0), j, k);
+        // Distinct component columns...
+        faceFluxPencil(phi.dataPtr(0) + a, phi.dataPtr(1) + a, s, nx,
+                       row.data());
+        for (int ii = 0; ii < nx; ++ii) {
+          EXPECT_ULP_EQ(row[static_cast<std::size_t>(ii)],
+                        faceFlux(phi.dataPtr(0) + a + ii,
+                                 phi.dataPtr(1) + a + ii, s));
+        }
+        // ...and the aliased case (component fluxing itself), which the
+        // CLI executors hit when c == velocityComp(d).
+        faceFluxPencil(phi.dataPtr(1) + a, phi.dataPtr(1) + a, s, nx,
+                       row.data());
+        for (int ii = 0; ii < nx; ++ii) {
+          EXPECT_ULP_EQ(row[static_cast<std::size_t>(ii)],
+                        faceFlux(phi.dataPtr(1) + a + ii,
+                                 phi.dataPtr(1) + a + ii, s));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PencilKernels, FluxAndSquareAndMulMatchScalar) {
+  std::mt19937 rng(34567);
+  std::uniform_real_distribution<Real> dist(-1.0, 1.0);
+  const int n = 37;
+  std::vector<Real> phiRow(n), velRow(n), a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    phiRow[static_cast<std::size_t>(i)] = dist(rng);
+    velRow[static_cast<std::size_t>(i)] = dist(rng);
+  }
+  a = phiRow;
+  fluxPencil(a.data(), velRow.data(), n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_ULP_EQ(a[static_cast<std::size_t>(i)],
+                  evalFlux2(phiRow[static_cast<std::size_t>(i)],
+                            velRow[static_cast<std::size_t>(i)]));
+  }
+  b = velRow;
+  fluxSquarePencil(b.data(), n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_ULP_EQ(b[static_cast<std::size_t>(i)],
+                  evalFlux2(velRow[static_cast<std::size_t>(i)],
+                            velRow[static_cast<std::size_t>(i)]));
+  }
+
+  const Box cells = randomBox(rng);
+  FArrayBox phi(cells.grow(kNumGhost), 1, GetParam());
+  fillRandom(phi, rng);
+  const FabIndexer ip = phi.indexer();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const std::int64_t s = ip.stride(d);
+    const Box fb = cells.faceBox(d);
+    const int nx = fb.size(0);
+    std::vector<Real> vel(static_cast<std::size_t>(nx));
+    std::vector<Real> outRow(static_cast<std::size_t>(nx));
+    for (auto& v : vel) {
+      v = dist(rng);
+    }
+    const std::int64_t base = ip(fb.lo(0), fb.lo(1), fb.lo(2));
+    evalFlux1MulPencil(phi.dataPtr(0) + base, s, vel.data(), nx,
+                       outRow.data());
+    for (int ii = 0; ii < nx; ++ii) {
+      EXPECT_ULP_EQ(
+          outRow[static_cast<std::size_t>(ii)],
+          evalFlux2(evalFlux1(phi.dataPtr(0) + base + ii, s),
+                    vel[static_cast<std::size_t>(ii)]));
+    }
+  }
+}
+
+TEST(PencilKernelsFlat, AccumulateMatchesScalarForUnitAndWideStrides) {
+  std::mt19937 rng(45678);
+  std::uniform_real_distribution<Real> dist(-1.0, 1.0);
+  const int n = 29;
+  for (std::int64_t stride : {std::int64_t{1}, std::int64_t{40},
+                              std::int64_t{40 * 17}}) {
+    std::vector<Real> flux(static_cast<std::size_t>(n + stride));
+    for (auto& v : flux) {
+      v = dist(rng);
+    }
+    std::vector<Real> outP(static_cast<std::size_t>(n), 0.5);
+    std::vector<Real> outS(outP);
+    accumulatePencil(flux.data(), stride, n, 0.25, outP.data());
+    for (int i = 0; i < n; ++i) {
+      outS[static_cast<std::size_t>(i)] +=
+          0.25 * (flux[static_cast<std::size_t>(i + stride)] -
+                  flux[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_ULP_EQ(outP[static_cast<std::size_t>(i)],
+                    outS[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(PencilKernelsFlat, FusedFaceDiffMatchesScalarCarryChain) {
+  std::mt19937 rng(56789);
+  std::uniform_real_distribution<Real> dist(-1.0, 1.0);
+  const int n = 23;
+  const int rows = 5;
+  std::vector<Real> carryP(static_cast<std::size_t>(n));
+  std::vector<Real> carryS(static_cast<std::size_t>(n));
+  std::vector<Real> outP(static_cast<std::size_t>(n * rows), 0.0);
+  std::vector<Real> outS(outP);
+  for (int i = 0; i < n; ++i) {
+    carryP[static_cast<std::size_t>(i)] = dist(rng);
+  }
+  carryS = carryP;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Real> hi(static_cast<std::size_t>(n));
+    for (auto& v : hi) {
+      v = dist(rng);
+    }
+    Real* op = outP.data() + static_cast<std::size_t>(r) * n;
+    Real* os = outS.data() + static_cast<std::size_t>(r) * n;
+    fusedFaceDiffPencil(hi.data(), carryP.data(), n, -0.5, op);
+    for (int i = 0; i < n; ++i) {
+      os[i] += -0.5 * (hi[static_cast<std::size_t>(i)] -
+                       carryS[static_cast<std::size_t>(i)]);
+      carryS[static_cast<std::size_t>(i)] = hi[static_cast<std::size_t>(i)];
+    }
+  }
+  for (std::size_t i = 0; i < outP.size(); ++i) {
+    EXPECT_ULP_EQ(outP[i], outS[i]);
+  }
+  for (std::size_t i = 0; i < carryP.size(); ++i) {
+    EXPECT_EQ(carryP[i], carryS[i]);
+  }
+}
+
+TEST(PencilKernelsFlat, CopyPencilCopies) {
+  std::vector<Real> src{1.0, -2.0, 3.5, 0.0, 7.25};
+  std::vector<Real> dst(src.size(), -1.0);
+  copyPencil(src.data(), static_cast<int>(src.size()), dst.data());
+  EXPECT_EQ(src, dst);
+}
+
+TEST(PencilKernelsFlat, ConfigReportsStorageContract) {
+  const PencilConfig cfg = pencilConfig();
+  EXPECT_EQ(cfg.simdDoubles, grid::kSimdDoubles);
+  EXPECT_EQ(cfg.alignment, grid::kFabAlignment);
+#if defined(_OPENMP)
+  EXPECT_TRUE(cfg.ompSimd);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPitches, PencilKernels,
+                         ::testing::Values(Pitch::Padded, Pitch::Dense),
+                         [](const auto& info) {
+                           return info.param == Pitch::Padded ? "Padded"
+                                                              : "Dense";
+                         });
+
+} // namespace
+} // namespace fluxdiv::kernels::pencil

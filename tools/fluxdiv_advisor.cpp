@@ -8,7 +8,10 @@
 //
 //   ./tools/fluxdiv_advisor [--boxsize 128] [--threads 8] [--extensions]
 //                           [--l2 BYTES] [--llc BYTES] [--csv out.csv]
-//                           [--strict]
+//                           [--strict] [--pad]
+//
+// --pad prices working sets for the default padded fab allocation (x-pitch
+// rounded to grid::kSimdDoubles, docs/perf.md) instead of dense storage.
 //
 // --strict additionally runs internal consistency checks over every report
 // (finite traffic, non-degenerate working sets, traffic not far below the
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "analysis/advisor.hpp"
+#include "grid/real.hpp"
 #include "harness/args.hpp"
 #include "harness/csv.hpp"
 #include "harness/machine.hpp"
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
   args.addString("csv", "", "also write the ranking table to this CSV file");
   args.addBool("strict",
                "fail (exit 1) on any internal model-consistency error");
+  args.addBool("pad", "price working sets for the padded fab x-pitch");
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -103,10 +108,17 @@ int main(int argc, char** argv) {
   if (args.getInt("llc") > 0) {
     spec.llcBytes = static_cast<std::size_t>(args.getInt("llc"));
   }
+  if (args.getBool("pad")) {
+    spec.xPadDoubles = grid::kSimdDoubles;
+  }
 
   harness::printMachineReport(std::cout, machine);
   std::cout << "\ncost model caches: L2 " << harness::formatBytes(spec.l2Bytes)
-            << ", LLC " << harness::formatBytes(spec.llcBytes) << "\n";
+            << ", LLC " << harness::formatBytes(spec.llcBytes);
+  if (spec.xPadDoubles > 1) {
+    std::cout << ", x-pitch pad " << spec.xPadDoubles << " doubles";
+  }
+  std::cout << "\n";
   std::cout << "ranking " << (args.getBool("extensions") ? "extended " : "")
             << "registry for N=" << n << ", threads=" << nThreads
             << " (predicted, no kernel executed)\n\n";
