@@ -1,9 +1,13 @@
 #include "analysis/costmodel.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <tuple>
+
+#include "kernels/exemplar.hpp"
 
 #include "analysis/lower.hpp"
 #include "analysis/region.hpp"
@@ -628,6 +632,138 @@ CostReport analyzeCost(const core::VariantConfig& cfg, int boxSize,
                        int nThreads, const CacheSpec& spec) {
   return analyzeCost(lowerVariant(cfg, grid::Box::cube(boxSize), nThreads),
                      spec, nThreads);
+}
+
+namespace {
+
+/// Average parallelism after quantizing `conc` independent units onto
+/// `nThreads` workers: conc / ceil(conc / nThreads). Equals nThreads when
+/// the units divide evenly, dips when the last round runs short-handed.
+double usableParallelism(double conc, int nThreads) {
+  if (conc <= 1.0) {
+    return 1.0;
+  }
+  const double rounds = std::ceil(conc / nThreads);
+  return conc / rounds;
+}
+
+/// Per-direction tile counts of `cfg` over an N^3 box (1x1x1 for the
+/// untiled families).
+std::array<std::int64_t, 3> tileGrid(const core::VariantConfig& cfg,
+                                     int boxSize) {
+  if (cfg.tileSize <= 0) {
+    return {1, 1, 1};
+  }
+  const std::array<int, 3> ext = core::tileExtents(cfg, boxSize);
+  std::array<std::int64_t, 3> n{};
+  for (std::size_t d = 0; d < 3; ++d) {
+    n[d] = (boxSize + ext[d] - 1) / ext[d];
+  }
+  return n;
+}
+
+/// Widest wavefront (front with the most tiles) of a tile grid under the
+/// diagonal ordering tx + ty + tz = w.
+std::int64_t maxFrontSize(const std::array<std::int64_t, 3>& n) {
+  std::int64_t best = 0;
+  for (std::int64_t w = 0; w <= n[0] + n[1] + n[2] - 3; ++w) {
+    std::int64_t size = 0;
+    for (std::int64_t tz = 0; tz < n[2]; ++tz) {
+      for (std::int64_t ty = 0; ty < n[1]; ++ty) {
+        const std::int64_t tx = w - tz - ty;
+        if (tx >= 0 && tx < n[0]) {
+          ++size;
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+} // namespace
+
+std::vector<LevelPolicyCost> analyzeLevelPolicies(
+    const core::VariantConfig& cfg, int boxSize, int nBoxes, int nThreads,
+    const CacheSpec& spec) {
+  const CostReport box = analyzeCost(cfg, boxSize, nThreads, spec);
+  const auto grid = tileGrid(cfg, boxSize);
+  const std::int64_t tiles = grid[0] * grid[1] * grid[2];
+  const std::int64_t fronts = grid[0] + grid[1] + grid[2] - 2;
+  const std::int64_t passes =
+      cfg.comp == core::ComponentLoop::Outside
+          ? static_cast<std::int64_t>(kernels::kNumComp)
+          : 1;
+
+  std::vector<LevelPolicyCost> out;
+  for (const core::LevelPolicy policy : core::kLevelPolicies) {
+    LevelPolicyCost c;
+    c.policy = policy;
+    c.nBoxes = nBoxes;
+    switch (policy) {
+    case core::LevelPolicy::BoxSequential:
+      // Boxes in sequence; concurrency is whatever the within-box schedule
+      // exposes, and every within-box barrier repeats per box.
+      c.taskCount = nBoxes;
+      c.depth = nBoxes;
+      c.maxConcurrency = box.maxConcurrency;
+      c.avgConcurrency = box.avgConcurrency;
+      c.barrierCount = nBoxes * box.barrierCount;
+      break;
+    case core::LevelPolicy::BoxParallel:
+      c.taskCount = nBoxes;
+      c.depth = 1;
+      c.maxConcurrency = nBoxes;
+      c.avgConcurrency = nBoxes;
+      c.barrierCount = 1; // the single join when the graph drains
+      break;
+    case core::LevelPolicy::Hybrid:
+      switch (cfg.family) {
+      case core::ScheduleFamily::OverlappedTiles:
+        c.taskCount = nBoxes * tiles;
+        c.depth = 1;
+        c.maxConcurrency = nBoxes * tiles;
+        c.avgConcurrency = static_cast<double>(nBoxes * tiles);
+        c.barrierCount = 1;
+        break;
+      case core::ScheduleFamily::BlockedWavefront:
+        // Per-box front pipeline (plus the CLO velocity pre-stage); the
+        // boxes' pipelines are independent, so the level DAG is one box
+        // deep and nBoxes wide.
+        c.taskCount =
+            nBoxes * (tiles * passes + (passes > 1 ? 1 : 0));
+        c.depth = fronts * passes + (passes > 1 ? 1 : 0);
+        c.maxConcurrency = nBoxes * maxFrontSize(grid);
+        c.avgConcurrency = static_cast<double>(c.taskCount) /
+                           static_cast<double>(c.depth);
+        c.barrierCount = c.depth;
+        break;
+      case core::ScheduleFamily::SeriesOfLoops:
+      case core::ScheduleFamily::ShiftFuse:
+        // No independent intra-box units: hybrid degrades to box-parallel
+        // (same fallback exec_level takes).
+        c.taskCount = nBoxes;
+        c.depth = 1;
+        c.maxConcurrency = nBoxes;
+        c.avgConcurrency = nBoxes;
+        c.barrierCount = 1;
+        break;
+      }
+      break;
+    }
+    out.push_back(c);
+  }
+  // Speedup estimate: usable parallelism relative to the sequential
+  // policy's, both quantized onto nThreads workers. Deliberately ignores
+  // task overhead and memory bandwidth — it ranks policies, it does not
+  // predict wall clock (docs/cost-model.md).
+  const double seqUsable =
+      usableParallelism(out.front().avgConcurrency, nThreads);
+  for (LevelPolicyCost& c : out) {
+    c.predictedSpeedup =
+        usableParallelism(c.avgConcurrency, nThreads) / seqUsable;
+  }
+  return out;
 }
 
 } // namespace fluxdiv::analysis

@@ -119,4 +119,29 @@ CostReport analyzeCost(const ScheduleModel& m, const CacheSpec& spec,
 CostReport analyzeCost(const core::VariantConfig& cfg, int boxSize,
                        int nThreads, const CacheSpec& spec);
 
+/// Predicted concurrency profile of one LevelPolicy (core/exec_level)
+/// executing a level of `nBoxes` boxes. Static counterpart of the task
+/// graphs the executor builds: task counts, DAG depth, and a quantized
+/// available-parallelism speedup estimate vs the box-sequential loop.
+struct LevelPolicyCost {
+  core::LevelPolicy policy = core::LevelPolicy::BoxSequential;
+  int nBoxes = 1;
+  std::int64_t taskCount = 0;     ///< tasks (or sequential loop bodies)
+  std::int64_t depth = 1;         ///< critical-path length in tasks/phases
+  std::int64_t maxConcurrency = 1;///< widest set of independent units
+  double avgConcurrency = 1;      ///< taskCount / depth
+  std::int64_t barrierCount = 0;  ///< full join points per evaluation
+  double predictedSpeedup = 1;    ///< vs BoxSequential, capped by nThreads
+};
+
+/// Analyze all three level policies for `cfg` over `nBoxes` boxes of side
+/// `boxSize` with `nThreads` workers. The per-box metrics (within-box
+/// concurrency, barriers) come from analyzeCost over the lowered schedule;
+/// the level-scale metrics mirror exec_level's graph construction exactly
+/// (whole-box tasks, overlapped (box x tile) tasks, blocked-wavefront
+/// front pipelines). Returned in kLevelPolicies order.
+std::vector<LevelPolicyCost> analyzeLevelPolicies(
+    const core::VariantConfig& cfg, int boxSize, int nBoxes, int nThreads,
+    const CacheSpec& spec);
+
 } // namespace fluxdiv::analysis

@@ -12,15 +12,53 @@
 #include "sched/tiles.hpp"
 
 // Shadow-memory instrumentation of the executors' phi1 commits (see
-// grid/shadow.hpp). Each expansion records "the calling OpenMP worker
-// wrote this region of these components in the current epoch"; the legal
-// schedules keep every (cell, component) of the output single-writer per
+// grid/shadow.hpp). Each expansion records "the calling worker wrote this
+// region of these components in the current epoch"; the legal schedules
+// keep every (cell, component) of the output single-writer per
 // evaluation, so any cross-worker double write is a real race. Expands to
 // nothing unless FLUXDIV_SHADOW_CHECK is on.
 #ifdef FLUXDIV_SHADOW_CHECK
 #include <omp.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/taskpool.hpp"
+
+namespace fluxdiv::core::detail {
+
+/// Worker identity for shadow attribution: the task-pool worker id when
+/// called from inside a TaskPool run, else the OpenMP thread id. Raw
+/// std::threads all report omp_get_thread_num() == 0, which would fold
+/// every pool worker into one and hide cross-worker races under the
+/// task-parallel level executor.
+inline int shadowWorkerId() {
+  const int pool = TaskPool::currentWorker();
+  return pool >= 0 ? pool : omp_get_thread_num();
+}
+
+/// Fail loudly when the shadow memory caught a race during the evaluation
+/// that just finished. Call only after all workers have joined.
+inline void throwOnShadowViolations(grid::FArrayBox& fab,
+                                    const char* where) {
+  grid::ShadowMemory& shadow = fab.shadow();
+  if (shadow.violationCount() == 0) {
+    return;
+  }
+  std::string msg = std::string(where) + ": shadow memory detected " +
+                    std::to_string(shadow.violationCount()) +
+                    " violation(s)";
+  for (const auto& v : shadow.violations()) {
+    msg += "\n  " + v.message();
+  }
+  throw std::runtime_error(msg);
+}
+
+} // namespace fluxdiv::core::detail
+
 #define FLUXDIV_SHADOW_WRITE(fab, region, c0, nc)                          \
-  (fab).shadowRecordWrite((region), (c0), (nc), omp_get_thread_num())
+  (fab).shadowRecordWrite((region), (c0), (nc),                            \
+                          ::fluxdiv::core::detail::shadowWorkerId())
 #else
 #define FLUXDIV_SHADOW_WRITE(fab, region, c0, nc) ((void)0)
 #endif
@@ -136,5 +174,69 @@ void overlappedBoxSerial(const VariantConfig& cfg, const FArrayBox& phi0,
 void overlappedBoxParallel(const VariantConfig& cfg, const FArrayBox& phi0,
                            FArrayBox& phi1, const Box& valid,
                            WorkspacePool& pool, int nThreads, Real scale);
+
+/// Serial dispatch of one whole box (or any rectangular subregion of one:
+/// every family accumulates each cell's x, y, z flux differences in the
+/// same per-cell order, so region decompositions are bit-identical). The
+/// calling thread runs the family's serial schedule with workspace `ws`.
+/// Shared by FluxDivRunner's sequential level loop and the task-parallel
+/// level executor's whole-box / interior / halo-fringe tasks.
+inline void runBoxSerialDispatch(const VariantConfig& cfg,
+                                 const FArrayBox& phi0, FArrayBox& phi1,
+                                 const Box& valid, Workspace& ws,
+                                 Real scale) {
+  switch (cfg.family) {
+  case ScheduleFamily::SeriesOfLoops:
+    baselineBoxSerial(cfg, phi0, phi1, valid, ws, scale);
+    break;
+  case ScheduleFamily::ShiftFuse:
+    shiftFuseBoxSerial(cfg, phi0, phi1, valid, ws, scale);
+    break;
+  case ScheduleFamily::BlockedWavefront:
+    blockedWFBoxSerial(cfg, phi0, phi1, valid, ws, scale);
+    break;
+  case ScheduleFamily::OverlappedTiles:
+    overlappedBoxSerial(cfg, phi0, phi1, valid, ws, scale);
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-wavefront entry points for the task-parallel level executor's
+// hybrid policy: one box's tiles become tasks ordered by the existing
+// sched/tiles wavefronts, sharing the box's co-dimension caches. The
+// caches live in a per-box Workspace sized once (single-threaded) by
+// blockedWFPrepareBox; concurrent tile tasks then receive stable pointers
+// instead of re-querying the workspace (Workspace bookkeeping is not
+// thread-safe).
+// ---------------------------------------------------------------------------
+
+/// Pointers into one box's shared blocked-wavefront caches. `vel` is the
+/// face-velocity fab of the component-loop-outside config (null for CLI).
+struct BlockedWFCaches {
+  Real* cacheX = nullptr;
+  Real* cacheY = nullptr;
+  Real* cacheZ = nullptr;
+  FArrayBox* vel = nullptr;
+};
+
+/// Size (or re-validate) `shared`'s cache buffers for a box of shape
+/// `valid` and return the pointers. Call single-threaded before the box's
+/// tile tasks run.
+BlockedWFCaches blockedWFPrepareBox(const VariantConfig& cfg,
+                                    Workspace& shared, const Box& valid);
+
+/// Whole-box face-velocity precompute of the CLO config (the pipeline's
+/// pre-stage task; runs on the box's owner worker).
+void blockedWFPrecomputeVelocity(const FArrayBox& phi0, FArrayBox& vel,
+                                 const Box& valid);
+
+/// One blocked-wavefront tile sweep under the box's shared caches.
+/// `comp` is the component for CLO configs (ignored for CLI, pass -1).
+/// `scratch` supplies the calling worker's private row scratch.
+void blockedWFRunTile(const VariantConfig& cfg, const FArrayBox& phi0,
+                      FArrayBox& phi1, int comp,
+                      const BlockedWFCaches& caches, const Box& tileBox,
+                      const Box& valid, Workspace& scratch, Real scale);
 
 } // namespace fluxdiv::core::detail

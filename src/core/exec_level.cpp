@@ -1,0 +1,339 @@
+#include "core/exec_level.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/exec_common.hpp"
+#include "sched/tiles.hpp"
+
+namespace fluxdiv::core {
+
+using detail::Box;
+using detail::FArrayBox;
+using detail::kNumComp;
+using detail::kNumGhost;
+using grid::LevelData;
+using grid::Real;
+
+LevelExecutor::LevelExecutor(VariantConfig cfg, int nThreads,
+                             LevelExecOptions opts)
+    : cfg_(cfg), nThreads_(nThreads), opts_(opts), runner_(cfg, nThreads),
+      pool_(nThreads), taskPool_(nThreads, opts.pin) {}
+
+LevelExecutor::~LevelExecutor() = default;
+
+void LevelExecutor::validate(const LevelData& phi0,
+                             const LevelData& phi1) const {
+  if (phi0.size() != phi1.size()) {
+    throw std::invalid_argument(
+        "LevelExecutor: layout mismatch between levels");
+  }
+  if (phi0.nComp() != kNumComp || phi1.nComp() != kNumComp) {
+    throw std::invalid_argument(
+        "LevelExecutor: levels must have kNumComp components");
+  }
+  if (phi0.nGhost() < kNumGhost) {
+    throw std::invalid_argument(
+        "LevelExecutor: phi0 needs >= kNumGhost ghost layers");
+  }
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    if (!cfg_.validFor(phi0.validBox(b).size(0))) {
+      throw std::invalid_argument("variant '" + cfg_.name() +
+                                  "' is not valid for this layout");
+    }
+  }
+}
+
+void LevelExecutor::buildComputeTasks(TaskGraph& graph,
+                                      const LevelData& phi0,
+                                      LevelData& phi1, Real scale,
+                                      const OpTasks* ops) {
+  switch (cfg_.family) {
+  case ScheduleFamily::OverlappedTiles:
+    if (opts_.policy == LevelPolicy::Hybrid) {
+      buildOverlappedTileTasks(graph, phi0, phi1, scale, ops);
+      return;
+    }
+    break;
+  case ScheduleFamily::BlockedWavefront:
+    if (opts_.policy == LevelPolicy::Hybrid) {
+      buildBlockedWFTasks(graph, phi0, phi1, scale, ops);
+      return;
+    }
+    break;
+  case ScheduleFamily::SeriesOfLoops:
+  case ScheduleFamily::ShiftFuse:
+    // No independent intra-box units (the fused families sweep whole
+    // planes/wavefronts): hybrid degrades to box-parallel, documented in
+    // exec_level.hpp.
+    break;
+  }
+  buildBoxTasks(graph, phi0, phi1, scale, ops);
+}
+
+void LevelExecutor::buildBoxTasks(TaskGraph& graph, const LevelData& phi0,
+                                  LevelData& phi1, Real scale,
+                                  const OpTasks* ops) {
+  constexpr int g = kNumGhost;
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    const Box valid = phi0.validBox(b);
+    const FArrayBox* src = &phi0[b];
+    FArrayBox* dst = &phi1[b];
+    const int owner = ownerOf(b);
+
+    auto addRegionTask = [&](const Box& region) {
+      return graph.addTask(
+          [this, src, dst, region, scale](int worker) {
+            detail::runBoxSerialDispatch(cfg_, *src, *dst, region,
+                                         pool_[worker], scale);
+          },
+          owner);
+    };
+    // Edges from the exchange ops whose ghost fill intersects the task's
+    // phi0 read footprint (region grown by the stencil radius).
+    auto addGhostDeps = [&](int task, const Box& readFootprint) {
+      for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
+        if (!(ghostRegion & readFootprint).empty()) {
+          graph.addDep(opTask, task);
+        }
+      }
+    };
+
+    if (ops == nullptr) {
+      addRegionTask(valid);
+      continue;
+    }
+    // Exchange/compute overlap: the interior (valid shrunk by the stencil
+    // radius) reads only valid cells of phi0, so it is ready before any
+    // ghost op lands; the halo fringe is peeled into up to six slabs, each
+    // waiting only for the ops that feed its side.
+    const Box interior = valid.grow(-g);
+    if (interior.empty()) {
+      // Box too small to peel: one whole-box task behind all its ops.
+      addGhostDeps(addRegionTask(valid), valid.grow(g));
+      continue;
+    }
+    addRegionTask(interior);
+    const Box zmid = valid.grow(2, -g);
+    const Box zymid = zmid.grow(1, -g);
+    const Box fringe[6] = {valid.lowSlab(2, g),  valid.highSlab(2, g),
+                           zmid.lowSlab(1, g),   zmid.highSlab(1, g),
+                           zymid.lowSlab(0, g),  zymid.highSlab(0, g)};
+    for (const Box& slab : fringe) {
+      if (slab.empty()) {
+        continue;
+      }
+      addGhostDeps(addRegionTask(slab), slab.grow(g));
+    }
+  }
+}
+
+void LevelExecutor::buildOverlappedTileTasks(TaskGraph& graph,
+                                             const LevelData& phi0,
+                                             LevelData& phi1, Real scale,
+                                             const OpTasks* ops) {
+  constexpr int g = kNumGhost;
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    const Box valid = phi0.validBox(b);
+    const FArrayBox* src = &phi0[b];
+    FArrayBox* dst = &phi1[b];
+    const int owner = ownerOf(b);
+    const sched::TileSet tiles = detail::makeTileSet(cfg_, valid);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const Box tileBox = tiles.tileBox(t);
+      const int task = graph.addTask(
+          [this, src, dst, tileBox, scale](int worker) {
+            detail::overlappedRunTile(cfg_, *src, *dst, tileBox,
+                                      pool_[worker], scale);
+          },
+          owner);
+      // Tiles whose read footprint stays inside the valid region never
+      // touch ghosts: they run concurrently with the exchange ops.
+      if (ops != nullptr && !valid.contains(tileBox.grow(g))) {
+        for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
+          if (!(ghostRegion & tileBox.grow(g)).empty()) {
+            graph.addDep(opTask, task);
+          }
+        }
+      }
+    }
+  }
+}
+
+void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
+                                        const LevelData& phi0,
+                                        LevelData& phi1, Real scale,
+                                        const OpTasks* ops) {
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    const Box valid = phi0.validBox(b);
+    const FArrayBox* src = &phi0[b];
+    FArrayBox* dst = &phi1[b];
+    const int owner = ownerOf(b);
+    // Size the box-shared carry caches here, single-threaded (Workspace
+    // bookkeeping is not thread-safe); the tile tasks get stable pointers.
+    const detail::BlockedWFCaches caches =
+        detail::blockedWFPrepareBox(cfg_, boxShared_[b], valid);
+    const sched::TileSet tiles = detail::makeTileSet(cfg_, valid);
+    const sched::TileWavefronts fronts(tiles);
+
+    auto addOpDeps = [&](int task) {
+      if (ops != nullptr) {
+        for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
+          (void)ghostRegion; // stage 0 conservatively waits for all halos
+          graph.addDep(opTask, task);
+        }
+      }
+    };
+    auto addTileTask = [&](int comp, const Box& tileBox) {
+      return graph.addTask(
+          [this, src, dst, comp, caches, tileBox, valid,
+           scale](int worker) {
+            detail::blockedWFRunTile(cfg_, *src, *dst, comp, caches,
+                                     tileBox, valid, pool_[worker], scale);
+          },
+          owner);
+    };
+    // The wavefront pipeline: every tile of front w waits for all tiles of
+    // front w-1 of the same box (the carry caches flow along +x, +y, +z, so
+    // the front-to-front barrier is a conservative superset of the true
+    // tile dependences — the same ordering the OpenMP path enforces).
+    auto addFrontSequence = [&](int comp, std::vector<int> prev,
+                                bool depsOnOps) {
+      for (std::size_t w = 0; w < fronts.count(); ++w) {
+        std::vector<int> cur;
+        cur.reserve(fronts.front(w).size());
+        for (const std::size_t t : fronts.front(w)) {
+          const int task = addTileTask(comp, tiles.tileBox(t));
+          for (const int p : prev) {
+            graph.addDep(p, task);
+          }
+          if (w == 0 && depsOnOps) {
+            addOpDeps(task);
+          }
+          cur.push_back(task);
+        }
+        prev = std::move(cur);
+      }
+      return prev; // the last front's tasks
+    };
+
+    if (cfg_.comp == ComponentLoop::Inside) {
+      // CLI: one pass over the tile wavefronts covers all components.
+      addFrontSequence(-1, {}, /*depsOnOps=*/true);
+    } else {
+      // CLO: whole-box face-velocity pre-stage, then one wavefront pass
+      // per component. Component c reuses the caches of c-1, so its first
+      // front waits for c-1's last front (transitively, for all of c-1).
+      grid::FArrayBox* vel = caches.vel;
+      const int velTask = graph.addTask(
+          [src, vel, valid](int) {
+            detail::blockedWFPrecomputeVelocity(*src, *vel, valid);
+          },
+          owner);
+      addOpDeps(velTask);
+      std::vector<int> prev{velTask};
+      for (int c = 0; c < kNumComp; ++c) {
+        prev = addFrontSequence(c, std::move(prev), /*depsOnOps=*/false);
+      }
+    }
+  }
+}
+
+void LevelExecutor::run(const LevelData& phi0, LevelData& phi1,
+                        Real scale) {
+  validate(phi0, phi1);
+  if (opts_.policy == LevelPolicy::BoxSequential) {
+    runner_.runLevel(phi0, phi1, scale);
+    return;
+  }
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    runner_.prepare(phi0.validBox(b)); // cached after the first box shape
+  }
+  if (boxShared_.size() < phi0.size()) {
+    boxShared_.resize(phi0.size());
+  }
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    phi1[b].shadowBeginEpoch();
+  }
+#endif
+  TaskGraph graph;
+  buildComputeTasks(graph, phi0, phi1, scale, nullptr);
+  taskPool_.run(graph);
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    detail::throwOnShadowViolations(phi1[b], "LevelExecutor::run");
+  }
+#endif
+}
+
+void LevelExecutor::runStep(LevelData& phi0, LevelData& phi1, Real scale) {
+  if (opts_.policy == LevelPolicy::BoxSequential ||
+      !opts_.overlapExchange) {
+    phi0.exchange();
+    run(phi0, phi1, scale);
+    return;
+  }
+  validate(phi0, phi1);
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    runner_.prepare(phi0.validBox(b));
+  }
+  if (boxShared_.size() < phi0.size()) {
+    boxShared_.resize(phi0.size());
+  }
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    phi1[b].shadowBeginEpoch();
+  }
+#endif
+  grid::AsyncExchange ax = phi0.exchangeAsync();
+  TaskGraph graph;
+  OpTasks ops;
+  ops.byBox.resize(phi0.size());
+  for (std::size_t i = 0; i < ax.opCount(); ++i) {
+    const grid::CopyOp& op = ax.op(i);
+    const int task = graph.addTask([&ax, i](int) { ax.runOp(i); },
+                                   ownerOf(op.destBox));
+    ops.byBox[op.destBox].emplace_back(task, op.destRegion);
+  }
+  buildComputeTasks(graph, phi0, phi1, scale, &ops);
+  taskPool_.run(graph);
+  // Every op ran as a task, so this is a no-op; it documents (and would
+  // repair) the invariant that the exchange is complete on return.
+  ax.finish();
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (std::size_t b = 0; b < phi1.size(); ++b) {
+    detail::throwOnShadowViolations(phi1[b], "LevelExecutor::runStep");
+  }
+#endif
+}
+
+void LevelExecutor::firstTouch(LevelData& level) {
+  TaskGraph graph;
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    graph.addTask([fab = &level[b]](int) { fab->setVal(0.0); },
+                  ownerOf(b));
+  }
+  taskPool_.run(graph);
+}
+
+std::size_t LevelExecutor::maxPeakWorkspaceBytes() const {
+  std::size_t worst = std::max(pool_.maxPeakBytes(),
+                               runner_.maxPeakWorkspaceBytes());
+  for (const auto& ws : boxShared_) {
+    worst = std::max(worst, ws.peakBytes());
+  }
+  return worst;
+}
+
+std::size_t LevelExecutor::totalPeakWorkspaceBytes() const {
+  std::size_t total =
+      pool_.totalPeakBytes() + runner_.totalPeakWorkspaceBytes();
+  for (const auto& ws : boxShared_) {
+    total += ws.peakBytes();
+  }
+  return total;
+}
+
+} // namespace fluxdiv::core

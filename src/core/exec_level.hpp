@@ -1,0 +1,131 @@
+#pragma once
+// LevelExecutor: task-parallel execution of one flux-divergence evaluation
+// over a whole LevelData on the persistent work-stealing TaskPool
+// (core/taskpool.hpp). Where FluxDivRunner's level loop parallelizes with
+// OpenMP inside one box (or one omp-for over boxes), the executor lowers
+// the level to a dependency-tracked graph of (box, phase/tile) tasks:
+//
+//   BoxSequential  boxes in sequence, within-box parallelism — exactly the
+//                  runner's behavior today (delegates to it).
+//   BoxParallel    one task per box running the family's serial schedule;
+//                  the classic Chombo-style box decomposition, minus the
+//                  OpenMP fork/join and static-schedule barriers.
+//   Hybrid         (box x tile) tasks: independent tiles for overlapped
+//                  tiles, wavefront-ordered tile pipelines (per box, with
+//                  front-to-front dependencies over sched/tiles
+//                  TileWavefronts) for the blocked-wavefront family.
+//                  Baseline/shift-fuse have no independent intra-box units,
+//                  so hybrid falls back to box-parallel for them.
+//
+// runStep() additionally overlaps the ghost exchange with interior
+// compute: the exchange's CopyOps become ready-at-start tasks and each
+// box's work splits into an interior task (no ghost dependence) plus
+// halo-fringe tasks that depend only on the ops feeding their slab, so
+// interior cells stream while halos copy (docs/perf.md).
+//
+// Every policy produces bit-identical phi1 to the sequential ordering:
+// the families accumulate each cell's x, y, z flux differences in the
+// same per-cell order, and fluxes are pure functions of phi0, so any
+// region/tile decomposition reassociates nothing.
+
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/taskpool.hpp"
+#include "core/variant.hpp"
+#include "core/workspace.hpp"
+#include "grid/leveldata.hpp"
+
+namespace fluxdiv::core {
+
+struct LevelExecOptions {
+  LevelPolicy policy = LevelPolicy::BoxSequential;
+  /// runStep() overlaps ghost exchange with interior compute (parallel
+  /// policies only; the sequential policy always takes the exchange()
+  /// barrier).
+  bool overlapExchange = true;
+  /// Pin pool workers to hardware threads (best effort; Linux only).
+  bool pin = false;
+};
+
+class LevelExecutor {
+public:
+  LevelExecutor(VariantConfig cfg, int nThreads,
+                LevelExecOptions opts = {});
+  ~LevelExecutor();
+  LevelExecutor(const LevelExecutor&) = delete;
+  LevelExecutor& operator=(const LevelExecutor&) = delete;
+
+  [[nodiscard]] const VariantConfig& config() const { return cfg_; }
+  [[nodiscard]] LevelPolicy policy() const { return opts_.policy; }
+  [[nodiscard]] int nThreads() const { return nThreads_; }
+
+  /// phi1 += scale * div(F(phi0)) over every valid cell. phi0's ghosts
+  /// must already be exchanged (same contract as FluxDivRunner::run).
+  void run(const grid::LevelData& phi0, grid::LevelData& phi1,
+           grid::Real scale = 1.0);
+
+  /// Ghost exchange + evaluation as one task graph: phi0.exchangeAsync()'s
+  /// ops run as tasks alongside interior compute, and halo-dependent tasks
+  /// wait only for the ops feeding them. The hot-path replacement for the
+  /// exchange(); run() pair.
+  void runStep(grid::LevelData& phi0, grid::LevelData& phi1,
+               grid::Real scale = 1.0);
+
+  /// Zero-fill every box of `level` under the worker that owns its tasks
+  /// (sticky box -> thread affinity), so first-touch places each box's
+  /// pages on the owner's NUMA node. Pair with grid::Init::Deferred
+  /// allocation; harmless (one redundant fill) after Init::Zero.
+  void firstTouch(grid::LevelData& level);
+
+  /// Largest per-worker scratch peak across the task pool and the
+  /// delegated sequential runner.
+  [[nodiscard]] std::size_t maxPeakWorkspaceBytes() const;
+  /// Sum of all scratch peaks: per-worker pools plus the per-box shared
+  /// blocked-wavefront caches.
+  [[nodiscard]] std::size_t totalPeakWorkspaceBytes() const;
+
+private:
+  /// Per-destination-box exchange-op tasks: ids plus the ghost regions
+  /// they fill, for intersecting against compute-task footprints.
+  struct OpTasks {
+    std::vector<std::vector<std::pair<int, grid::Box>>> byBox;
+  };
+
+  [[nodiscard]] int ownerOf(std::size_t box) const {
+    return static_cast<int>(box % static_cast<std::size_t>(nThreads_));
+  }
+
+  void validate(const grid::LevelData& phi0,
+                const grid::LevelData& phi1) const;
+
+  /// Append this level's compute tasks to `graph` under the configured
+  /// policy. `ops` is null when ghosts are already current (run()); when
+  /// non-null (runStep()), ghost-reading tasks get edges from the ops
+  /// intersecting their read footprint.
+  void buildComputeTasks(TaskGraph& graph, const grid::LevelData& phi0,
+                         grid::LevelData& phi1, grid::Real scale,
+                         const OpTasks* ops);
+
+  void buildBoxTasks(TaskGraph& graph, const grid::LevelData& phi0,
+                     grid::LevelData& phi1, grid::Real scale,
+                     const OpTasks* ops);
+  void buildOverlappedTileTasks(TaskGraph& graph,
+                                const grid::LevelData& phi0,
+                                grid::LevelData& phi1, grid::Real scale,
+                                const OpTasks* ops);
+  void buildBlockedWFTasks(TaskGraph& graph, const grid::LevelData& phi0,
+                           grid::LevelData& phi1, grid::Real scale,
+                           const OpTasks* ops);
+
+  VariantConfig cfg_;
+  int nThreads_;
+  LevelExecOptions opts_;
+  FluxDivRunner runner_;  ///< sequential policy + verify/advise gates
+  WorkspacePool pool_;    ///< per-worker scratch for task bodies
+  std::vector<Workspace> boxShared_; ///< per-box blocked-WF cache storage
+  TaskPool taskPool_;
+};
+
+} // namespace fluxdiv::core

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -9,6 +10,7 @@
 
 #include "analysis/costmodel.hpp"
 #include "core/exec_common.hpp"
+#include "core/exec_level.hpp"
 #include "harness/machine.hpp"
 
 #include "analysis/lower.hpp"
@@ -20,23 +22,7 @@
 namespace fluxdiv::core {
 
 #ifdef FLUXDIV_SHADOW_CHECK
-namespace {
-/// Fail loudly when the shadow memory caught a race during the evaluation
-/// that just finished. Call only after all workers have joined.
-void throwOnShadowViolations(grid::FArrayBox& fab, const char* where) {
-  grid::ShadowMemory& shadow = fab.shadow();
-  if (shadow.violationCount() == 0) {
-    return;
-  }
-  std::string msg = std::string(where) + ": shadow memory detected " +
-                    std::to_string(shadow.violationCount()) +
-                    " violation(s)";
-  for (const auto& v : shadow.violations()) {
-    msg += "\n  " + v.message();
-  }
-  throw std::runtime_error(msg);
-}
-} // namespace
+using detail::throwOnShadowViolations;
 #endif
 
 using detail::Box;
@@ -49,6 +35,24 @@ FluxDivRunner::FluxDivRunner(VariantConfig cfg, int nThreads)
   if (nThreads < 1) {
     throw std::invalid_argument("FluxDivRunner: nThreads must be >= 1");
   }
+}
+
+FluxDivRunner::~FluxDivRunner() = default;
+
+std::size_t FluxDivRunner::maxPeakWorkspaceBytes() const {
+  std::size_t worst = pool_.maxPeakBytes();
+  if (levelExec_ != nullptr) {
+    worst = std::max(worst, levelExec_->maxPeakWorkspaceBytes());
+  }
+  return worst;
+}
+
+std::size_t FluxDivRunner::totalPeakWorkspaceBytes() const {
+  std::size_t total = pool_.totalPeakBytes();
+  if (levelExec_ != nullptr) {
+    total += levelExec_->totalPeakWorkspaceBytes();
+  }
+  return total;
 }
 
 void FluxDivRunner::verifySchedule(const Box& valid) {
@@ -109,20 +113,7 @@ void FluxDivRunner::adviseSchedule(const Box& valid) {
 void FluxDivRunner::runBoxSerial(const FArrayBox& phi0, FArrayBox& phi1,
                                  const Box& valid, Workspace& ws,
                                  Real scale) {
-  switch (cfg_.family) {
-  case ScheduleFamily::SeriesOfLoops:
-    detail::baselineBoxSerial(cfg_, phi0, phi1, valid, ws, scale);
-    break;
-  case ScheduleFamily::ShiftFuse:
-    detail::shiftFuseBoxSerial(cfg_, phi0, phi1, valid, ws, scale);
-    break;
-  case ScheduleFamily::BlockedWavefront:
-    detail::blockedWFBoxSerial(cfg_, phi0, phi1, valid, ws, scale);
-    break;
-  case ScheduleFamily::OverlappedTiles:
-    detail::overlappedBoxSerial(cfg_, phi0, phi1, valid, ws, scale);
-    break;
-  }
+  detail::runBoxSerialDispatch(cfg_, phi0, phi1, valid, ws, scale);
 }
 
 void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
@@ -180,6 +171,32 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
 
 void FluxDivRunner::run(const LevelData& phi0, LevelData& phi1,
                         Real scale) {
+  // Environment override onto the task-parallel level executor. The
+  // executor's sequential policy comes back through runLevel(), and its
+  // parallel policies never re-enter run(), so this cannot recurse.
+  const char* env = std::getenv("FLUXDIV_LEVEL_POLICY");
+  LevelPolicy policy = LevelPolicy::BoxSequential;
+  if (env != nullptr && *env != '\0' && !parseLevelPolicy(env, policy)) {
+    throw std::invalid_argument(
+        std::string("FLUXDIV_LEVEL_POLICY: unknown policy '") + env + "'");
+  }
+  if (policy != LevelPolicy::BoxSequential) {
+    if (levelExec_ == nullptr || levelExec_->policy() != policy) {
+      // run()'s contract has ghosts already exchanged, so the delegated
+      // executor never needs the async-exchange overlap path.
+      levelExec_ = std::make_unique<LevelExecutor>(
+          cfg_, nThreads_,
+          LevelExecOptions{policy, /*overlapExchange=*/false,
+                           /*pin=*/false});
+    }
+    levelExec_->run(phi0, phi1, scale);
+    return;
+  }
+  runLevel(phi0, phi1, scale);
+}
+
+void FluxDivRunner::runLevel(const LevelData& phi0, LevelData& phi1,
+                             Real scale) {
   if (phi0.size() != phi1.size()) {
     throw std::invalid_argument("run: layout mismatch between levels");
   }

@@ -15,6 +15,7 @@
 // predicted capacity-bound on this machine's caches. Advisory only: it
 // never changes execution or throws.
 
+#include <memory>
 #include <vector>
 
 #include "core/variant.hpp"
@@ -22,6 +23,8 @@
 #include "grid/leveldata.hpp"
 
 namespace fluxdiv::core {
+
+class LevelExecutor;
 
 /// Executes the exemplar under one VariantConfig.
 ///
@@ -34,6 +37,7 @@ namespace fluxdiv::core {
 class FluxDivRunner {
 public:
   FluxDivRunner(VariantConfig cfg, int nThreads);
+  ~FluxDivRunner(); // out of line: LevelExecutor is incomplete here
 
   [[nodiscard]] const VariantConfig& config() const { return cfg_; }
   [[nodiscard]] int nThreads() const { return nThreads_; }
@@ -42,8 +46,28 @@ public:
   /// valid cell. phi0's ghost cells must already be exchanged; phi1's
   /// ghosts (if any) are not touched. Levels must share a layout and have
   /// kNumComp components.
+  ///
+  /// With FLUXDIV_LEVEL_POLICY=parallel|hybrid in the environment, the
+  /// level is executed by the task-parallel LevelExecutor instead of the
+  /// loops below (bit-identical results; see docs/perf.md). Unset, empty,
+  /// or "sequential" keeps this path.
   void run(const grid::LevelData& phi0, grid::LevelData& phi1,
            grid::Real scale = 1.0);
+
+  /// run() without the FLUXDIV_LEVEL_POLICY override: always the
+  /// configured granularity's level loop. The LevelExecutor's sequential
+  /// policy calls this, which is why the delegation cannot recurse.
+  void runLevel(const grid::LevelData& phi0, grid::LevelData& phi1,
+                grid::Real scale = 1.0);
+
+  /// Run the legality gate and cost advisory for boxes of this shape (both
+  /// cached per extent, both possibly compiled/opted out — see above).
+  /// runBox/run call this themselves; the task-parallel executor calls it
+  /// up front so graph tasks need not.
+  void prepare(const grid::Box& valid) {
+    verifySchedule(valid);
+    adviseSchedule(valid);
+  }
 
   /// Single-box entry point: phi0 must cover valid.grow(kNumGhost) with
   /// ghosts filled; phi1 must cover `valid`. Uses the configured parallel
@@ -53,12 +77,10 @@ public:
 
   /// Scratch-storage accounting for the Table I experiment: the largest
   /// per-thread peak and the sum of per-thread peaks since construction.
-  [[nodiscard]] std::size_t maxPeakWorkspaceBytes() const {
-    return pool_.maxPeakBytes();
-  }
-  [[nodiscard]] std::size_t totalPeakWorkspaceBytes() const {
-    return pool_.totalPeakBytes();
-  }
+  /// Covers the delegated LevelExecutor's workers too, so the numbers stay
+  /// meaningful under FLUXDIV_LEVEL_POLICY.
+  [[nodiscard]] std::size_t maxPeakWorkspaceBytes() const;
+  [[nodiscard]] std::size_t totalPeakWorkspaceBytes() const;
 
 private:
   void runBoxSerial(const grid::FArrayBox& phi0, grid::FArrayBox& phi1,
@@ -82,6 +104,8 @@ private:
   WorkspacePool pool_;
   std::vector<grid::IntVect> verifiedShapes_; ///< box extents proven legal
   std::vector<grid::IntVect> advisedShapes_;  ///< box extents already advised
+  /// Lazily-built executor backing the FLUXDIV_LEVEL_POLICY override.
+  std::unique_ptr<LevelExecutor> levelExec_;
 };
 
 } // namespace fluxdiv::core

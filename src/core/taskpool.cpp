@@ -1,0 +1,359 @@
+#include "core/taskpool.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fluxdiv::core {
+
+namespace {
+
+thread_local int tlsWorker = -1;
+
+/// Chase-Lev work-stealing deque of task ids (Le et al., "Correct and
+/// Efficient Work-Stealing for Weak Memory Models"). The owner pushes and
+/// pops at the bottom; thieves CAS the top. The ring buffer grows on
+/// demand; retired rings stay allocated until destruction so a thief
+/// holding a stale ring pointer still reads valid (if outdated) slots —
+/// its top CAS then decides whether the read wins.
+class StealDeque {
+public:
+  static constexpr int kEmpty = -1;
+  static constexpr int kAbort = -2;
+
+  StealDeque() : ring_(newRing(kInitialCapacity)) {}
+
+  ~StealDeque() {
+    delete[] ring_.load(std::memory_order_relaxed)->slots;
+    delete ring_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) {
+      delete[] r->slots;
+      delete r;
+    }
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only.
+  void push(int task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t > ring->capacity - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->slot(b).store(task, std::memory_order_relaxed);
+    // Publish the slot before the new bottom: a thief's acquire load of
+    // bottom that observes b + 1 also observes the slot write.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns kEmpty when the deque is empty (including when a
+  /// thief won the race for the last element).
+  int pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair replaces the paper's relaxed store +
+    // seq_cst fence (see file comment in taskpool.hpp).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return kEmpty;
+    }
+    int task = ring->slot(b).load(std::memory_order_relaxed);
+    if (t != b) {
+      return task; // more than one element: no race with thieves
+    }
+    // Exactly one element: race thieves for it via the top CAS.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      task = kEmpty; // a thief got it first
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Any thread. kAbort signals CAS contention (caller may try another
+  /// victim and come back).
+  int steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return kEmpty;
+    }
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    const int task = ring->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return kAbort;
+    }
+    return task;
+  }
+
+private:
+  static constexpr std::int64_t kInitialCapacity = 64;
+
+  struct Ring {
+    std::int64_t capacity = 0; ///< power of two
+    std::atomic<int>* slots = nullptr;
+    std::atomic<int>& slot(std::int64_t i) const {
+      return slots[i & (capacity - 1)];
+    }
+  };
+
+  static Ring* newRing(std::int64_t capacity) {
+    Ring* r = new Ring;
+    r->capacity = capacity;
+    r->slots = new std::atomic<int>[static_cast<std::size_t>(capacity)];
+    return r;
+  }
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = newRing(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    retired_.push_back(old);
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<Ring*> retired_; ///< owner-only (grow happens under push)
+};
+
+} // namespace
+
+int TaskGraph::addTask(Fn fn, int owner) {
+  Node node;
+  node.fn = std::move(fn);
+  node.owner = owner;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::addDep(int before, int after) {
+  assert(before >= 0 && before < static_cast<int>(nodes_.size()));
+  assert(after >= 0 && after < static_cast<int>(nodes_.size()));
+  assert(before != after);
+  nodes_[static_cast<std::size_t>(before)].successors.push_back(after);
+  ++nodes_[static_cast<std::size_t>(after)].initialDeps;
+}
+
+struct TaskPool::Impl {
+  explicit Impl(int n) {
+    deques.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      deques.push_back(std::make_unique<StealDeque>());
+    }
+  }
+
+  int nThreads = 1;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t epoch = 0;
+  bool shutdown = false;
+
+  // State of the run in flight. `remaining` gates the worker loops;
+  // `active` counts workers currently inside drain() so run() can wait
+  // for every straggler to check out before releasing per-run state.
+  TaskGraph* graph = nullptr;
+  std::unique_ptr<std::atomic<int>[]> deps;
+  std::atomic<std::int64_t> remaining{0};
+  std::atomic<int> active{0};
+
+  std::vector<std::unique_ptr<StealDeque>> deques;
+  std::vector<std::thread> threads;
+
+  void execute(int worker, int task) {
+    TaskGraph::Node& node =
+        graph->nodes_[static_cast<std::size_t>(task)];
+    node.fn(worker);
+    for (const int succ : node.successors) {
+      // acq_rel: the final decrement acquires every co-dependency's
+      // release, so the push below publishes all of them to the consumer.
+      if (deps[static_cast<std::size_t>(succ)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        deques[static_cast<std::size_t>(worker)]->push(succ);
+      }
+    }
+    remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void drain(int worker) {
+    tlsWorker = worker;
+    int misses = 0;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      int task = deques[static_cast<std::size_t>(worker)]->pop();
+      if (task < 0) {
+        for (int i = 1; i < nThreads && task < 0; ++i) {
+          const int victim = (worker + i) % nThreads;
+          const int got =
+              deques[static_cast<std::size_t>(victim)]->steal();
+          if (got >= 0) {
+            task = got;
+          }
+        }
+      }
+      if (task < 0) {
+        // Nothing runnable: someone else holds the frontier. Yield so an
+        // oversubscribed machine schedules the workers that have tasks;
+        // after repeated misses back off harder.
+        if (++misses < 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        continue;
+      }
+      misses = 0;
+      execute(worker, task);
+    }
+    tlsWorker = -1;
+  }
+
+  void workerLoop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return shutdown || epoch != seen; });
+        if (shutdown) {
+          return;
+        }
+        seen = epoch;
+        // Checked in before the lock drops: run() can rely on active
+        // covering every worker that observed this epoch.
+        active.fetch_add(1, std::memory_order_relaxed);
+      }
+      drain(worker);
+      active.fetch_sub(1, std::memory_order_release);
+    }
+  }
+};
+
+TaskPool::TaskPool(int nThreads, bool pin) : nThreads_(nThreads) {
+  if (nThreads < 1) {
+    throw std::invalid_argument("TaskPool: nThreads must be >= 1");
+  }
+  impl_ = std::make_unique<Impl>(nThreads);
+  impl_->nThreads = nThreads;
+  impl_->threads.reserve(static_cast<std::size_t>(nThreads - 1));
+  for (int w = 1; w < nThreads; ++w) {
+    impl_->threads.emplace_back(&Impl::workerLoop, impl_.get(), w);
+#if defined(__linux__)
+    if (pin) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      if (hw > 0) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(w) % hw, &set);
+        // Best effort: pinning failures (cgroup-restricted masks) are not
+        // errors, the scheduler placement just stays free.
+        (void)pthread_setaffinity_np(
+            impl_->threads.back().native_handle(), sizeof(set), &set);
+      }
+    }
+#else
+    (void)pin;
+#endif
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->threads) {
+    t.join();
+  }
+}
+
+int TaskPool::currentWorker() { return tlsWorker; }
+
+void TaskPool::run(TaskGraph& graph) {
+  const std::size_t n = graph.nodes_.size();
+  if (n == 0) {
+    return;
+  }
+  Impl& impl = *impl_;
+
+  // Cycle check (Kahn's) before anything executes: a cyclic graph would
+  // otherwise hang every worker on an empty frontier.
+  {
+    std::vector<int> deps(n);
+    std::vector<int> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      deps[i] = graph.nodes_[i].initialDeps;
+      if (deps[i] == 0) {
+        ready.push_back(static_cast<int>(i));
+      }
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+      const int task = ready.back();
+      ready.pop_back();
+      ++processed;
+      for (const int succ :
+           graph.nodes_[static_cast<std::size_t>(task)].successors) {
+        if (--deps[static_cast<std::size_t>(succ)] == 0) {
+          ready.push_back(succ);
+        }
+      }
+    }
+    if (processed != n) {
+      throw std::logic_error("TaskPool::run: dependency cycle in graph");
+    }
+  }
+
+  impl.deps.reset(new std::atomic<int>[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl.deps[i].store(graph.nodes_[i].initialDeps,
+                       std::memory_order_relaxed);
+  }
+  impl.graph = &graph;
+  // Seed ready tasks into their owners' deques. Single-threaded here, so
+  // pushing into other workers' deques is safe (no owner is running yet).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.nodes_[i].initialDeps == 0) {
+      const int owner =
+          ((graph.nodes_[i].owner % nThreads_) + nThreads_) % nThreads_;
+      impl.deques[static_cast<std::size_t>(owner)]->push(
+          static_cast<int>(i));
+    }
+  }
+  impl.remaining.store(static_cast<std::int64_t>(n),
+                       std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    ++impl.epoch;
+  }
+  impl.cv.notify_all();
+
+  impl.drain(0); // the caller is worker 0
+  // drain() returned, so every task has executed; wait for parked-bound
+  // workers to leave drain() before the per-run state goes away.
+  while (impl.active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  impl.graph = nullptr;
+}
+
+} // namespace fluxdiv::core

@@ -1,0 +1,101 @@
+#pragma once
+// TaskPool / TaskGraph: a persistent work-stealing thread pool executing a
+// level evaluation as a dependency-tracked task graph (docs/perf.md,
+// "Task-parallel level executor"). This replaces the `for box { omp
+// parallel }` pattern for multi-box levels: (box, phase/tile) units become
+// tasks, per-worker Chase-Lev deques keep a box's task chain on the worker
+// that started it (sticky box->thread affinity, which is also what makes
+// first-touch placement meaningful), and idle workers steal from the top
+// of other deques.
+//
+// Concurrency design, for reviewers and TSan:
+//   * The deque is the Chase-Lev work-stealing deque in the C11-atomics
+//     formulation of Le et al. (PPoPP'13), with the standalone fences
+//     replaced by equivalent-or-stronger seq_cst operations on top/bottom
+//     (ThreadSanitizer does not model standalone fences; the operation
+//     form is both correct and TSan-clean).
+//   * Task release: the worker that completes the last dependency of a
+//     task pushes it onto its *own* deque (Chase-Lev permits bottom pushes
+//     only from the owner). The acq_rel decrement of the dependency
+//     counter plus the release push/acquire steal chain make every
+//     dependency's writes visible to the task that consumes them.
+//   * Workers park on a condition variable between run() calls, so the
+//     pool can persist across time steps without burning cycles; during a
+//     run an idle worker yields (and briefly sleeps after repeated
+//     failures) rather than spinning hot, which keeps oversubscribed
+//     configurations (threads > cores) from starving the workers that
+//     actually hold tasks.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fluxdiv::core {
+
+/// Dependency-tracked DAG of tasks for one TaskPool::run(). Build it
+/// single-threaded, run it, then discard (or rebuild) — the graph itself
+/// holds no execution state, so the same graph may be run repeatedly.
+class TaskGraph {
+public:
+  /// Task body; the argument is the executing pool worker id in
+  /// [0, nThreads).
+  using Fn = std::function<void(int)>;
+
+  /// Add a task and return its id. `owner` is the worker whose deque
+  /// initially holds the task when it has no dependencies (sticky
+  /// box->thread affinity; work stealing may still move it). Owners out of
+  /// range are wrapped into [0, nThreads) at run time.
+  int addTask(Fn fn, int owner = 0);
+
+  /// Declare that `after` must not start until `before` has finished.
+  void addDep(int before, int after);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+private:
+  friend class TaskPool;
+  struct Node {
+    Fn fn;
+    int owner = 0;
+    int initialDeps = 0;
+    std::vector<int> successors;
+  };
+  std::vector<Node> nodes_;
+};
+
+/// Persistent work-stealing pool of `nThreads` workers (the calling thread
+/// participates as worker 0; nThreads - 1 std::threads are spawned).
+/// run() is synchronous and not reentrant.
+class TaskPool {
+public:
+  /// `pin` requests worker->CPU pinning (worker w to logical CPU
+  /// w % hardware_concurrency; Linux only, best effort). The calling
+  /// thread's affinity is never modified.
+  explicit TaskPool(int nThreads, bool pin = false);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] int nThreads() const { return nThreads_; }
+
+  /// Execute every task of `graph` and return when all have finished.
+  /// Throws std::logic_error on a dependency cycle (checked up front;
+  /// nothing runs in that case).
+  void run(TaskGraph& graph);
+
+  /// Pool worker id of the calling thread while inside a task (or inside
+  /// run() on the caller), -1 otherwise. Used by the shadow-memory race
+  /// detector to attribute writes to pool workers — raw std::threads all
+  /// report omp_get_thread_num() == 0, which would fold every worker into
+  /// one and hide cross-worker races.
+  [[nodiscard]] static int currentWorker();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int nThreads_ = 1;
+};
+
+} // namespace fluxdiv::core

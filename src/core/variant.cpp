@@ -160,4 +160,35 @@ std::vector<VariantConfig> enumerateVariants(int boxSize,
   return out;
 }
 
+const char* levelPolicyName(LevelPolicy policy) {
+  switch (policy) {
+  case LevelPolicy::BoxSequential:
+    return "sequential";
+  case LevelPolicy::BoxParallel:
+    return "parallel";
+  case LevelPolicy::Hybrid:
+    return "hybrid";
+  }
+  return "?";
+}
+
+bool parseLevelPolicy(const std::string& text, LevelPolicy& out) {
+  for (const LevelPolicy policy : kLevelPolicies) {
+    if (text == levelPolicyName(policy)) {
+      out = policy;
+      return true;
+    }
+  }
+  // Accept the unambiguous long forms too (CI matrix readability).
+  if (text == "box-sequential") {
+    out = LevelPolicy::BoxSequential;
+    return true;
+  }
+  if (text == "box-parallel") {
+    out = LevelPolicy::BoxParallel;
+    return true;
+  }
+  return false;
+}
+
 } // namespace fluxdiv::core

@@ -33,6 +33,31 @@ enum class ParallelGranularity { OverBoxes, WithinBox, HybridBoxTile };
 /// Position of the loop over the solution components (Sec. IV axes).
 enum class ComponentLoop { Outside, Inside };
 
+/// How the task-parallel level executor (core/exec_level.hpp) decomposes
+/// one evaluation over a whole LevelData into tasks. Orthogonal to
+/// ParallelGranularity, which describes the *within-box* schedule: the
+/// policy decides what becomes a task, the granularity what each task (or
+/// the sequential loop body) runs.
+enum class LevelPolicy {
+  BoxSequential, ///< boxes in sequence, within-box parallelism (seed loop)
+  BoxParallel,   ///< one task per box, serial schedule inside each
+  Hybrid,        ///< (box x wavefront-tile) tasks for the tiled families
+};
+
+/// Display / CLI name: "sequential", "parallel", "hybrid".
+[[nodiscard]] const char* levelPolicyName(LevelPolicy policy);
+
+/// Parse a policy name (the FLUXDIV_LEVEL_POLICY / --policy values).
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parseLevelPolicy(const std::string& text, LevelPolicy& out);
+
+/// All three policies, in ranking/report order.
+inline constexpr LevelPolicy kLevelPolicies[] = {
+    LevelPolicy::BoxSequential,
+    LevelPolicy::BoxParallel,
+    LevelPolicy::Hybrid,
+};
+
 /// Tile shape for the tiled families — an extension exploring the partial
 /// blocking of Rivera & Tseng that the paper's related work discusses
 /// (the Mint compiler reference, Sec. V-A). `Cube` is the paper's T^3;

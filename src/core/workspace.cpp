@@ -5,7 +5,9 @@ namespace fluxdiv::core {
 grid::FArrayBox& Workspace::fab(Slot slot, const grid::Box& box, int ncomp) {
   auto& f = fabs_[static_cast<std::size_t>(slot)];
   if (!f.defined() || f.box() != box || f.nComp() != ncomp) {
-    f.define(box, ncomp);
+    // Scratch contents are unspecified by contract, so skip the zero fill
+    // and let the owning thread's first write place the pages.
+    f.define(box, ncomp, grid::Pitch::Padded, grid::Init::Deferred);
     notePeak();
   }
   return f;

@@ -55,6 +55,13 @@ Copier::Copier(const DisjointBoxLayout& layout, int nghost)
           op.srcBox = static_cast<std::size_t>(src);
           op.destRegion = Box(rlo, rhi);
           op.srcShift = wrapShift;
+          if (op.destRegion.empty()) {
+            // Degenerate sector: nothing to move. Dropping it here keeps
+            // every dispatch loop (exchange, exchangeAsync, the level
+            // executor's dependency edges) and bytesPerExchange() free of
+            // empty ops.
+            continue;
+          }
           ghostCells_ += op.destRegion.numPts();
           ops_.push_back(op);
         }

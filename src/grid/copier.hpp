@@ -32,6 +32,9 @@ public:
   /// every direction so each halo region maps to exactly one neighbor box.
   Copier(const DisjointBoxLayout& layout, int nghost);
 
+  /// The copy plan. Every op has a non-empty destRegion: degenerate
+  /// sectors are dropped at construction, so dispatch loops and the
+  /// byte accounting never see empty ops.
   [[nodiscard]] const std::vector<CopyOp>& ops() const { return ops_; }
   [[nodiscard]] int nGhost() const { return nghost_; }
 

@@ -5,7 +5,7 @@
 
 namespace fluxdiv::grid {
 
-void FArrayBox::define(const Box& box, int ncomp, Pitch pitch) {
+void FArrayBox::define(const Box& box, int ncomp, Pitch pitch, Init init) {
   assert(!box.empty());
   assert(ncomp > 0);
   box_ = box;
@@ -13,7 +13,15 @@ void FArrayBox::define(const Box& box, int ncomp, Pitch pitch) {
   sy_ = pitch == Pitch::Padded ? paddedPitch(box.size(0)) : box.size(0);
   sz_ = sy_ * box.size(1);
   sc_ = sz_ * box.size(2);
-  data_.assign(static_cast<std::size_t>(sc_) * ncomp, 0.0);
+  // resize() through the default-init allocator does not touch the new
+  // elements, so Init::Deferred allocations leave page placement to the
+  // first writer (NUMA first-touch); Init::Zero fills here, preserving
+  // the seed's zero-initialized semantics.
+  data_.clear();
+  data_.resize(static_cast<std::size_t>(sc_) * ncomp);
+  if (init == Init::Zero) {
+    std::fill(data_.begin(), data_.end(), 0.0);
+  }
   assert(reinterpret_cast<std::uintptr_t>(data_.data()) % kFabAlignment ==
          0);
 }

@@ -28,6 +28,13 @@ enum class Pitch : std::uint8_t {
   Dense,  ///< x-pitch == box.size(0): the packed layout of the seed code
 };
 
+/// First-fill policy of an FArrayBox allocation. Zero fills from the
+/// defining thread (the seed behavior). Deferred leaves the contents
+/// unspecified so the *first writer* faults — and thereby NUMA-places —
+/// the pages: the task-parallel level executor's firstTouch() zero-fills
+/// each box from the worker that owns its tasks (docs/perf.md).
+enum class Init : std::uint8_t { Zero, Deferred };
+
 /// Multi-component double-precision array over a Box (including any ghost
 /// region baked into the box).
 ///
@@ -42,13 +49,17 @@ class FArrayBox {
 public:
   FArrayBox() = default;
 
-  /// Allocate over `box` with `ncomp` components, zero-initialized.
-  FArrayBox(const Box& box, int ncomp, Pitch pitch = Pitch::Padded) {
-    define(box, ncomp, pitch);
+  /// Allocate over `box` with `ncomp` components, zero-initialized (or
+  /// left for the first writer under Init::Deferred).
+  FArrayBox(const Box& box, int ncomp, Pitch pitch = Pitch::Padded,
+            Init init = Init::Zero) {
+    define(box, ncomp, pitch, init);
   }
 
-  /// (Re)allocate. Previous contents are discarded.
-  void define(const Box& box, int ncomp, Pitch pitch = Pitch::Padded);
+  /// (Re)allocate. Previous contents are discarded (Init::Deferred leaves
+  /// the new contents unspecified; write before reading).
+  void define(const Box& box, int ncomp, Pitch pitch = Pitch::Padded,
+              Init init = Init::Zero);
 
   [[nodiscard]] const Box& box() const { return box_; }
   [[nodiscard]] int nComp() const { return ncomp_; }
@@ -184,7 +195,7 @@ private:
   std::int64_t sy_ = 0;
   std::int64_t sz_ = 0;
   std::int64_t sc_ = 0;
-  AlignedVector data_;
+  FabVector data_;
 
 #ifdef FLUXDIV_SHADOW_CHECK
   void ensureShadow() {

@@ -5,17 +5,68 @@
 
 namespace fluxdiv::grid {
 
-LevelData::LevelData(const DisjointBoxLayout& layout, int ncomp, int nghost)
+AsyncExchange::AsyncExchange(LevelData& level)
+    : level_(&level), pending_(level.size()),
+      claimed_(level.copier_.ops().size()) {
+  const auto& ops = level.copier_.ops();
+  for (const CopyOp& op : ops) {
+    pending_[op.destBox].fetch_add(1, std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<std::int64_t>(ops.size()),
+                   std::memory_order_release);
+}
+
+std::size_t AsyncExchange::opCount() const {
+  return level_->copier_.ops().size();
+}
+
+const CopyOp& AsyncExchange::op(std::size_t i) const {
+  return level_->copier_.ops()[i];
+}
+
+void AsyncExchange::runOp(std::size_t i) {
+  bool expected = false;
+  if (!claimed_[i].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return; // already claimed (possibly still copying on another thread)
+  }
+  const CopyOp& op = level_->copier_.ops()[i];
+  level_->fabs_[op.destBox].copyShifted(level_->fabs_[op.srcBox],
+                                        op.destRegion, op.srcShift, 0, 0,
+                                        level_->ncomp_);
+  pending_[op.destBox].fetch_sub(1, std::memory_order_acq_rel);
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+int AsyncExchange::pendingOps(std::size_t b) const {
+  return pending_[b].load(std::memory_order_acquire);
+}
+
+bool AsyncExchange::done() const {
+  return remaining_.load(std::memory_order_acquire) == 0;
+}
+
+void AsyncExchange::finish() {
+  for (std::size_t i = 0; i < claimed_.size(); ++i) {
+    runOp(i);
+  }
+}
+
+LevelData::LevelData(const DisjointBoxLayout& layout, int ncomp, int nghost,
+                     Pitch pitch, Init init)
     : layout_(layout), ncomp_(ncomp), nghost_(nghost),
       copier_(layout, nghost) {
   fabs_.reserve(layout.size());
   for (std::size_t i = 0; i < layout.size(); ++i) {
-    fabs_.emplace_back(layout.box(i).grow(nghost), ncomp);
+    fabs_.emplace_back(layout.box(i).grow(nghost), ncomp, pitch, init);
   }
 }
 
 void LevelData::exchange() {
   const auto& ops = copier_.ops();
+  if (ops.empty()) {
+    return; // nghost == 0: no halos to fill, skip the parallel region
+  }
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const CopyOp& op = ops[i];
@@ -52,6 +103,13 @@ void overlapRange(const DisjointBoxLayout& src, const Box& region,
   }
 }
 
+/// One valid-region copy in a copyTo plan.
+struct CopyToOp {
+  std::size_t destBox = 0;
+  std::size_t srcBox = 0;
+  Box region;
+};
+
 } // namespace
 
 void LevelData::copyTo(LevelData& dest) const {
@@ -61,7 +119,10 @@ void LevelData::copyTo(LevelData& dest) const {
   if (dest.layout_.domain().box() != layout_.domain().box()) {
     throw std::invalid_argument("copyTo: domain mismatch");
   }
-#pragma omp parallel for schedule(static)
+  // Build the plan serially, skipping empty intersections up front, so the
+  // parallel loop below only dispatches real copies and load-balances over
+  // them rather than over destination boxes of uneven overlap.
+  std::vector<CopyToOp> plan;
   for (std::size_t di = 0; di < dest.size(); ++di) {
     const Box dbox = dest.validBox(di);
     IntVect lo, hi;
@@ -72,12 +133,23 @@ void LevelData::copyTo(LevelData& dest) const {
           IntVect unusedShift;
           const std::int64_t si =
               layout_.wrappedIndex(IntVect(bx, by, bz), unusedShift);
-          const Box sbox = layout_.box(static_cast<std::size_t>(si));
-          dest.fabs_[di].copy(fabs_[static_cast<std::size_t>(si)],
-                              dbox & sbox, 0, 0, ncomp_);
+          const Box region =
+              dbox & layout_.box(static_cast<std::size_t>(si));
+          if (region.empty()) {
+            continue;
+          }
+          plan.push_back({di, static_cast<std::size_t>(si), region});
         }
       }
     }
+  }
+  if (plan.empty()) {
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const CopyToOp& op = plan[i];
+    dest.fabs_[op.destBox].copy(fabs_[op.srcBox], op.region, 0, 0, ncomp_);
   }
 }
 

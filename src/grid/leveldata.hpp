@@ -3,8 +3,12 @@
 // of a DisjointBoxLayout, each allocated with a ghost halo. exchange()
 // fills every ghost cell from the neighboring boxes' valid cells (with
 // periodic wrap), which is the on-node stand-in for Chombo's MPI ghost
-// exchange.
+// exchange. exchangeAsync() exposes the same plan as individually
+// runnable ops with per-box completion ticks, so a task-parallel executor
+// can overlap interior compute with the halo copies instead of taking the
+// monolithic exchange() barrier (docs/perf.md).
 
+#include <atomic>
 #include <vector>
 
 #include "grid/copier.hpp"
@@ -13,15 +17,64 @@
 
 namespace fluxdiv::grid {
 
+class LevelData;
+
+/// One in-flight ghost exchange. Obtain from LevelData::exchangeAsync();
+/// run each op exactly once (from any thread — distinct ops write disjoint
+/// ghost regions), or call finish() to drain whatever remains on the
+/// calling thread. Per-destination-box pending counts tick down as ops
+/// complete, giving the executor a readiness signal per box.
+class AsyncExchange {
+public:
+  AsyncExchange(const AsyncExchange&) = delete;
+  AsyncExchange& operator=(const AsyncExchange&) = delete;
+
+  /// Number of copy ops in the plan (none degenerate; see Copier::ops()).
+  [[nodiscard]] std::size_t opCount() const;
+  /// The i-th op (for dependency construction: destRegion intersection).
+  [[nodiscard]] const CopyOp& op(std::size_t i) const;
+
+  /// Execute op i and tick its destination box. Each op is claimed
+  /// atomically, so a duplicate call (e.g. finish() racing a stray task)
+  /// is a no-op — but the claimer may still be copying; ordering between
+  /// an op and its dependents is the caller's job (task-graph edges).
+  void runOp(std::size_t i);
+
+  /// Ops still pending into destination box `b` (0 = ghosts of b ready).
+  [[nodiscard]] int pendingOps(std::size_t b) const;
+  [[nodiscard]] bool boxReady(std::size_t b) const {
+    return pendingOps(b) == 0;
+  }
+  /// All ops complete?
+  [[nodiscard]] bool done() const;
+
+  /// Run every op not yet claimed on the calling thread. Afterwards
+  /// done() is true provided no claimed op is still copying elsewhere.
+  void finish();
+
+private:
+  friend class LevelData;
+  explicit AsyncExchange(LevelData& level);
+
+  LevelData* level_;
+  std::vector<std::atomic<int>> pending_;   ///< per dest box
+  std::vector<std::atomic<bool>> claimed_;  ///< per op
+  std::atomic<std::int64_t> remaining_{0};
+};
+
 /// Per-level, per-box solution storage with ghost cells.
 class LevelData {
 public:
   LevelData() = default;
 
   /// Allocate `ncomp` components over every box of `layout`, each grown by
-  /// `nghost` ghost layers, zero-initialized. The exchange plan is built
-  /// eagerly so its cost is not attributed to the first exchange.
-  LevelData(const DisjointBoxLayout& layout, int ncomp, int nghost);
+  /// `nghost` ghost layers. Init::Zero zero-fills on the constructing
+  /// thread (the seed behavior); Init::Deferred leaves contents
+  /// unspecified so the first writer NUMA-places the pages (see
+  /// core::LevelExecutor::firstTouch). The exchange plan is built eagerly
+  /// so its cost is not attributed to the first exchange.
+  LevelData(const DisjointBoxLayout& layout, int ncomp, int nghost,
+            Pitch pitch = Pitch::Padded, Init init = Init::Zero);
 
   [[nodiscard]] const DisjointBoxLayout& layout() const { return layout_; }
   [[nodiscard]] int nComp() const { return ncomp_; }
@@ -37,10 +90,18 @@ public:
   }
 
   /// Fill all ghost cells from neighbors' valid cells. Parallelized over
-  /// copy operations with OpenMP (each op writes a disjoint ghost region).
+  /// copy operations with OpenMP (each op writes a disjoint ghost region);
+  /// a plan with no ops (nghost == 0) skips the parallel region entirely.
   void exchange();
 
-  /// Number of ghost-exchange bytes moved per exchange() call.
+  /// Start a ghost exchange without running any copies: the returned
+  /// AsyncExchange hands out the plan's ops for task execution with
+  /// per-box completion ticks. The hot-path alternative to the exchange()
+  /// barrier; see core::LevelExecutor::runStep for the intended use.
+  [[nodiscard]] AsyncExchange exchangeAsync() { return AsyncExchange(*this); }
+
+  /// Number of ghost-exchange bytes moved per exchange() call (empty
+  /// intersection ops are dropped from the plan and excluded here).
   [[nodiscard]] std::size_t exchangeBytes() const {
     return copier_.bytesPerExchange(ncomp_);
   }
@@ -52,7 +113,8 @@ public:
 
   /// Copy this level's valid data into `dest` (same ProblemDomain, possibly
   /// a different box decomposition). Only dest's valid regions are written;
-  /// call dest.exchange() afterwards if its ghosts are needed.
+  /// call dest.exchange() afterwards if its ghosts are needed. Empty
+  /// intersections are skipped before the parallel dispatch.
   void copyTo(LevelData& dest) const;
 
   /// Max |a-b| over the valid regions of two levels on any layouts covering
@@ -60,6 +122,8 @@ public:
   static Real maxAbsDiffValid(const LevelData& a, const LevelData& b);
 
 private:
+  friend class AsyncExchange;
+
   DisjointBoxLayout layout_;
   int ncomp_ = 0;
   int nghost_ = 0;

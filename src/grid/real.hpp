@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <utility>
 #include <vector>
 
 // Padding multiple in doubles. 8 doubles = 64 bytes = one cache line,
@@ -79,5 +80,36 @@ struct AlignedAllocator {
 
 /// The storage vector of FArrayBox: 64-byte-aligned doubles.
 using AlignedVector = std::vector<Real, AlignedAllocator<Real>>;
+
+/// AlignedAllocator whose value-less construct() is a no-op, so
+/// vector::resize leaves new elements default-initialized (uninitialized
+/// for Real) instead of zero-filling them. This keeps allocation from
+/// touching — and therefore NUMA-placing — the new pages: FArrayBox
+/// defines its storage through this allocator and fills explicitly
+/// (Init::Zero) or defers the first touch to the owning worker
+/// (Init::Deferred; see the level executor's firstTouch()).
+template <typename T, std::size_t Align = kFabAlignment>
+struct AlignedUninitAllocator : AlignedAllocator<T, Align> {
+  using value_type = T;
+  template <typename U>
+  struct rebind {
+    using other = AlignedUninitAllocator<U, Align>;
+  };
+
+  AlignedUninitAllocator() = default;
+  template <typename U>
+  AlignedUninitAllocator(const AlignedUninitAllocator<U, Align>&) noexcept {
+  }
+
+  template <typename U>
+  void construct(U*) noexcept {} // default-init: no store, no page touch
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+/// Fab storage: 64-byte-aligned doubles with first-touch-friendly resize.
+using FabVector = std::vector<Real, AlignedUninitAllocator<Real>>;
 
 } // namespace fluxdiv::grid

@@ -101,6 +101,50 @@ std::vector<CacheLevel> defaultCacheHierarchy() {
   };
 }
 
+int parseCpuListCount(const std::string& text) {
+  // sysfs cpulist format: comma-separated singletons and inclusive ranges,
+  // e.g. "0-3,8-11,15".
+  int count = 0;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) {
+      continue;
+    }
+    const auto dash = token.find('-');
+    try {
+      if (dash == std::string::npos) {
+        (void)std::stoi(token); // validate
+        ++count;
+      } else {
+        const int lo = std::stoi(token.substr(0, dash));
+        const int hi = std::stoi(token.substr(dash + 1));
+        if (hi >= lo) {
+          count += hi - lo + 1;
+        }
+      }
+    } catch (const std::exception&) {
+      // Unparseable token: skip it rather than guessing.
+    }
+  }
+  return count;
+}
+
+bool applyNumaFallback(MachineInfo& info) {
+  std::erase_if(info.numaNodes,
+                [](const NumaNode& n) { return n.cpuCount <= 0; });
+  if (!info.numaNodes.empty()) {
+    return false;
+  }
+  // Single node spanning every logical core: correct for all paper-era
+  // desktop parts and the common container case where sysfs hides the
+  // node directory. The executor's placement logic degrades gracefully —
+  // one node means first-touch location never matters.
+  info.numaNodes.push_back({0, info.logicalCores});
+  info.numaFallback = true;
+  return true;
+}
+
 bool applyCacheFallback(MachineInfo& info) {
   std::erase_if(info.caches,
                 [](const CacheLevel& c) { return c.sizeBytes == 0; });
@@ -158,6 +202,23 @@ MachineInfo queryMachine() {
     queryCachesSysconf(info);
   }
   applyCacheFallback(info);
+
+  // NUMA topology: one entry per online sysfs node directory. Nodes are
+  // numbered densely from 0 on every kernel we care about, but tolerate
+  // holes (possible[] can be sparse after hotplug) by scanning a fixed
+  // range rather than stopping at the first miss.
+  for (int n = 0; n < 64; ++n) {
+    const std::string cpulist = readFileTrimmed(
+        "/sys/devices/system/node/node" + std::to_string(n) + "/cpulist");
+    if (cpulist.empty()) {
+      continue;
+    }
+    const int cpus = parseCpuListCount(cpulist);
+    if (cpus > 0) {
+      info.numaNodes.push_back({n, cpus});
+    }
+  }
+  applyNumaFallback(info);
   return info;
 }
 
@@ -177,6 +238,20 @@ void printMachineReport(std::ostream& os, const MachineInfo& info) {
   os << "machine: " << (info.cpuModel.empty() ? "unknown CPU" : info.cpuModel)
      << ", " << info.logicalCores << " logical cores, OpenMP max threads "
      << info.ompMaxThreads << '\n';
+  os << "  NUMA: " << info.numaNodes.size()
+     << (info.numaNodes.size() == 1 ? " node (" : " nodes (");
+  for (std::size_t i = 0; i < info.numaNodes.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << "node" << info.numaNodes[i].id << ": "
+       << info.numaNodes[i].cpuCount << " CPUs";
+  }
+  os << ')';
+  if (info.numaFallback) {
+    os << " (default; detection failed)";
+  }
+  os << '\n';
   for (const auto& c : info.caches) {
     os << "  L" << c.level << ' ' << c.type << ": "
        << formatBytes(c.sizeBytes) << ", line " << c.lineBytes << " B";

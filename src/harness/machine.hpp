@@ -20,6 +20,15 @@ struct CacheLevel {
   int associativity = 0;      ///< 0 if unknown
 };
 
+/// One NUMA node as reported by sysfs: its id and how many hardware
+/// threads its cpulist covers. First-touch page placement makes the node
+/// count the relevant knob for the level executor's box -> thread affinity
+/// (docs/perf.md).
+struct NumaNode {
+  int id = 0;
+  int cpuCount = 0;
+};
+
 /// Description of the host the benchmark runs on.
 struct MachineInfo {
   std::string cpuModel;
@@ -28,6 +37,10 @@ struct MachineInfo {
   std::vector<CacheLevel> caches; ///< data/unified levels of cpu0
   bool cacheFallback = false;     ///< true when `caches` are the documented
                                   ///< defaults, not detected values
+  std::vector<NumaNode> numaNodes; ///< online nodes; never empty after
+                                   ///< queryMachine() (see applyNumaFallback)
+  bool numaFallback = false;       ///< true when `numaNodes` is the
+                                   ///< single-node default, not detected
 };
 
 /// Probe /proc/cpuinfo, sysfs and sysconf. Never throws; missing fields
@@ -47,6 +60,17 @@ std::vector<CacheLevel> defaultCacheHierarchy();
 /// `info.cacheFallback`. Returns true when the fallback was installed.
 /// Exposed so tests can force the detection-failure path directly.
 bool applyCacheFallback(MachineInfo& info);
+
+/// Number of hardware threads covered by a sysfs cpulist string such as
+/// "0-3,8-11,15" (0 for empty/unparseable input). Exposed for tests.
+int parseCpuListCount(const std::string& text);
+
+/// Ensure `info.numaNodes` is usable: drop zero-CPU entries and, if none
+/// remain (the sysfs node directory is commonly hidden in containers),
+/// install the documented single-node fallback covering all logical cores
+/// and set `info.numaFallback` — the same contract as applyCacheFallback.
+/// Returns true when the fallback was installed.
+bool applyNumaFallback(MachineInfo& info);
 
 /// Size in bytes of the last-level data/unified cache (0 if unknown). Used
 /// by the analytic traffic model as the capacity threshold.

@@ -277,5 +277,100 @@ TEST(CostModel, CacheSpecFromMachineSurvivesFailedDetection) {
   EXPECT_EQ(s.llcBytes, 8 * kMiB);
 }
 
+TEST(CostModel, LevelPoliciesComeBackInRegistryOrder) {
+  const auto costs = analyzeLevelPolicies(
+      core::makeBaseline(core::ParallelGranularity::WithinBox), 32, 8, 4,
+      CacheSpec::typical());
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(costs[0].policy, core::LevelPolicy::BoxSequential);
+  EXPECT_EQ(costs[1].policy, core::LevelPolicy::BoxParallel);
+  EXPECT_EQ(costs[2].policy, core::LevelPolicy::Hybrid);
+  for (const auto& c : costs) {
+    EXPECT_EQ(c.nBoxes, 8);
+    EXPECT_GT(c.taskCount, 0);
+    EXPECT_GE(c.depth, 1);
+    EXPECT_GE(c.maxConcurrency, 1);
+    EXPECT_GE(c.avgConcurrency, 1.0);
+    EXPECT_GT(c.predictedSpeedup, 0.0);
+  }
+}
+
+TEST(CostModel, LevelPolicySequentialMirrorsPerBoxBarriers) {
+  const auto cfg = core::makeBaseline(core::ParallelGranularity::WithinBox);
+  const CostReport box = analyzeCost(cfg, 32, 4, CacheSpec::typical());
+  const auto costs =
+      analyzeLevelPolicies(cfg, 32, 8, 4, CacheSpec::typical());
+  EXPECT_EQ(costs[0].taskCount, 8);
+  EXPECT_EQ(costs[0].depth, 8);
+  EXPECT_EQ(costs[0].barrierCount, 8 * box.barrierCount);
+  EXPECT_EQ(costs[0].maxConcurrency, box.maxConcurrency);
+  EXPECT_EQ(costs[0].predictedSpeedup, 1.0)
+      << "sequential is its own baseline";
+}
+
+TEST(CostModel, LevelPolicyParallelIsOneJoinOfNBoxTasks) {
+  const auto costs = analyzeLevelPolicies(
+      core::makeShiftFuse(core::ParallelGranularity::WithinBox), 32, 16, 4,
+      CacheSpec::typical());
+  EXPECT_EQ(costs[1].taskCount, 16);
+  EXPECT_EQ(costs[1].depth, 1);
+  EXPECT_EQ(costs[1].maxConcurrency, 16);
+  EXPECT_EQ(costs[1].barrierCount, 1);
+}
+
+TEST(CostModel, LevelPolicyHybridCountsBoxTimesTileTasks) {
+  // Overlapped 8^3 tiles over a 32^3 box: 4^3 tiles per box.
+  const auto costs = analyzeLevelPolicies(
+      core::makeOverlapped(core::IntraTileSchedule::ShiftFuse, 8,
+                           core::ParallelGranularity::WithinBox),
+      32, 8, 4, CacheSpec::typical());
+  EXPECT_EQ(costs[2].taskCount, 8 * 64);
+  EXPECT_EQ(costs[2].maxConcurrency, 8 * 64);
+  EXPECT_EQ(costs[2].depth, 1) << "overlapped tiles are all independent";
+}
+
+TEST(CostModel, LevelPolicyHybridWavefrontPipelineDepth) {
+  // Blocked wavefront, 8^3 tiles over 32^3: 4x4x4 tile grid, 10 fronts.
+  // Component-outside runs kNumComp passes plus the velocity pre-stage.
+  const auto clo = analyzeLevelPolicies(
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Outside),
+      32, 4, 4, CacheSpec::typical());
+  EXPECT_EQ(clo[2].depth, 10 * 5 + 1);
+  EXPECT_EQ(clo[2].taskCount, 4 * (64 * 5 + 1));
+  const auto cli = analyzeLevelPolicies(
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Inside),
+      32, 4, 4, CacheSpec::typical());
+  EXPECT_EQ(cli[2].depth, 10);
+  EXPECT_EQ(cli[2].taskCount, 4 * 64);
+  EXPECT_GT(cli[2].maxConcurrency, cli[1].nBoxes)
+      << "hybrid exposes more than one unit per box at the widest front";
+}
+
+TEST(CostModel, LevelPolicyHybridFallsBackToBoxParallelForFusedFamilies) {
+  for (const auto& cfg :
+       {core::makeBaseline(core::ParallelGranularity::WithinBox),
+        core::makeShiftFuse(core::ParallelGranularity::WithinBox)}) {
+    const auto costs =
+        analyzeLevelPolicies(cfg, 32, 8, 4, CacheSpec::typical());
+    EXPECT_EQ(costs[2].taskCount, costs[1].taskCount) << cfg.name();
+    EXPECT_EQ(costs[2].depth, costs[1].depth) << cfg.name();
+    EXPECT_EQ(costs[2].maxConcurrency, costs[1].maxConcurrency)
+        << cfg.name();
+  }
+}
+
+TEST(CostModel, LevelPolicyParallelSpeedupCappedByThreads) {
+  // 64 boxes on 8 threads: box-parallel usable concurrency is quantized
+  // to exactly 8-wide rounds, so the predicted speedup never exceeds the
+  // thread count (and a P>=Box-style config gains nothing sequentially).
+  const auto costs = analyzeLevelPolicies(
+      core::makeBaseline(core::ParallelGranularity::OverBoxes), 32, 64, 8,
+      CacheSpec::typical());
+  EXPECT_LE(costs[1].predictedSpeedup, 8.0 + 1e-12);
+  EXPECT_GE(costs[1].predictedSpeedup, 1.0);
+}
+
 } // namespace
 } // namespace fluxdiv::analysis

@@ -1,0 +1,184 @@
+// White-box tests of the work-stealing task pool (core/taskpool): every
+// task runs exactly once, dependency edges order execution, cycles are
+// rejected before anything runs, and the pool is reusable across runs.
+
+#include "core/taskpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace fluxdiv::core {
+namespace {
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce) {
+  TaskPool pool(4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> runs(kTasks);
+  TaskGraph graph;
+  for (int i = 0; i < kTasks; ++i) {
+    graph.addTask([&runs, i](int) { runs[i].fetch_add(1); }, i);
+  }
+  pool.run(graph);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskPool, EmptyGraphIsANoop) {
+  TaskPool pool(2);
+  TaskGraph graph;
+  EXPECT_NO_THROW(pool.run(graph));
+}
+
+TEST(TaskPool, SingleThreadedPoolWorks) {
+  TaskPool pool(1);
+  std::atomic<int> total{0};
+  TaskGraph graph;
+  for (int i = 0; i < 32; ++i) {
+    graph.addTask([&total](int) { total.fetch_add(1); });
+  }
+  pool.run(graph);
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(TaskPool, DependencyOrdersExecution) {
+  TaskPool pool(4);
+  // Diamond: a -> {b, c} -> d, repeated many times to give interleavings a
+  // chance to manifest.
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<int> stage{0};
+    bool bSawA = false;
+    bool cSawA = false;
+    bool dSawAll = false;
+    TaskGraph graph;
+    const int a = graph.addTask([&](int) { stage.store(1); });
+    const int b = graph.addTask([&](int) {
+      bSawA = stage.load() >= 1;
+      stage.fetch_add(1);
+    });
+    const int c = graph.addTask([&](int) {
+      cSawA = stage.load() >= 1;
+      stage.fetch_add(1);
+    });
+    const int d = graph.addTask([&](int) { dSawAll = stage.load() == 3; });
+    graph.addDep(a, b);
+    graph.addDep(a, c);
+    graph.addDep(b, d);
+    graph.addDep(c, d);
+    pool.run(graph);
+    EXPECT_TRUE(bSawA);
+    EXPECT_TRUE(cSawA);
+    EXPECT_TRUE(dSawAll);
+  }
+}
+
+TEST(TaskPool, LongChainRunsInOrder) {
+  TaskPool pool(3);
+  constexpr int kLen = 200;
+  std::vector<int> order;
+  TaskGraph graph;
+  int prev = -1;
+  for (int i = 0; i < kLen; ++i) {
+    // The chain serializes execution, so the push_back needs no lock.
+    const int t = graph.addTask([&order, i](int) { order.push_back(i); },
+                                i % 3);
+    if (prev >= 0) {
+      graph.addDep(prev, t);
+    }
+    prev = t;
+  }
+  pool.run(graph);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kLen));
+  for (int i = 0; i < kLen; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(TaskPool, CycleIsRejectedBeforeExecution) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGraph graph;
+  const int a = graph.addTask([&ran](int) { ran.fetch_add(1); });
+  const int b = graph.addTask([&ran](int) { ran.fetch_add(1); });
+  const int free = graph.addTask([&ran](int) { ran.fetch_add(1); });
+  (void)free;
+  graph.addDep(a, b);
+  graph.addDep(b, a);
+  EXPECT_THROW(pool.run(graph), std::logic_error);
+  EXPECT_EQ(ran.load(), 0) << "a cyclic graph must not execute any task";
+}
+
+TEST(TaskPool, ReusableAcrossRuns) {
+  TaskPool pool(4);
+  std::atomic<int> total{0};
+  for (int run = 0; run < 20; ++run) {
+    TaskGraph graph;
+    for (int i = 0; i < 64; ++i) {
+      graph.addTask([&total](int) { total.fetch_add(1); }, i);
+    }
+    pool.run(graph);
+  }
+  EXPECT_EQ(total.load(), 20 * 64);
+}
+
+TEST(TaskPool, CurrentWorkerIsMinusOneOffPoolAndValidOnPool) {
+  EXPECT_EQ(TaskPool::currentWorker(), -1);
+  TaskPool pool(4);
+  std::atomic<bool> allValid{true};
+  std::atomic<bool> argMatchesTls{true};
+  TaskGraph graph;
+  for (int i = 0; i < 128; ++i) {
+    graph.addTask([&](int worker) {
+      const int cur = TaskPool::currentWorker();
+      if (cur < 0 || cur >= 4) {
+        allValid.store(false);
+      }
+      if (cur != worker) {
+        argMatchesTls.store(false);
+      }
+    });
+  }
+  pool.run(graph);
+  EXPECT_TRUE(allValid.load());
+  EXPECT_TRUE(argMatchesTls.load());
+  EXPECT_EQ(TaskPool::currentWorker(), -1)
+      << "the calling thread leaves its worker identity behind";
+}
+
+TEST(TaskPool, OwnerHintsAreTakenModuloThreadCount) {
+  TaskPool pool(3);
+  std::atomic<int> total{0};
+  TaskGraph graph;
+  // Out-of-range and negative owners must not crash or drop tasks.
+  for (const int owner : {-7, -1, 0, 2, 3, 99}) {
+    graph.addTask([&total](int) { total.fetch_add(1); }, owner);
+  }
+  pool.run(graph);
+  EXPECT_EQ(total.load(), 6);
+}
+
+TEST(TaskPool, ManyDependentsReleaseOnlyWhenAllPredecessorsDone) {
+  TaskPool pool(4);
+  constexpr int kPreds = 40;
+  std::atomic<int> done{0};
+  bool sawAll = false;
+  TaskGraph graph;
+  std::vector<int> preds;
+  for (int i = 0; i < kPreds; ++i) {
+    preds.push_back(
+        graph.addTask([&done](int) { done.fetch_add(1); }, i));
+  }
+  const int sink =
+      graph.addTask([&](int) { sawAll = done.load() == kPreds; });
+  for (const int p : preds) {
+    graph.addDep(p, sink);
+  }
+  pool.run(graph);
+  EXPECT_TRUE(sawAll);
+}
+
+} // namespace
+} // namespace fluxdiv::core

@@ -129,5 +129,130 @@ TEST(LevelData, CopierRejectsOversizedGhost) {
   EXPECT_THROW(LevelData(dbl, 1, 17), std::invalid_argument);
 }
 
+TEST(LevelData, AsyncExchangeMatchesExchange) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData ref(dbl, 3, 2);
+  LevelData async(dbl, 3, 2);
+  fillValid(ref);
+  fillValid(async);
+  ref.exchange();
+  AsyncExchange ax = async.exchangeAsync();
+  ASSERT_GT(ax.opCount(), 0u);
+  // Run the plan in reverse order: ops are independent, so any order must
+  // deliver the exact exchange() result.
+  for (std::size_t i = ax.opCount(); i-- > 0;) {
+    ax.runOp(i);
+  }
+  EXPECT_TRUE(ax.done());
+  for (std::size_t b = 0; b < ref.size(); ++b) {
+    EXPECT_EQ(FArrayBox::maxAbsDiff(ref[b], async[b], ref[b].box()), 0.0)
+        << "box " << b;
+  }
+}
+
+TEST(LevelData, AsyncExchangePendingOpsTickDownPerDestBox) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData ld(dbl, 1, 2);
+  fillValid(ld);
+  AsyncExchange ax = ld.exchangeAsync();
+  // Every box has ghost faces to fill, so none is ready at the start.
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    EXPECT_GT(ax.pendingOps(b), 0) << "box " << b;
+    EXPECT_FALSE(ax.boxReady(b)) << "box " << b;
+  }
+  std::vector<int> before(ld.size());
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    before[b] = ax.pendingOps(b);
+  }
+  const std::size_t dest = ax.op(0).destBox;
+  ax.runOp(0);
+  EXPECT_EQ(ax.pendingOps(dest), before[dest] - 1);
+  ax.finish();
+  EXPECT_TRUE(ax.done());
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    EXPECT_TRUE(ax.boxReady(b)) << "box " << b;
+  }
+}
+
+TEST(LevelData, AsyncExchangeRunOpIsIdempotent) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData ld(dbl, 1, 2);
+  fillValid(ld);
+  AsyncExchange ax = ld.exchangeAsync();
+  const std::size_t dest = ax.op(0).destBox;
+  const int before = ax.pendingOps(dest);
+  ax.runOp(0);
+  ax.runOp(0); // second claim must lose the CAS and change nothing
+  EXPECT_EQ(ax.pendingOps(dest), before - 1);
+  ax.finish();
+  EXPECT_TRUE(ax.done());
+}
+
+TEST(LevelData, AsyncExchangeWithoutGhostsIsEmptyAndDone) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData ld(dbl, 2, 0);
+  AsyncExchange ax = ld.exchangeAsync();
+  EXPECT_EQ(ax.opCount(), 0u);
+  EXPECT_TRUE(ax.done());
+  EXPECT_NO_THROW(ax.finish());
+}
+
+TEST(LevelData, ExchangePlanHasNoEmptyOpsAndBytesAgree) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData ld(dbl, 5, 2);
+  AsyncExchange ax = ld.exchangeAsync();
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < ax.opCount(); ++i) {
+    const CopyOp& op = ax.op(i);
+    EXPECT_FALSE(op.destRegion.empty()) << "op " << i;
+    bytes += static_cast<std::size_t>(op.destRegion.numPts()) * 5 *
+             sizeof(Real);
+  }
+  EXPECT_EQ(bytes, ld.exchangeBytes());
+}
+
+TEST(LevelData, DensePitchExchangeMatchesPadded) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  LevelData padded(dbl, 2, 2, Pitch::Padded);
+  LevelData dense(dbl, 2, 2, Pitch::Dense);
+  fillValid(padded);
+  fillValid(dense);
+  padded.exchange();
+  dense.exchange();
+  for (std::size_t b = 0; b < padded.size(); ++b) {
+    EXPECT_EQ(
+        FArrayBox::maxAbsDiff(padded[b], dense[b], padded[b].box()), 0.0)
+        << "box " << b;
+  }
+}
+
+TEST(LevelData, DeferredInitIsUsableAfterExplicitFill) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(32)), 16);
+  // Deferred skips the allocation-time zero-fill (for NUMA first-touch
+  // placement by the level executor); writing every cell before any read
+  // is the caller's contract, which fillValid + exchange satisfies for
+  // the cells compared here.
+  LevelData ld(dbl, 1, 2, Pitch::Padded, Init::Deferred);
+  LevelData ref(dbl, 1, 2);
+  fillValid(ld);
+  fillValid(ref);
+  ld.exchange();
+  ref.exchange();
+  for (std::size_t b = 0; b < ld.size(); ++b) {
+    EXPECT_EQ(FArrayBox::maxAbsDiff(ld[b], ref[b], ref[b].box()), 0.0);
+  }
+}
+
+TEST(LevelData, ZeroInitIsTheDefault) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(16)), 16);
+  LevelData ld(dbl, 2, 1);
+  const FArrayBox& fab = ld[0];
+  for (int c = 0; c < 2; ++c) {
+    forEachCell(fab.box(), [&](int i, int j, int k) {
+      ASSERT_EQ(fab(i, j, k, c), 0.0);
+    });
+  }
+}
+
 } // namespace
 } // namespace fluxdiv::grid

@@ -96,6 +96,64 @@ TEST(Machine, FallbackReportIsMarked) {
   EXPECT_NE(os.str().find("default; detection failed"), std::string::npos);
 }
 
+TEST(Machine, ParseCpuListCountHandlesSysfsFormats) {
+  EXPECT_EQ(parseCpuListCount("0"), 1);
+  EXPECT_EQ(parseCpuListCount("0-3"), 4);
+  EXPECT_EQ(parseCpuListCount("0-3,8-11,15"), 9);
+  EXPECT_EQ(parseCpuListCount(""), 0);
+  EXPECT_EQ(parseCpuListCount("abc"), 0);
+  EXPECT_EQ(parseCpuListCount("3-1"), 0) << "inverted range counts nothing";
+  EXPECT_EQ(parseCpuListCount("0,abc,4-5"), 3)
+      << "unparseable tokens are skipped, not fatal";
+}
+
+TEST(Machine, QueryAlwaysReportsAtLeastOneNumaNode) {
+  const MachineInfo info = queryMachine();
+  ASSERT_FALSE(info.numaNodes.empty());
+  int cpus = 0;
+  for (const auto& n : info.numaNodes) {
+    EXPECT_GE(n.id, 0);
+    EXPECT_GT(n.cpuCount, 0);
+    cpus += n.cpuCount;
+  }
+  EXPECT_GE(cpus, 1);
+}
+
+TEST(Machine, NumaFallbackInstallsSingleNodeSpanningAllCores) {
+  MachineInfo info;
+  info.logicalCores = 12;
+  EXPECT_TRUE(applyNumaFallback(info));
+  EXPECT_TRUE(info.numaFallback);
+  ASSERT_EQ(info.numaNodes.size(), 1u);
+  EXPECT_EQ(info.numaNodes[0].id, 0);
+  EXPECT_EQ(info.numaNodes[0].cpuCount, 12);
+}
+
+TEST(Machine, NumaFallbackKeepsValidNodesAndDropsEmptyOnes) {
+  MachineInfo info;
+  info.logicalCores = 16;
+  info.numaNodes = {{0, 8}, {1, 0}, {2, 8}};
+  EXPECT_FALSE(applyNumaFallback(info));
+  EXPECT_FALSE(info.numaFallback);
+  ASSERT_EQ(info.numaNodes.size(), 2u);
+  EXPECT_EQ(info.numaNodes[0].id, 0);
+  EXPECT_EQ(info.numaNodes[1].id, 2);
+}
+
+TEST(Machine, ReportMentionsNumaTopology) {
+  MachineInfo info;
+  info.cpuModel = "TestCPU";
+  info.logicalCores = 16;
+  info.numaNodes = {{0, 8}, {1, 8}};
+  applyCacheFallback(info);
+  std::ostringstream os;
+  printMachineReport(os, info);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("NUMA: 2 nodes"), std::string::npos) << out;
+  EXPECT_NE(out.find("node0: 8 CPUs"), std::string::npos) << out;
+  EXPECT_NE(out.find("node1: 8 CPUs"), std::string::npos) << out;
+}
+
 TEST(Machine, DefaultThreadSweepShape) {
   EXPECT_EQ(defaultThreadSweep(1), (std::vector<std::int64_t>{1}));
   EXPECT_EQ(defaultThreadSweep(8), (std::vector<std::int64_t>{1, 2, 4, 8}));

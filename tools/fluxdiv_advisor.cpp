@@ -8,10 +8,14 @@
 //
 //   ./tools/fluxdiv_advisor [--boxsize 128] [--threads 8] [--extensions]
 //                           [--l2 BYTES] [--llc BYTES] [--csv out.csv]
-//                           [--strict] [--pad]
+//                           [--strict] [--pad] [--nboxes 1]
 //
 // --pad prices working sets for the default padded fab allocation (x-pitch
 // rounded to grid::kSimdDoubles, docs/perf.md) instead of dense storage.
+//
+// --nboxes > 1 additionally ranks the task-parallel level-executor
+// policies (sequential / parallel / hybrid, core/exec_level) for a level
+// of that many boxes, from the box-level concurrency each policy exposes.
 //
 // --strict additionally runs internal consistency checks over every report
 // (finite traffic, non-degenerate working sets, traffic not far below the
@@ -85,6 +89,8 @@ int main(int argc, char** argv) {
   args.addBool("strict",
                "fail (exit 1) on any internal model-consistency error");
   args.addBool("pad", "price working sets for the padded fab x-pitch");
+  args.addInt("nboxes", 1,
+              "boxes per level for the level-policy ranking (1 = skip)");
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -162,6 +168,32 @@ int main(int argc, char** argv) {
       std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
                 << rv.cost.variant << ": " << note.message() << "\n";
     }
+  }
+
+  const int nBoxes = static_cast<int>(args.getInt("nboxes"));
+  if (nBoxes > 1) {
+    std::cout << "\nlevel-policy ranking for " << nBoxes << " x " << n
+              << "^3 boxes, threads=" << nThreads
+              << " (top variants by predicted traffic):\n\n";
+    harness::Table ptable({"variant", "policy", "tasks", "depth",
+                           "max conc", "avg conc", "barriers",
+                           "speedup vs seq"});
+    const std::size_t shown = std::min<std::size_t>(ranked.size(), 4);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto policies = analysis::analyzeLevelPolicies(
+          ranked[i].cfg, n, nBoxes, nThreads, spec);
+      for (const auto& pc : policies) {
+        ptable.addRow({ranked[i].cost.variant,
+                       core::levelPolicyName(pc.policy),
+                       std::to_string(pc.taskCount),
+                       std::to_string(pc.depth),
+                       std::to_string(pc.maxConcurrency),
+                       harness::formatDouble(pc.avgConcurrency, 1),
+                       std::to_string(pc.barrierCount),
+                       harness::formatDouble(pc.predictedSpeedup, 2)});
+      }
+    }
+    ptable.print(std::cout);
   }
 
   const analysis::TileAdvice advice = advisor.recommendBlockedTile(n, nThreads);
