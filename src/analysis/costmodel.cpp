@@ -531,6 +531,8 @@ const char* costNoteKindName(CostNoteKind k) {
     return "item-exceeds-l2";
   case CostNoteKind::HighRecompute:
     return "high-recompute";
+  case CostNoteKind::OverSynchronized:
+    return "over-synchronized";
   case CostNoteKind::ModelError:
     return "model-error";
   }
@@ -553,6 +555,13 @@ std::string CostNote::message() const {
   case CostNoteKind::HighRecompute:
     os << harness::formatDouble(100 * fraction, 1)
        << "% of temporary values produced more than once (" << where << ")";
+    break;
+  case CostNoteKind::OverSynchronized:
+    os << "graph '" << where << "': "
+       << static_cast<std::int64_t>(actualBytes) << " of "
+       << static_cast<std::int64_t>(limitBytes)
+       << " dependency edges removable without losing race-freedom "
+          "-> schedule over-synchronized";
     break;
   case CostNoteKind::ModelError:
     os << where;

@@ -54,6 +54,7 @@ enum class CostNoteKind {
   CapacityBound,  ///< a phase's working set exceeds the LLC
   ItemExceedsL2,  ///< a concurrent work item's footprint exceeds L2
   HighRecompute,  ///< duplicated temporary production above threshold
+  OverSynchronized, ///< task graph carries removable dependency edges
   ModelError,     ///< internal inconsistency (tool-level strict checks)
 };
 
@@ -64,8 +65,8 @@ const char* costNoteKindName(CostNoteKind k);
 struct CostNote {
   CostNoteKind kind = CostNoteKind::CapacityBound;
   std::string where;          ///< phase or item the note is about
-  double actualBytes = 0;     ///< offending size (bytes, 0 if n/a)
-  double limitBytes = 0;      ///< the capacity compared against (0 if n/a)
+  double actualBytes = 0;     ///< offending size; edge count for OverSynchronized
+  double limitBytes = 0;      ///< capacity compared against; total edges for OverSynchronized
   double fraction = 0;        ///< ratio detail for HighRecompute
 
   [[nodiscard]] std::string message() const;

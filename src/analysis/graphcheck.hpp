@@ -1,0 +1,125 @@
+#pragma once
+// Static race verifier over lowered task graphs (docs/static-analysis.md,
+// "Task-graph verification"). Where ScheduleVerifier (verifier.hpp) proves
+// the *sequential per-box loop schedules* legal, this pass proves the
+// *concurrent layer* legal: the (box, phase/tile) task graphs the level
+// executor (core/exec_level) hands to the work-stealing TaskPool,
+// including runStep()'s interior/halo-fringe split and the async
+// ghost-exchange copy-op tasks.
+//
+// The executor mirrors every graph it builds into a TaskGraphModel — one
+// node per task with its exact rectangular read/write footprints (the same
+// per-stage regions lower.cpp declares, via kernels/footprint.hpp) — and
+// checkTaskGraph() then proves:
+//
+//   G1 (acyclic)        the dependency edges admit a topological order.
+//   G2 (ordered races)  every pair of tasks with overlapping write/write
+//                       or read/write footprints is ordered by the
+//                       happens-before relation (bitset transitive closure
+//                       over each weakly-connected component, so 64-box
+//                       levels stay fast: cross-component pairs share no
+//                       edges at all and must simply not conflict).
+//   G3 (ghost coverage) when the graph itself performs the exchange
+//                       (ghostsPreExchanged == false), every ghost-region
+//                       read is covered by the union of exchange-op writes
+//                       that happen-before the reader.
+//
+// Violations come back as the same structured Diagnostic the schedule
+// verifier uses, naming both tasks and a witness cell region. The checker
+// also flags *over*-synchronization — edges whose removal provably keeps
+// the graph race-free — as advisory notes feeding the cost model's
+// parallelism metrics (advisor CostNoteKind::OverSynchronized).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+#include "analysis/verifier.hpp"
+
+namespace fluxdiv::analysis {
+
+/// One rectangular access of a task. Unlike the per-box Access of
+/// model.hpp, a task access is qualified by the index of the LevelData box
+/// (or per-box cache) it touches: phi0 of box 3 and phi0 of box 5 are
+/// distinct storage. Cache regions are in slot space (taskSlotBox).
+struct TaskAccess {
+  FieldId field = FieldId::Phi0;
+  std::size_t box = 0; ///< owning box of the fab / per-box cache
+  int comp0 = 0;
+  int nComp = 1;
+  Box region;
+
+  /// True if the two accesses can touch the same memory.
+  [[nodiscard]] bool overlaps(const TaskAccess& o) const {
+    return field == o.field && box == o.box && comp0 < o.comp0 + o.nComp &&
+           o.comp0 < comp0 + nComp && region.intersects(o.region);
+  }
+};
+
+/// One task of the lowered graph: label for diagnostics, exact footprints,
+/// outgoing dependency edges. `exchangeOp` marks the ghost-exchange copy
+/// tasks whose Phi0 writes satisfy the G3 coverage rule.
+struct GraphTask {
+  std::string label;
+  std::vector<TaskAccess> reads;
+  std::vector<TaskAccess> writes;
+  std::vector<int> successors;
+  bool exchangeOp = false;
+};
+
+/// The analysis-side mirror of one core::TaskGraph, built by the level
+/// executor from the same code path that builds the executable graph (so
+/// the model cannot drift from what actually runs).
+struct TaskGraphModel {
+  std::string name;           ///< variant + policy + graph kind
+  bool ghostsPreExchanged = true; ///< run(): phi0 ghosts current at start
+  std::vector<Box> validBoxes;    ///< per-box valid regions (G3)
+  std::vector<GraphTask> tasks;
+
+  int addTask(std::string label);
+  void addEdge(int before, int after);
+  [[nodiscard]] std::size_t edgeCount() const;
+  [[nodiscard]] const std::string& label(int task) const {
+    return tasks[static_cast<std::size_t>(task)].label;
+  }
+};
+
+/// An advisory over-synchronization finding: removing `before -> after`
+/// provably keeps the graph race-free (G2/G3 still hold).
+struct RemovableEdge {
+  int before = -1;
+  int after = -1;
+  std::string reason;
+};
+
+/// Result of one checkTaskGraph() pass. `diagnostics` is empty iff the
+/// graph is provably race-free; `removable` is advisory only.
+struct GraphCheckReport {
+  std::string graph; ///< TaskGraphModel::name
+  std::vector<Diagnostic> diagnostics;
+  std::vector<RemovableEdge> removable;
+  std::int64_t taskCount = 0;
+  std::int64_t edgeCount = 0;
+  std::int64_t componentCount = 0; ///< weakly-connected components
+  std::int64_t criticalPath = 0;   ///< longest dependency chain, in tasks
+
+  [[nodiscard]] bool ok() const { return diagnostics.empty(); }
+};
+
+/// Verify G1-G3 over `m`. With `findRemovable`, also run the
+/// over-synchronization pass (quadratic in component size per candidate
+/// edge; the runtime gate leaves it off, the CLI/advisor turn it on).
+GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
+                                bool findRemovable = false);
+
+/// Co-dimension cache field for direction d (CacheX / CacheY / CacheZ).
+FieldId taskCacheField(int d);
+
+/// Slot region of the co-dimension cache for direction d over cell region
+/// `r`: the masked direction is projected out of slot space (same
+/// convention as lower.cpp's cache accesses).
+Box taskSlotBox(int d, const Box& r);
+
+} // namespace fluxdiv::analysis

@@ -1,6 +1,9 @@
 #include "analysis/mutate.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace fluxdiv::analysis::mutate {
 
@@ -72,6 +75,259 @@ ScheduleModel droppedBarrier(ScheduleModel m, std::size_t phase) {
   }
   m.phases.erase(m.phases.begin() + static_cast<std::ptrdiff_t>(phase) + 1);
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph mutations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Direct-conflict classification of a task pair, mirroring the checker's
+/// witness precedence: write/write overlap dominates read/write.
+DiagnosticKind graphConflictKind(const GraphTask& a, const GraphTask& b) {
+  for (const auto& wa : a.writes) {
+    for (const auto& wb : b.writes) {
+      if (wa.overlaps(wb)) {
+        return DiagnosticKind::WriteOverlap;
+      }
+    }
+  }
+  for (const auto& wa : a.writes) {
+    for (const auto& rb : b.reads) {
+      if (wa.overlaps(rb)) {
+        return DiagnosticKind::ReadWriteRace;
+      }
+    }
+  }
+  for (const auto& wb : b.writes) {
+    for (const auto& ra : a.reads) {
+      if (wb.overlaps(ra)) {
+        return DiagnosticKind::ReadWriteRace;
+      }
+    }
+  }
+  return DiagnosticKind::Ok;
+}
+
+/// Is `to` reachable from `from` when one direct from->to edge instance is
+/// ignored? True means dropping that one edge cannot unorder the pair
+/// (a duplicate edge or an alternate path still orders it).
+bool reachableSansEdge(const TaskGraphModel& m, int from, int to) {
+  std::vector<char> visited(m.tasks.size(), 0);
+  std::vector<int> stack{from};
+  visited[static_cast<std::size_t>(from)] = 1;
+  bool skipped = false;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (const int s : m.tasks[static_cast<std::size_t>(x)].successors) {
+      if (x == from && s == to && !skipped) {
+        skipped = true; // the instance being dropped
+        continue;
+      }
+      if (s == to) {
+        return true;
+      }
+      if (!visited[static_cast<std::size_t>(s)]) {
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+bool reachable(const TaskGraphModel& m, int from, int to) {
+  if (from == to) {
+    return true;
+  }
+  std::vector<char> visited(m.tasks.size(), 0);
+  std::vector<int> stack{from};
+  visited[static_cast<std::size_t>(from)] = 1;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (const int s : m.tasks[static_cast<std::size_t>(x)].successors) {
+      if (s == to) {
+        return true;
+      }
+      if (!visited[static_cast<std::size_t>(s)]) {
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+/// Edges whose removal provably unorders a directly-conflicting pair: the
+/// endpoints conflict, and no duplicate edge or alternate path keeps them
+/// ordered. Deterministic enumeration order (task id, successor position).
+std::vector<std::pair<int, int>>
+conflictCarryingEdges(const TaskGraphModel& m) {
+  std::vector<std::pair<int, int>> out;
+  for (std::size_t u = 0; u < m.tasks.size(); ++u) {
+    for (const int v : m.tasks[u].successors) {
+      const int ui = static_cast<int>(u);
+      if (graphConflictKind(m.tasks[u],
+                            m.tasks[static_cast<std::size_t>(v)]) !=
+              DiagnosticKind::Ok &&
+          !reachableSansEdge(m, ui, v)) {
+        out.emplace_back(ui, v);
+      }
+    }
+  }
+  return out;
+}
+
+void eraseOneEdge(TaskGraphModel& m, int u, int v) {
+  auto& succs = m.tasks[static_cast<std::size_t>(u)].successors;
+  const auto it = std::find(succs.begin(), succs.end(), v);
+  if (it != succs.end()) {
+    succs.erase(it);
+  }
+}
+
+} // namespace
+
+GraphMutation dropGraphEdge(const TaskGraphModel& m, std::uint64_t seed) {
+  GraphMutation out;
+  out.model = m;
+  const auto cands = conflictCarryingEdges(m);
+  if (cands.empty()) {
+    out.what = "no conflict-carrying edge to drop";
+    return out;
+  }
+  const auto [u, v] = cands[seed % cands.size()];
+  eraseOneEdge(out.model, u, v);
+  out.expect = graphConflictKind(m.tasks[static_cast<std::size_t>(u)],
+                                 m.tasks[static_cast<std::size_t>(v)]);
+  out.taskA = std::min(u, v);
+  out.taskB = std::max(u, v);
+  out.what =
+      "drop edge '" + m.label(u) + "' -> '" + m.label(v) + "'";
+  return out;
+}
+
+GraphMutation rerouteGraphEdge(const TaskGraphModel& m,
+                               std::uint64_t seed) {
+  GraphMutation out;
+  out.model = m;
+  const auto cands = conflictCarryingEdges(m);
+  if (cands.empty()) {
+    out.what = "no conflict-carrying edge to reroute";
+    return out;
+  }
+  const auto [u, v] = cands[seed % cands.size()];
+  eraseOneEdge(out.model, u, v);
+  out.expect = graphConflictKind(m.tasks[static_cast<std::size_t>(u)],
+                                 m.tasks[static_cast<std::size_t>(v)]);
+  out.taskA = std::min(u, v);
+  out.taskB = std::max(u, v);
+  out.what =
+      "reroute edge '" + m.label(u) + "' -> '" + m.label(v) + "'";
+  // Re-aim the edge at an unrelated task: no cycle (w must not reach u)
+  // and no accidental repair (w must not reach v, or u -> w -> v would
+  // re-order the pair we just unordered).
+  for (std::size_t w = 0; w < out.model.tasks.size(); ++w) {
+    const int wi = static_cast<int>(w);
+    if (wi == u || wi == v || reachable(out.model, wi, u) ||
+        reachable(out.model, wi, v)) {
+      continue;
+    }
+    out.model.addEdge(u, wi);
+    out.what += " to '" + m.label(wi) + "'";
+    return out;
+  }
+  out.what += " (no reroute target; plain drop)";
+  return out;
+}
+
+GraphMutation shrinkGhostWrite(const TaskGraphModel& m,
+                               std::uint64_t seed) {
+  GraphMutation out;
+  out.model = m;
+  if (m.ghostsPreExchanged) {
+    out.what = "graph performs no exchange; nothing to shrink";
+    return out;
+  }
+  struct Cand {
+    int op = -1;
+    std::size_t write = 0;
+    Box lost;
+    Box shrunk;
+    int reader = -1;
+    const char* side = "";
+  };
+  std::vector<Cand> cands;
+  for (std::size_t t = 0; t < m.tasks.size(); ++t) {
+    if (!m.tasks[t].exchangeOp) {
+      continue;
+    }
+    for (std::size_t wi = 0; wi < m.tasks[t].writes.size(); ++wi) {
+      const TaskAccess& w = m.tasks[t].writes[wi];
+      if (w.field != FieldId::Phi0 || w.box >= m.validBoxes.size()) {
+        continue;
+      }
+      const Box valid = m.validBoxes[w.box];
+      // Peel the outermost ghost layer of the fill, per direction/side.
+      for (int d = 0; d < grid::SpaceDim; ++d) {
+        for (int side = 0; side < 2; ++side) {
+          Box lost;
+          Box shrunk;
+          if (side == 0 && w.region.lo(d) < valid.lo(d)) {
+            lost = w.region.lowSlab(d, 1);
+            shrunk = Box(w.region.lo() + IntVect::basis(d),
+                         w.region.hi());
+          } else if (side == 1 && w.region.hi(d) > valid.hi(d)) {
+            lost = w.region.highSlab(d, 1);
+            shrunk = Box(w.region.lo(),
+                         w.region.hi() - IntVect::basis(d));
+          } else {
+            continue;
+          }
+          // The starved reader the checker will name: the lowest-id
+          // compute task whose Phi0 read of this box needs a lost cell.
+          int reader = -1;
+          for (std::size_t r = 0; r < m.tasks.size() && reader < 0;
+               ++r) {
+            if (m.tasks[r].exchangeOp) {
+              continue;
+            }
+            for (const TaskAccess& ra : m.tasks[r].reads) {
+              if (ra.field == FieldId::Phi0 && ra.box == w.box &&
+                  w.comp0 <= ra.comp0 &&
+                  ra.comp0 + ra.nComp <= w.comp0 + w.nComp &&
+                  ra.region.intersects(lost)) {
+                reader = static_cast<int>(r);
+                break;
+              }
+            }
+          }
+          if (reader >= 0) {
+            cands.push_back({static_cast<int>(t), wi, lost, shrunk,
+                             reader,
+                             side == 0 ? "low" : "high"});
+          }
+        }
+      }
+    }
+  }
+  if (cands.empty()) {
+    out.what = "no ghost write feeds a modeled read; nothing to shrink";
+    return out;
+  }
+  const Cand& c = cands[seed % cands.size()];
+  out.model.tasks[static_cast<std::size_t>(c.op)]
+      .writes[c.write]
+      .region = c.shrunk;
+  out.expect = DiagnosticKind::ReadUncovered;
+  out.taskA = c.reader;
+  out.taskB = c.op;
+  out.what = "shrink ghost write of '" + m.label(c.op) + "' by its " +
+             c.side + " layer (starves '" + m.label(c.reader) + "')";
+  return out;
 }
 
 } // namespace fluxdiv::analysis::mutate

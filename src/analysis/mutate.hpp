@@ -4,9 +4,17 @@
 // tuning decision would, so the tests (tests/analysis) and the verify tool
 // can prove ScheduleVerifier rejects each class of illegality with the
 // right diagnostic — not merely accepts the legal ones.
+//
+// The GraphMutation half does the same for lowered *task graphs*
+// (analysis/graphcheck.hpp): seeded edge drops, edge reroutes, and
+// fringe-footprint shrinks, each predicting the two-task witness
+// checkTaskGraph must report.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
+#include "analysis/graphcheck.hpp"
 #include "analysis/model.hpp"
 
 namespace fluxdiv::analysis::mutate {
@@ -36,5 +44,39 @@ ScheduleModel overlappingTileWrites(ScheduleModel m);
 /// direction this races a slab's flux-difference read against its
 /// neighbor's face writes: rejected with ReadWriteRace.
 ScheduleModel droppedBarrier(ScheduleModel m, std::size_t phase);
+
+/// A seeded task-graph miscompilation plus the diagnostic it must provoke.
+/// `expect == Ok` means the graph offered no candidate for this mutation
+/// class (e.g. an edge-free box-parallel run() graph has nothing to drop);
+/// callers skip those. Otherwise checkTaskGraph(model) must report a
+/// diagnostic of kind `expect` whose witness pair is (taskA, taskB)
+/// (normalized taskA < taskB for the race kinds; reader/op for
+/// ReadUncovered).
+struct GraphMutation {
+  TaskGraphModel model;
+  std::string what; ///< human description of the injected bug
+  int taskA = -1;
+  int taskB = -1;
+  DiagnosticKind expect = DiagnosticKind::Ok;
+};
+
+/// Drop one dependency edge that directly orders a conflicting task pair
+/// (and is not shadowed by an alternate path) — the classic forgotten
+/// addDep. Seed selects among candidates. Expected: WriteOverlap or
+/// ReadWriteRace naming the pair.
+GraphMutation dropGraphEdge(const TaskGraphModel& m, std::uint64_t seed);
+
+/// Reroute such an edge to an unrelated task — the classic off-by-one in
+/// a dependency loop (edge count stays the same, ordering is still lost).
+/// Expected: same diagnostic as dropGraphEdge.
+GraphMutation rerouteGraphEdge(const TaskGraphModel& m,
+                               std::uint64_t seed);
+
+/// Shrink one exchange-op task's ghost write by its outermost layer (a
+/// halo fill that under-copies). Requires a runStep()-style graph
+/// (ghostsPreExchanged == false). Expected: ReadUncovered naming the
+/// first starved reader and the op.
+GraphMutation shrinkGhostWrite(const TaskGraphModel& m,
+                               std::uint64_t seed);
 
 } // namespace fluxdiv::analysis::mutate

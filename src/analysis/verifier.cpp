@@ -45,6 +45,8 @@ const char* diagnosticKindName(DiagnosticKind k) {
     return "read-write-race";
   case DiagnosticKind::SkewTooSmall:
     return "skew-too-small";
+  case DiagnosticKind::DependencyCycle:
+    return "dependency-cycle";
   }
   return "?";
 }

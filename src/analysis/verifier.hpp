@@ -31,6 +31,7 @@ enum class DiagnosticKind {
   WriteOverlap,       ///< concurrent items write intersecting regions
   ReadWriteRace,      ///< item reads what a concurrent item writes
   SkewTooSmall,       ///< wavefront skew does not dominate a dependence
+  DependencyCycle,    ///< task-graph edges admit no topological order
 };
 
 const char* diagnosticKindName(DiagnosticKind k);

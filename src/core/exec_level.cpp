@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "analysis/graphcheck.hpp"
 #include "core/exec_common.hpp"
+#include "kernels/footprint.hpp"
 #include "sched/tiles.hpp"
 
 namespace fluxdiv::core {
@@ -15,6 +18,161 @@ using detail::kNumComp;
 using detail::kNumGhost;
 using grid::LevelData;
 using grid::Real;
+
+namespace {
+
+using analysis::FieldId;
+using analysis::GraphTask;
+using analysis::TaskAccess;
+using kernels::readRegion;
+using kernels::Stage;
+using kernels::velocityComp;
+
+std::string coordTag(const grid::IntVect& p) {
+  std::string s("(");
+  s += std::to_string(p[0]);
+  s += ',';
+  s += std::to_string(p[1]);
+  s += ',';
+  s += std::to_string(p[2]);
+  s += ')';
+  return s;
+}
+
+TaskAccess acc(FieldId f, std::size_t box, int c0, int nc, const Box& r) {
+  return TaskAccess{f, box, c0, nc, r};
+}
+
+// ---------------------------------------------------------------------------
+// Footprint annotations for the mirrored TaskGraphModel. Each helper takes
+// the model-side task (null when no model is attached) and records the
+// exact cell regions the task body touches, mirroring the per-stage
+// regions lower.cpp declares from kernels/footprint.hpp.
+// ---------------------------------------------------------------------------
+
+/// Footprints of a whole-region serial evaluation (runBoxSerialDispatch):
+/// phi1 += div(F(phi0)) over `region`. The per-direction phi0 read is
+/// identical for every family — readRegion(EvalFlux1, d, region.faceBox(d))
+/// equals readRegion(FusedCell, d, region), the region extended +/-2 along
+/// d only — so the model is exact, not a conservative hull: the plus-shaped
+/// union never includes corner ghost cells, which is what lets the
+/// over-sync pass prove corner-op edges removable.
+void noteSerialRegion(GraphTask* t, std::size_t b, const Box& region) {
+  if (t == nullptr) {
+    return;
+  }
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    t->reads.push_back(acc(FieldId::Phi0, b, 0, kNumComp,
+                           readRegion(Stage::FusedCell, d, region)));
+  }
+  t->writes.push_back(acc(FieldId::Phi1, b, 0, kNumComp, region));
+}
+
+/// Footprints of one blocked-wavefront tile sweep (blockedWFRunTile),
+/// mirroring lower.cpp's blockedTileStage: fused over the tile, low-face
+/// fluxes drawn from (and high-face fluxes deposited into) the box-global
+/// co-dimension caches. `comp` is -1 for the CLI all-component sweep, else
+/// the CLO pass component.
+void noteBlockedTile(GraphTask* t, std::size_t b, int comp, const Box& tb,
+                     const grid::IntVect& coords) {
+  if (t == nullptr) {
+    return;
+  }
+  const bool cli = comp < 0;
+  const int c0 = cli ? 0 : comp;
+  const int nc = cli ? kNumComp : 1;
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    t->reads.push_back(acc(FieldId::Phi0, b, c0, nc,
+                           readRegion(Stage::FusedCell, d, tb)));
+    if (!cli) {
+      t->reads.push_back(
+          acc(FieldId::Velocity, b, d, 1, tb.faceBox(d)));
+    }
+    if (coords[d] > 0) {
+      // Entry cells consume the -d neighbor's deposited boundary fluxes.
+      t->reads.push_back(acc(analysis::taskCacheField(d), b, 0, nc,
+                             analysis::taskSlotBox(d, tb)));
+    }
+    t->writes.push_back(acc(analysis::taskCacheField(d), b, 0, nc,
+                            analysis::taskSlotBox(d, tb)));
+  }
+  t->writes.push_back(acc(FieldId::Phi1, b, c0, nc, tb));
+}
+
+/// Footprints of the CLO whole-box face-velocity precompute.
+void noteVelocity(GraphTask* t, std::size_t b, const Box& valid) {
+  if (t == nullptr) {
+    return;
+  }
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    const Box fb = valid.faceBox(d);
+    t->reads.push_back(acc(FieldId::Phi0, b, velocityComp(d), 1,
+                           readRegion(Stage::EvalFlux1, d, fb)));
+    t->writes.push_back(acc(FieldId::Velocity, b, d, 1, fb));
+  }
+}
+
+/// Footprints of one ghost-exchange copy op: writes the destination box's
+/// ghost region, reads the (shifted) source region of the neighbor.
+void noteExchangeOp(GraphTask* t, const grid::CopyOp& op) {
+  if (t == nullptr) {
+    return;
+  }
+  t->exchangeOp = true;
+  t->writes.push_back(
+      acc(FieldId::Phi0, op.destBox, 0, kNumComp, op.destRegion));
+  t->reads.push_back(acc(FieldId::Phi0, op.srcBox, 0, kNumComp,
+                         op.destRegion.shift(op.srcShift)));
+}
+
+#ifdef FLUXDIV_GRAPH_VERIFY
+/// Gate failure: a freshly-built graph has unordered conflicting tasks (or
+/// a cycle). Nothing has executed; fail with the first few witnesses.
+void throwOnGraphDiagnostics(const analysis::TaskGraphModel& model) {
+  const analysis::GraphCheckReport report =
+      analysis::checkTaskGraph(model, /*findRemovable=*/false);
+  if (report.ok()) {
+    return;
+  }
+  std::string msg = "LevelExecutor: task-graph verification failed for '" +
+                    model.name + "' (" +
+                    std::to_string(report.diagnostics.size()) +
+                    " diagnostic(s)):";
+  const std::size_t shown =
+      std::min<std::size_t>(report.diagnostics.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    msg += "\n  " + report.diagnostics[i].message();
+  }
+  if (report.diagnostics.size() > shown) {
+    msg += "\n  (+" +
+           std::to_string(report.diagnostics.size() - shown) + " more)";
+  }
+  throw std::logic_error(msg);
+}
+#endif
+
+} // namespace
+
+int LevelExecutor::GraphBuild::addTask(TaskGraph::Fn fn, int owner,
+                                       std::string label) {
+  if (model != nullptr) {
+    model->addTask(label);
+  }
+  return graph.addTask(std::move(fn), owner, std::move(label));
+}
+
+void LevelExecutor::GraphBuild::addDep(int before, int after) {
+  graph.addDep(before, after);
+  if (model != nullptr) {
+    model->addEdge(before, after);
+  }
+}
+
+analysis::GraphTask* LevelExecutor::GraphBuild::note(int task) const {
+  return model != nullptr
+             ? &model->tasks[static_cast<std::size_t>(task)]
+             : nullptr;
+}
 
 LevelExecutor::LevelExecutor(VariantConfig cfg, int nThreads,
                              LevelExecOptions opts)
@@ -45,20 +203,20 @@ void LevelExecutor::validate(const LevelData& phi0,
   }
 }
 
-void LevelExecutor::buildComputeTasks(TaskGraph& graph,
+void LevelExecutor::buildComputeTasks(GraphBuild& build,
                                       const LevelData& phi0,
                                       LevelData& phi1, Real scale,
                                       const OpTasks* ops) {
   switch (cfg_.family) {
   case ScheduleFamily::OverlappedTiles:
     if (opts_.policy == LevelPolicy::Hybrid) {
-      buildOverlappedTileTasks(graph, phi0, phi1, scale, ops);
+      buildOverlappedTileTasks(build, phi0, phi1, scale, ops);
       return;
     }
     break;
   case ScheduleFamily::BlockedWavefront:
     if (opts_.policy == LevelPolicy::Hybrid) {
-      buildBlockedWFTasks(graph, phi0, phi1, scale, ops);
+      buildBlockedWFTasks(build, phi0, phi1, scale, ops);
       return;
     }
     break;
@@ -69,10 +227,10 @@ void LevelExecutor::buildComputeTasks(TaskGraph& graph,
     // exec_level.hpp.
     break;
   }
-  buildBoxTasks(graph, phi0, phi1, scale, ops);
+  buildBoxTasks(build, phi0, phi1, scale, ops);
 }
 
-void LevelExecutor::buildBoxTasks(TaskGraph& graph, const LevelData& phi0,
+void LevelExecutor::buildBoxTasks(GraphBuild& build, const LevelData& phi0,
                                   LevelData& phi1, Real scale,
                                   const OpTasks* ops) {
   constexpr int g = kNumGhost;
@@ -81,27 +239,30 @@ void LevelExecutor::buildBoxTasks(TaskGraph& graph, const LevelData& phi0,
     const FArrayBox* src = &phi0[b];
     FArrayBox* dst = &phi1[b];
     const int owner = ownerOf(b);
+    const std::string boxTag = "box " + std::to_string(b);
 
-    auto addRegionTask = [&](const Box& region) {
-      return graph.addTask(
+    auto addRegionTask = [&](const Box& region, std::string label) {
+      const int task = build.addTask(
           [this, src, dst, region, scale](int worker) {
             detail::runBoxSerialDispatch(cfg_, *src, *dst, region,
                                          pool_[worker], scale);
           },
-          owner);
+          owner, std::move(label));
+      noteSerialRegion(build.note(task), b, region);
+      return task;
     };
     // Edges from the exchange ops whose ghost fill intersects the task's
     // phi0 read footprint (region grown by the stencil radius).
     auto addGhostDeps = [&](int task, const Box& readFootprint) {
       for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
         if (!(ghostRegion & readFootprint).empty()) {
-          graph.addDep(opTask, task);
+          build.addDep(opTask, task);
         }
       }
     };
 
     if (ops == nullptr) {
-      addRegionTask(valid);
+      addRegionTask(valid, boxTag);
       continue;
     }
     // Exchange/compute overlap: the interior (valid shrunk by the stencil
@@ -111,25 +272,35 @@ void LevelExecutor::buildBoxTasks(TaskGraph& graph, const LevelData& phi0,
     const Box interior = valid.grow(-g);
     if (interior.empty()) {
       // Box too small to peel: one whole-box task behind all its ops.
-      addGhostDeps(addRegionTask(valid), valid.grow(g));
+      addGhostDeps(addRegionTask(valid, boxTag), valid.grow(g));
       continue;
     }
-    addRegionTask(interior);
+    addRegionTask(interior, boxTag + " interior");
     const Box zmid = valid.grow(2, -g);
     const Box zymid = zmid.grow(1, -g);
-    const Box fringe[6] = {valid.lowSlab(2, g),  valid.highSlab(2, g),
-                           zmid.lowSlab(1, g),   zmid.highSlab(1, g),
-                           zymid.lowSlab(0, g),  zymid.highSlab(0, g)};
-    for (const Box& slab : fringe) {
-      if (slab.empty()) {
+    struct Slab {
+      Box box;
+      const char* side;
+    };
+    const Slab fringe[6] = {{valid.lowSlab(2, g), "z-lo"},
+                            {valid.highSlab(2, g), "z-hi"},
+                            {zmid.lowSlab(1, g), "y-lo"},
+                            {zmid.highSlab(1, g), "y-hi"},
+                            {zymid.lowSlab(0, g), "x-lo"},
+                            {zymid.highSlab(0, g), "x-hi"}};
+    for (const Slab& slab : fringe) {
+      if (slab.box.empty()) {
         continue;
       }
-      addGhostDeps(addRegionTask(slab), slab.grow(g));
+      addGhostDeps(
+          addRegionTask(slab.box,
+                        boxTag + " fringe " + std::string(slab.side)),
+          slab.box.grow(g));
     }
   }
 }
 
-void LevelExecutor::buildOverlappedTileTasks(TaskGraph& graph,
+void LevelExecutor::buildOverlappedTileTasks(GraphBuild& build,
                                              const LevelData& phi0,
                                              LevelData& phi1, Real scale,
                                              const OpTasks* ops) {
@@ -139,21 +310,23 @@ void LevelExecutor::buildOverlappedTileTasks(TaskGraph& graph,
     const FArrayBox* src = &phi0[b];
     FArrayBox* dst = &phi1[b];
     const int owner = ownerOf(b);
+    const std::string boxTag = "box " + std::to_string(b);
     const sched::TileSet tiles = detail::makeTileSet(cfg_, valid);
     for (std::size_t t = 0; t < tiles.size(); ++t) {
       const Box tileBox = tiles.tileBox(t);
-      const int task = graph.addTask(
+      const int task = build.addTask(
           [this, src, dst, tileBox, scale](int worker) {
             detail::overlappedRunTile(cfg_, *src, *dst, tileBox,
                                       pool_[worker], scale);
           },
-          owner);
+          owner, boxTag + " tile " + coordTag(tiles.tileCoords(t)));
+      noteSerialRegion(build.note(task), b, tileBox);
       // Tiles whose read footprint stays inside the valid region never
       // touch ghosts: they run concurrently with the exchange ops.
       if (ops != nullptr && !valid.contains(tileBox.grow(g))) {
         for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
           if (!(ghostRegion & tileBox.grow(g)).empty()) {
-            graph.addDep(opTask, task);
+            build.addDep(opTask, task);
           }
         }
       }
@@ -161,7 +334,7 @@ void LevelExecutor::buildOverlappedTileTasks(TaskGraph& graph,
   }
 }
 
-void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
+void LevelExecutor::buildBlockedWFTasks(GraphBuild& build,
                                         const LevelData& phi0,
                                         LevelData& phi1, Real scale,
                                         const OpTasks* ops) {
@@ -170,6 +343,7 @@ void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
     const FArrayBox* src = &phi0[b];
     FArrayBox* dst = &phi1[b];
     const int owner = ownerOf(b);
+    const std::string boxTag = "box " + std::to_string(b);
     // Size the box-shared carry caches here, single-threaded (Workspace
     // bookkeeping is not thread-safe); the tile tasks get stable pointers.
     const detail::BlockedWFCaches caches =
@@ -181,18 +355,28 @@ void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
       if (ops != nullptr) {
         for (const auto& [opTask, ghostRegion] : ops->byBox[b]) {
           (void)ghostRegion; // stage 0 conservatively waits for all halos
-          graph.addDep(opTask, task);
+          build.addDep(opTask, task);
         }
       }
     };
-    auto addTileTask = [&](int comp, const Box& tileBox) {
-      return graph.addTask(
+    auto addTileTask = [&](int comp, std::size_t tile, std::size_t w) {
+      const Box tileBox = tiles.tileBox(tile);
+      std::string label = boxTag + " tile " +
+                          coordTag(tiles.tileCoords(tile)) + " front " +
+                          std::to_string(w);
+      if (comp >= 0) {
+        label += " c=" + std::to_string(comp);
+      }
+      const int task = build.addTask(
           [this, src, dst, comp, caches, tileBox, valid,
            scale](int worker) {
             detail::blockedWFRunTile(cfg_, *src, *dst, comp, caches,
                                      tileBox, valid, pool_[worker], scale);
           },
-          owner);
+          owner, std::move(label));
+      noteBlockedTile(build.note(task), b, comp, tileBox,
+                      tiles.tileCoords(tile));
+      return task;
     };
     // The wavefront pipeline: every tile of front w waits for all tiles of
     // front w-1 of the same box (the carry caches flow along +x, +y, +z, so
@@ -204,9 +388,9 @@ void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
         std::vector<int> cur;
         cur.reserve(fronts.front(w).size());
         for (const std::size_t t : fronts.front(w)) {
-          const int task = addTileTask(comp, tiles.tileBox(t));
+          const int task = addTileTask(comp, t, w);
           for (const int p : prev) {
-            graph.addDep(p, task);
+            build.addDep(p, task);
           }
           if (w == 0 && depsOnOps) {
             addOpDeps(task);
@@ -226,11 +410,12 @@ void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
       // per component. Component c reuses the caches of c-1, so its first
       // front waits for c-1's last front (transitively, for all of c-1).
       grid::FArrayBox* vel = caches.vel;
-      const int velTask = graph.addTask(
+      const int velTask = build.addTask(
           [src, vel, valid](int) {
             detail::blockedWFPrecomputeVelocity(*src, *vel, valid);
           },
-          owner);
+          owner, boxTag + " velocity");
+      noteVelocity(build.note(velTask), b, valid);
       addOpDeps(velTask);
       std::vector<int> prev{velTask};
       for (int c = 0; c < kNumComp; ++c) {
@@ -238,6 +423,62 @@ void LevelExecutor::buildBlockedWFTasks(TaskGraph& graph,
       }
     }
   }
+}
+
+void LevelExecutor::initGraphModel(analysis::TaskGraphModel& model,
+                                   const LevelData& phi0,
+                                   bool withExchange) const {
+  model.name = cfg_.name() + " [" +
+               std::string(levelPolicyName(opts_.policy)) +
+               (withExchange ? " runStep]" : " run]");
+  model.ghostsPreExchanged = !withExchange;
+  model.validBoxes.clear();
+  model.validBoxes.reserve(phi0.size());
+  for (std::size_t b = 0; b < phi0.size(); ++b) {
+    model.validBoxes.push_back(phi0.validBox(b));
+  }
+}
+
+bool LevelExecutor::recordGraphShape(const LevelData& phi0,
+                                     bool withExchange) {
+  GraphShape shape;
+  shape.nBoxes = phi0.size();
+  shape.firstValid = phi0.validBox(0);
+  shape.withExchange = withExchange;
+  grid::IntVect lo = shape.firstValid.lo();
+  grid::IntVect hi = shape.firstValid.hi();
+  for (std::size_t b = 1; b < phi0.size(); ++b) {
+    lo = grid::IntVect::min(lo, phi0.validBox(b).lo());
+    hi = grid::IntVect::max(hi, phi0.validBox(b).hi());
+  }
+  shape.hull = Box(lo, hi);
+  for (const GraphShape& seen : verifiedGraphs_) {
+    if (seen.nBoxes == shape.nBoxes &&
+        seen.firstValid == shape.firstValid && seen.hull == shape.hull &&
+        seen.withExchange == shape.withExchange) {
+      return false;
+    }
+  }
+  verifiedGraphs_.push_back(shape);
+  return true;
+}
+
+void LevelExecutor::dispatch(TaskGraph& graph) {
+  if (opts_.replay.order == ReplayOrder::None) {
+    taskPool_.run(graph);
+  } else {
+    taskPool_.runReplay(graph, opts_.replay);
+  }
+}
+
+std::string LevelExecutor::whereTag(const char* entry) const {
+  std::string where(entry);
+  if (opts_.replay.order != ReplayOrder::None) {
+    where += std::string(" [replay ") +
+             replayOrderName(opts_.replay.order) + " seed " +
+             std::to_string(opts_.replay.seed) + "]";
+  }
+  return where;
 }
 
 void LevelExecutor::run(const LevelData& phi0, LevelData& phi1,
@@ -259,11 +500,25 @@ void LevelExecutor::run(const LevelData& phi0, LevelData& phi1,
   }
 #endif
   TaskGraph graph;
-  buildComputeTasks(graph, phi0, phi1, scale, nullptr);
-  taskPool_.run(graph);
+  GraphBuild build{graph};
+#ifdef FLUXDIV_GRAPH_VERIFY
+  analysis::TaskGraphModel model;
+  if (recordGraphShape(phi0, /*withExchange=*/false)) {
+    initGraphModel(model, phi0, /*withExchange=*/false);
+    build.model = &model;
+  }
+#endif
+  buildComputeTasks(build, phi0, phi1, scale, nullptr);
+#ifdef FLUXDIV_GRAPH_VERIFY
+  if (build.model != nullptr) {
+    throwOnGraphDiagnostics(model);
+  }
+#endif
+  dispatch(graph);
 #ifdef FLUXDIV_SHADOW_CHECK
   for (std::size_t b = 0; b < phi1.size(); ++b) {
-    detail::throwOnShadowViolations(phi1[b], "LevelExecutor::run");
+    detail::throwOnShadowViolations(
+        phi1[b], whereTag("LevelExecutor::run").c_str());
   }
 #endif
 }
@@ -289,31 +544,87 @@ void LevelExecutor::runStep(LevelData& phi0, LevelData& phi1, Real scale) {
 #endif
   grid::AsyncExchange ax = phi0.exchangeAsync();
   TaskGraph graph;
+  GraphBuild build{graph};
+#ifdef FLUXDIV_GRAPH_VERIFY
+  analysis::TaskGraphModel model;
+  if (recordGraphShape(phi0, /*withExchange=*/true)) {
+    initGraphModel(model, phi0, /*withExchange=*/true);
+    build.model = &model;
+  }
+#endif
   OpTasks ops;
   ops.byBox.resize(phi0.size());
   for (std::size_t i = 0; i < ax.opCount(); ++i) {
     const grid::CopyOp& op = ax.op(i);
-    const int task = graph.addTask([&ax, i](int) { ax.runOp(i); },
-                                   ownerOf(op.destBox));
+    const int task = build.addTask(
+        [&ax, i](int) { ax.runOp(i); }, ownerOf(op.destBox),
+        "exchange op " + std::to_string(i) + " -> box " +
+            std::to_string(op.destBox));
+    noteExchangeOp(build.note(task), op);
     ops.byBox[op.destBox].emplace_back(task, op.destRegion);
   }
-  buildComputeTasks(graph, phi0, phi1, scale, &ops);
-  taskPool_.run(graph);
+  buildComputeTasks(build, phi0, phi1, scale, &ops);
+#ifdef FLUXDIV_GRAPH_VERIFY
+  if (build.model != nullptr) {
+    throwOnGraphDiagnostics(model);
+  }
+#endif
+  dispatch(graph);
   // Every op ran as a task, so this is a no-op; it documents (and would
   // repair) the invariant that the exchange is complete on return.
   ax.finish();
 #ifdef FLUXDIV_SHADOW_CHECK
   for (std::size_t b = 0; b < phi1.size(); ++b) {
-    detail::throwOnShadowViolations(phi1[b], "LevelExecutor::runStep");
+    detail::throwOnShadowViolations(
+        phi1[b], whereTag("LevelExecutor::runStep").c_str());
   }
 #endif
+}
+
+analysis::TaskGraphModel LevelExecutor::lowerGraph(LevelData& phi0,
+                                                   LevelData& phi1,
+                                                   bool withExchange) {
+  if (opts_.policy == LevelPolicy::BoxSequential) {
+    throw std::invalid_argument(
+        "LevelExecutor::lowerGraph: the sequential policy has no task "
+        "graph");
+  }
+  validate(phi0, phi1);
+  if (boxShared_.size() < phi0.size()) {
+    boxShared_.resize(phi0.size()); // blockedWFPrepareBox runs at build
+  }
+  analysis::TaskGraphModel model;
+  initGraphModel(model, phi0, withExchange);
+  TaskGraph graph; // built alongside the model, never executed
+  GraphBuild build{graph, &model};
+  if (!withExchange) {
+    buildComputeTasks(build, phi0, phi1, /*scale=*/1.0, nullptr);
+    return model;
+  }
+  grid::AsyncExchange ax = phi0.exchangeAsync();
+  OpTasks ops;
+  ops.byBox.resize(phi0.size());
+  for (std::size_t i = 0; i < ax.opCount(); ++i) {
+    const grid::CopyOp& op = ax.op(i);
+    const int task = build.addTask(
+        [&ax, i](int) { ax.runOp(i); }, ownerOf(op.destBox),
+        "exchange op " + std::to_string(i) + " -> box " +
+            std::to_string(op.destBox));
+    noteExchangeOp(build.note(task), op);
+    ops.byBox[op.destBox].emplace_back(task, op.destRegion);
+  }
+  buildComputeTasks(build, phi0, phi1, /*scale=*/1.0, &ops);
+  // The op tasks never execute as tasks here; complete the exchange for
+  // real so phi0 is not left with stale ghosts.
+  ax.finish();
+  return model;
 }
 
 void LevelExecutor::firstTouch(LevelData& level) {
   TaskGraph graph;
   for (std::size_t b = 0; b < level.size(); ++b) {
     graph.addTask([fab = &level[b]](int) { fab->setVal(0.0); },
-                  ownerOf(b));
+                  ownerOf(b), "first-touch box " + std::to_string(b));
   }
   taskPool_.run(graph);
 }

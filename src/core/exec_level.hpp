@@ -29,6 +29,7 @@
 // region/tile decomposition reassociates nothing.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/runner.hpp"
@@ -36,6 +37,11 @@
 #include "core/variant.hpp"
 #include "core/workspace.hpp"
 #include "grid/leveldata.hpp"
+
+namespace fluxdiv::analysis {
+struct TaskGraphModel;
+struct GraphTask;
+} // namespace fluxdiv::analysis
 
 namespace fluxdiv::core {
 
@@ -47,6 +53,11 @@ struct LevelExecOptions {
   bool overlapExchange = true;
   /// Pin pool workers to hardware threads (best effort; Linux only).
   bool pin = false;
+  /// Adversarial-replay execution (ReplayOrder::None = normal
+  /// work-stealing): the graph runs serially in a hostile deterministic
+  /// order, for shadow-checked determinism suites. The order and seed are
+  /// appended to any shadow-violation message so failures replay exactly.
+  ReplayMode replay{};
 };
 
 class LevelExecutor {
@@ -73,6 +84,17 @@ public:
   void runStep(grid::LevelData& phi0, grid::LevelData& phi1,
                grid::Real scale = 1.0);
 
+  /// Lower the task graph this executor would run (run() when
+  /// `withExchange` is false, runStep() when true) to its analysis-layer
+  /// model — per-task labels, exact read/write footprints, dependency
+  /// edges — without executing anything. Feed the result to
+  /// analysis::checkTaskGraph (the same model the FLUXDIV_GRAPH_VERIFY
+  /// gate checks before first execution). Throws std::invalid_argument
+  /// for the sequential policy, which has no task graph.
+  [[nodiscard]] analysis::TaskGraphModel
+  lowerGraph(grid::LevelData& phi0, grid::LevelData& phi1,
+             bool withExchange);
+
   /// Zero-fill every box of `level` under the worker that owns its tasks
   /// (sticky box -> thread affinity), so first-touch places each box's
   /// pages on the owner's NUMA node. Pair with grid::Init::Deferred
@@ -93,6 +115,30 @@ private:
     std::vector<std::vector<std::pair<int, grid::Box>>> byBox;
   };
 
+  /// Builds the executable TaskGraph and (optionally) its analysis-layer
+  /// mirror from the same call sites, so the verified model cannot drift
+  /// from the graph that actually runs. `note(task)` hands back the
+  /// model-side task for footprint annotation (null when not mirroring).
+  struct GraphBuild {
+    TaskGraph& graph;
+    analysis::TaskGraphModel* model = nullptr;
+
+    int addTask(TaskGraph::Fn fn, int owner, std::string label);
+    void addDep(int before, int after);
+    [[nodiscard]] analysis::GraphTask* note(int task) const;
+  };
+
+  /// Shape key of an already-verified task graph (FLUXDIV_GRAPH_VERIFY):
+  /// graphs are a pure function of the layout's box shapes and the
+  /// exchange plan, so one verification covers every later step with the
+  /// same level shape.
+  struct GraphShape {
+    std::size_t nBoxes = 0;
+    grid::Box firstValid;
+    grid::Box hull;
+    bool withExchange = false;
+  };
+
   [[nodiscard]] int ownerOf(std::size_t box) const {
     return static_cast<int>(box % static_cast<std::size_t>(nThreads_));
   }
@@ -100,24 +146,41 @@ private:
   void validate(const grid::LevelData& phi0,
                 const grid::LevelData& phi1) const;
 
-  /// Append this level's compute tasks to `graph` under the configured
+  /// Append this level's compute tasks to `build` under the configured
   /// policy. `ops` is null when ghosts are already current (run()); when
   /// non-null (runStep()), ghost-reading tasks get edges from the ops
   /// intersecting their read footprint.
-  void buildComputeTasks(TaskGraph& graph, const grid::LevelData& phi0,
+  void buildComputeTasks(GraphBuild& build, const grid::LevelData& phi0,
                          grid::LevelData& phi1, grid::Real scale,
                          const OpTasks* ops);
 
-  void buildBoxTasks(TaskGraph& graph, const grid::LevelData& phi0,
+  void buildBoxTasks(GraphBuild& build, const grid::LevelData& phi0,
                      grid::LevelData& phi1, grid::Real scale,
                      const OpTasks* ops);
-  void buildOverlappedTileTasks(TaskGraph& graph,
+  void buildOverlappedTileTasks(GraphBuild& build,
                                 const grid::LevelData& phi0,
                                 grid::LevelData& phi1, grid::Real scale,
                                 const OpTasks* ops);
-  void buildBlockedWFTasks(TaskGraph& graph, const grid::LevelData& phi0,
+  void buildBlockedWFTasks(GraphBuild& build, const grid::LevelData& phi0,
                            grid::LevelData& phi1, grid::Real scale,
                            const OpTasks* ops);
+
+  /// Fill the model header (name, validBoxes, ghost contract) for this
+  /// executor's graph over `phi0`'s layout.
+  void initGraphModel(analysis::TaskGraphModel& model,
+                      const grid::LevelData& phi0,
+                      bool withExchange) const;
+
+  /// FLUXDIV_GRAPH_VERIFY support: true (and records the shape) when this
+  /// level shape has not been verified yet.
+  bool recordGraphShape(const grid::LevelData& phi0, bool withExchange);
+
+  /// Run `graph` honoring opts_.replay.
+  void dispatch(TaskGraph& graph);
+
+  /// "LevelExecutor::run" / "...::runStep", plus the replay order and
+  /// seed when replaying, so shadow failures are reproducible.
+  [[nodiscard]] std::string whereTag(const char* entry) const;
 
   VariantConfig cfg_;
   int nThreads_;
@@ -126,6 +189,7 @@ private:
   WorkspacePool pool_;    ///< per-worker scratch for task bodies
   std::vector<Workspace> boxShared_; ///< per-box blocked-WF cache storage
   TaskPool taskPool_;
+  std::vector<GraphShape> verifiedGraphs_; ///< FLUXDIV_GRAPH_VERIFY cache
 };
 
 } // namespace fluxdiv::core

@@ -1,10 +1,11 @@
 #include "core/taskpool.hpp"
 
 #include <atomic>
-#include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -139,23 +140,125 @@ private:
 
 } // namespace
 
-int TaskGraph::addTask(Fn fn, int owner) {
+int TaskGraph::addTask(Fn fn, int owner, std::string label) {
   Node node;
   node.fn = std::move(fn);
   node.owner = owner;
+  node.label = std::move(label);
   nodes_.push_back(std::move(node));
   return static_cast<int>(nodes_.size()) - 1;
 }
 
+std::string TaskGraph::label(int task) const {
+  if (task < 0 || task >= static_cast<int>(nodes_.size())) {
+    return "task#" + std::to_string(task) + " (out of range)";
+  }
+  const std::string& l = nodes_[static_cast<std::size_t>(task)].label;
+  return l.empty() ? "task#" + std::to_string(task) : l;
+}
+
 void TaskGraph::addDep(int before, int after) {
-  assert(before >= 0 && before < static_cast<int>(nodes_.size()));
-  assert(after >= 0 && after < static_cast<int>(nodes_.size()));
-  assert(before != after);
+  const auto n = static_cast<int>(nodes_.size());
+  if (before < 0 || before >= n || after < 0 || after >= n) {
+    throw std::invalid_argument(
+        "TaskGraph::addDep: task id out of range: '" + label(before) +
+        "' -> '" + label(after) + "' (graph has " + std::to_string(n) +
+        " task(s))");
+  }
+  if (before == after) {
+    throw std::invalid_argument(
+        "TaskGraph::addDep: task cannot depend on itself: '" +
+        label(before) + "'");
+  }
   nodes_[static_cast<std::size_t>(before)].successors.push_back(after);
   ++nodes_[static_cast<std::size_t>(after)].initialDeps;
 }
 
+const char* replayOrderName(ReplayOrder order) {
+  switch (order) {
+  case ReplayOrder::None:
+    return "none";
+  case ReplayOrder::Fifo:
+    return "fifo";
+  case ReplayOrder::Lifo:
+    return "lifo";
+  case ReplayOrder::StealHeavy:
+    return "steal";
+  case ReplayOrder::Random:
+    return "random";
+  }
+  return "?";
+}
+
+ReplayOrder parseReplayOrder(const std::string& name) {
+  for (const ReplayOrder order : kReplayOrders) {
+    if (name == replayOrderName(order)) {
+      return order;
+    }
+  }
+  if (name == "none") {
+    return ReplayOrder::None;
+  }
+  throw std::invalid_argument(
+      "parseReplayOrder: unknown order '" + name +
+      "' (expected fifo, lifo, steal, random, or none)");
+}
+
+
 struct TaskPool::Impl {
+  /// Kahn's algorithm; throws std::logic_error naming the cyclic tasks if
+  /// the graph admits no topological order. Shared by run() and
+  /// runReplay() so both reject a cyclic graph before anything executes (a
+  /// cycle would otherwise hang every worker on an empty frontier).
+  static void throwOnCycle(const TaskGraph& graph) {
+    const std::size_t n = graph.nodes_.size();
+    std::vector<int> deps(n);
+    std::vector<int> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      deps[i] = graph.nodes_[i].initialDeps;
+      if (deps[i] == 0) {
+        ready.push_back(static_cast<int>(i));
+      }
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+      const int task = ready.back();
+      ready.pop_back();
+      ++processed;
+      for (const int succ :
+           graph.nodes_[static_cast<std::size_t>(task)].successors) {
+        if (--deps[static_cast<std::size_t>(succ)] == 0) {
+          ready.push_back(succ);
+        }
+      }
+    }
+    if (processed == n) {
+      return;
+    }
+    // Name the stuck tasks (label, not index) so the builder bug is
+    // findable: "box 3 fringe z-lo" beats "task 17".
+    std::string names;
+    int listed = 0;
+    std::size_t stuck = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (deps[i] <= 0) {
+        continue;
+      }
+      ++stuck;
+      if (listed < 4) {
+        names += listed == 0 ? "'" : ", '";
+        names += graph.label(static_cast<int>(i));
+        names += "'";
+        ++listed;
+      }
+    }
+    if (stuck > static_cast<std::size_t>(listed)) {
+      names += ", ...";
+    }
+    throw std::logic_error("TaskPool: dependency cycle among " +
+                           std::to_string(stuck) + " task(s): " + names);
+  }
+
   explicit Impl(int n) {
     deques.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -295,33 +398,7 @@ void TaskPool::run(TaskGraph& graph) {
   }
   Impl& impl = *impl_;
 
-  // Cycle check (Kahn's) before anything executes: a cyclic graph would
-  // otherwise hang every worker on an empty frontier.
-  {
-    std::vector<int> deps(n);
-    std::vector<int> ready;
-    for (std::size_t i = 0; i < n; ++i) {
-      deps[i] = graph.nodes_[i].initialDeps;
-      if (deps[i] == 0) {
-        ready.push_back(static_cast<int>(i));
-      }
-    }
-    std::size_t processed = 0;
-    while (!ready.empty()) {
-      const int task = ready.back();
-      ready.pop_back();
-      ++processed;
-      for (const int succ :
-           graph.nodes_[static_cast<std::size_t>(task)].successors) {
-        if (--deps[static_cast<std::size_t>(succ)] == 0) {
-          ready.push_back(succ);
-        }
-      }
-    }
-    if (processed != n) {
-      throw std::logic_error("TaskPool::run: dependency cycle in graph");
-    }
-  }
+  Impl::throwOnCycle(graph);
 
   impl.deps.reset(new std::atomic<int>[n]);
   for (std::size_t i = 0; i < n; ++i) {
@@ -354,6 +431,97 @@ void TaskPool::run(TaskGraph& graph) {
     std::this_thread::yield();
   }
   impl.graph = nullptr;
+}
+
+void TaskPool::runReplay(TaskGraph& graph, const ReplayMode& mode) {
+  if (mode.order == ReplayOrder::None) {
+    run(graph);
+    return;
+  }
+  const std::size_t n = graph.nodes_.size();
+  if (n == 0) {
+    return;
+  }
+  Impl::throwOnCycle(graph);
+
+  std::vector<int> deps(n);
+  std::vector<int> ready; // insertion-ordered frontier
+  for (std::size_t i = 0; i < n; ++i) {
+    deps[i] = graph.nodes_[i].initialDeps;
+    if (deps[i] == 0) {
+      ready.push_back(static_cast<int>(i));
+    }
+  }
+
+  const auto wrappedOwner = [&](int task) {
+    return ((graph.nodes_[static_cast<std::size_t>(task)].owner %
+             nThreads_) +
+            nThreads_) %
+           nThreads_;
+  };
+
+  std::mt19937_64 rng(mode.seed);
+  int lastOwner = 0;
+
+  // Tasks must still observe pool-worker attribution (the shadow detector
+  // folds all of a thread's writes together otherwise), so install a
+  // hostile worker id per task. Restore on every exit path: a task body
+  // may throw (e.g. shadow violation).
+  struct TlsGuard {
+    int saved = tlsWorker;
+    ~TlsGuard() { tlsWorker = saved; }
+  } guard;
+
+  while (!ready.empty()) {
+    std::size_t pick = 0;
+    switch (mode.order) {
+    case ReplayOrder::Fifo:
+      pick = 0;
+      break;
+    case ReplayOrder::Lifo:
+      pick = ready.size() - 1;
+      break;
+    case ReplayOrder::StealHeavy: {
+      // Choose the ready task whose owner is farthest (in worker-ring
+      // distance) from the last executed owner: every step looks like a
+      // cross-worker steal. Ties break to the oldest candidate, so the
+      // order is deterministic.
+      int bestDist = -1;
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        const int dist =
+            (wrappedOwner(ready[i]) - lastOwner + nThreads_) % nThreads_;
+        if (dist > bestDist) {
+          bestDist = dist;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case ReplayOrder::Random:
+      pick = static_cast<std::size_t>(rng() % ready.size());
+      break;
+    case ReplayOrder::None:
+      break;
+    }
+    const int task = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    // Hostile attribution: the serial replay pretends the task landed on
+    // worker task % nThreads, maximizing apparent cross-worker movement.
+    // Workspace use stays safe — execution is serial, so no two tasks
+    // ever occupy a per-worker scratch buffer at once.
+    const int worker = task % nThreads_;
+    tlsWorker = worker;
+    graph.nodes_[static_cast<std::size_t>(task)].fn(worker);
+    lastOwner = wrappedOwner(task);
+
+    for (const int succ :
+         graph.nodes_[static_cast<std::size_t>(task)].successors) {
+      if (--deps[static_cast<std::size_t>(succ)] == 0) {
+        ready.push_back(succ);
+      }
+    }
+  }
 }
 
 } // namespace fluxdiv::core

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace fluxdiv::core {
@@ -45,13 +46,19 @@ public:
   /// Add a task and return its id. `owner` is the worker whose deque
   /// initially holds the task when it has no dependencies (sticky
   /// box->thread affinity; work stealing may still move it). Owners out of
-  /// range are wrapped into [0, nThreads) at run time.
-  int addTask(Fn fn, int owner = 0);
+  /// range are wrapped into [0, nThreads) at run time. `label` names the
+  /// task (box/tile/phase) in graph-construction and cycle diagnostics.
+  int addTask(Fn fn, int owner = 0, std::string label = {});
 
   /// Declare that `after` must not start until `before` has finished.
+  /// Throws std::invalid_argument (naming the tasks' labels) on an
+  /// out-of-range id or a self-dependency.
   void addDep(int before, int after);
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// The task's label, or "task#N" when none was given.
+  [[nodiscard]] std::string label(int task) const;
 
 private:
   friend class TaskPool;
@@ -60,9 +67,40 @@ private:
     int owner = 0;
     int initialDeps = 0;
     std::vector<int> successors;
+    std::string label;
   };
   std::vector<Node> nodes_;
 };
+
+/// Deterministic adversarial orderings for TaskPool::runReplay(): the
+/// graph runs serially on the calling thread, but the *choice* among
+/// simultaneously-ready tasks is hostile, so dependence mistakes that the
+/// work-stealing scheduler happens to hide become reproducible. Seeded and
+/// printed on failure, so any run can be replayed exactly.
+enum class ReplayOrder {
+  None,       ///< not replaying: normal work-stealing execution
+  Fifo,       ///< oldest-ready-first (breadth-first across boxes)
+  Lifo,       ///< newest-ready-first (depth-first along one chain)
+  StealHeavy, ///< maximize owner changes between consecutive tasks
+  Random,     ///< seeded uniform choice among the ready set
+};
+
+/// Replay configuration; `seed` only affects ReplayOrder::Random.
+struct ReplayMode {
+  ReplayOrder order = ReplayOrder::None;
+  std::uint64_t seed = 0;
+};
+
+/// All four adversarial orderings, for sweep loops.
+inline constexpr ReplayOrder kReplayOrders[] = {
+    ReplayOrder::Fifo, ReplayOrder::Lifo, ReplayOrder::StealHeavy,
+    ReplayOrder::Random};
+
+const char* replayOrderName(ReplayOrder order);
+
+/// Parse "fifo" / "lifo" / "steal" / "random" / "none"; throws
+/// std::invalid_argument otherwise.
+ReplayOrder parseReplayOrder(const std::string& name);
 
 /// Persistent work-stealing pool of `nThreads` workers (the calling thread
 /// participates as worker 0; nThreads - 1 std::threads are spawned).
@@ -81,9 +119,17 @@ public:
   [[nodiscard]] int nThreads() const { return nThreads_; }
 
   /// Execute every task of `graph` and return when all have finished.
-  /// Throws std::logic_error on a dependency cycle (checked up front;
-  /// nothing runs in that case).
+  /// Throws std::logic_error on a dependency cycle (checked up front,
+  /// naming the cyclic tasks; nothing runs in that case).
   void run(TaskGraph& graph);
+
+  /// Execute `graph` serially on the calling thread in the deterministic
+  /// adversarial order `mode` (see ReplayOrder). Tasks still observe
+  /// hostile worker attribution — currentWorker() and the fn argument
+  /// report task % nThreads(), not the calling thread — so the shadow race
+  /// detector sees the same cross-worker placement a real steal-happy run
+  /// would produce. Same cycle check as run().
+  void runReplay(TaskGraph& graph, const ReplayMode& mode);
 
   /// Pool worker id of the calling thread while inside a task (or inside
   /// run() on the caller), -1 otherwise. Used by the shadow-memory race

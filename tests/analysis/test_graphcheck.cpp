@@ -1,0 +1,443 @@
+// Tests of the task-graph race verifier (analysis/graphcheck). Three
+// layers: hand-built miniature models exercise each diagnostic and
+// over-synchronization reason in isolation; the real level-executor
+// graphs (every policy family, both fab pitches, run() and runStep())
+// must verify clean; and the seeded graph miscompilations of
+// analysis/mutate must each be rejected with their predicted two-task
+// witness. The adversarial-replay suite closes the loop on the dynamic
+// side: every policy family stays bit-identical to the sequential
+// evaluation under all four hostile orderings (with shadow-memory
+// checking active when FLUXDIV_SHADOW_CHECK is compiled in).
+
+#include "analysis/graphcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/mutate.hpp"
+#include "analysis/verifier.hpp"
+#include "core/exec_level.hpp"
+#include "core/variant.hpp"
+#include "grid/box.hpp"
+#include "grid/leveldata.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+
+namespace fluxdiv::analysis {
+namespace {
+
+using core::LevelPolicy;
+using core::VariantConfig;
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::IntVect;
+using grid::LevelData;
+using grid::Pitch;
+using grid::ProblemDomain;
+
+// ---------------------------------------------------------------------------
+// Hand-built miniature models.
+// ---------------------------------------------------------------------------
+
+TaskAccess acc(FieldId field, std::size_t box, const Box& region,
+               int comp0 = 0, int nComp = 1) {
+  return {field, box, comp0, nComp, region};
+}
+
+/// True if some diagnostic of `kind` names the (labelA, labelB) pair in
+/// either order.
+bool reported(const GraphCheckReport& rep, DiagnosticKind kind,
+              const std::string& labelA, const std::string& labelB) {
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.kind != kind) {
+      continue;
+    }
+    if ((d.stageA == labelA && d.stageB == labelB) ||
+        (d.stageA == labelB && d.stageB == labelA)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(GraphCheck, EmptyAndSingleTaskModelsAreClean) {
+  TaskGraphModel m;
+  m.name = "empty";
+  EXPECT_TRUE(checkTaskGraph(m).ok());
+  const int t = m.addTask("lonely");
+  m.tasks[static_cast<std::size_t>(t)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  const GraphCheckReport rep = checkTaskGraph(m);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.taskCount, 1);
+  EXPECT_EQ(rep.criticalPath, 1);
+}
+
+TEST(GraphCheck, UnorderedOverlappingWritesAreReported) {
+  TaskGraphModel m;
+  m.name = "w/w";
+  const int a = m.addTask("tile A");
+  const int b = m.addTask("tile B");
+  m.tasks[static_cast<std::size_t>(a)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.tasks[static_cast<std::size_t>(b)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4, IntVect(3, 0, 0))));
+  const GraphCheckReport rep = checkTaskGraph(m);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_TRUE(reported(rep, DiagnosticKind::WriteOverlap, "tile A",
+                       "tile B"));
+}
+
+TEST(GraphCheck, DisjointComponentsAndBoxesDoNotConflict) {
+  TaskGraphModel m;
+  m.name = "disjoint";
+  const int a = m.addTask("box 0");
+  const int b = m.addTask("box 1");   // other fab: same region, no overlap
+  const int c = m.addTask("box 0 far"); // same fab, disjoint region
+  m.tasks[static_cast<std::size_t>(a)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.tasks[static_cast<std::size_t>(b)].writes.push_back(
+      acc(FieldId::Phi1, 1, Box::cube(4)));
+  m.tasks[static_cast<std::size_t>(c)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4, IntVect(8, 8, 8))));
+  EXPECT_TRUE(checkTaskGraph(m).ok());
+}
+
+TEST(GraphCheck, DisjointComponentRangesDoNotConflict) {
+  TaskGraphModel m;
+  m.name = "comps";
+  const int a = m.addTask("c0");
+  const int b = m.addTask("c1");
+  m.tasks[static_cast<std::size_t>(a)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4), 0, 1));
+  m.tasks[static_cast<std::size_t>(b)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4), 1, 2));
+  EXPECT_TRUE(checkTaskGraph(m).ok());
+}
+
+TEST(GraphCheck, UnorderedReadWriteIsReportedAndEdgeSilencesIt) {
+  for (const bool ordered : {false, true}) {
+    TaskGraphModel m;
+    m.name = ordered ? "r/w ordered" : "r/w race";
+    const int w = m.addTask("writer");
+    const int r = m.addTask("reader");
+    m.tasks[static_cast<std::size_t>(w)].writes.push_back(
+        acc(FieldId::Phi0, 0, Box::cube(4)));
+    m.tasks[static_cast<std::size_t>(r)].reads.push_back(
+        acc(FieldId::Phi0, 0, Box::cube(6)));
+    if (ordered) {
+      m.addEdge(w, r);
+    }
+    const GraphCheckReport rep = checkTaskGraph(m);
+    if (ordered) {
+      EXPECT_TRUE(rep.ok());
+    } else {
+      ASSERT_FALSE(rep.ok());
+      EXPECT_TRUE(reported(rep, DiagnosticKind::ReadWriteRace, "writer",
+                           "reader"));
+    }
+  }
+}
+
+TEST(GraphCheck, TransitiveOrderingCountsAsHappensBefore) {
+  TaskGraphModel m;
+  m.name = "transitive";
+  const int a = m.addTask("a");
+  const int mid = m.addTask("mid");
+  const int b = m.addTask("b");
+  m.tasks[static_cast<std::size_t>(a)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.tasks[static_cast<std::size_t>(b)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.addEdge(a, mid);
+  m.addEdge(mid, b);
+  EXPECT_TRUE(checkTaskGraph(m).ok());
+}
+
+TEST(GraphCheck, CycleIsReportedAsDiagnosticNotHang) {
+  TaskGraphModel m;
+  m.name = "cycle";
+  const int a = m.addTask("ouroboros head");
+  const int b = m.addTask("ouroboros tail");
+  m.addEdge(a, b);
+  m.addEdge(b, a);
+  const GraphCheckReport rep = checkTaskGraph(m);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.diagnostics[0].kind, DiagnosticKind::DependencyCycle);
+  EXPECT_TRUE(reported(rep, DiagnosticKind::DependencyCycle,
+                       "ouroboros head", "ouroboros tail"));
+}
+
+TEST(GraphCheck, GhostReadMustBeCoveredByPrecedingExchangeWrites) {
+  const Box valid = Box::cube(8);
+  const Box grown = valid.grow(1);
+  for (const bool shrunk : {false, true}) {
+    TaskGraphModel m;
+    m.name = shrunk ? "g3 shrunk" : "g3 covered";
+    m.ghostsPreExchanged = false;
+    m.validBoxes = {valid};
+    const int op = m.addTask("exchange op 0");
+    const int r = m.addTask("box 0");
+    m.tasks[static_cast<std::size_t>(op)].exchangeOp = true;
+    // One op filling the whole ghost ring (modeled as the grown box; the
+    // valid interior is its own, untouched, storage in this toy model);
+    // the shrunk variant under-fills the high-z layer.
+    const Box fill =
+        shrunk ? Box(grown.lo(), grown.hi() - IntVect::basis(2)) : grown;
+    m.tasks[static_cast<std::size_t>(op)].writes.push_back(
+        acc(FieldId::Phi0, 0, fill));
+    m.tasks[static_cast<std::size_t>(r)].reads.push_back(
+        acc(FieldId::Phi0, 0, grown));
+    m.tasks[static_cast<std::size_t>(r)].writes.push_back(
+        acc(FieldId::Phi1, 0, valid));
+    m.addEdge(op, r);
+    const GraphCheckReport rep = checkTaskGraph(m);
+    if (shrunk) {
+      ASSERT_FALSE(rep.ok());
+      EXPECT_TRUE(reported(rep, DiagnosticKind::ReadUncovered, "box 0",
+                           "exchange op 0"));
+    } else {
+      EXPECT_TRUE(rep.ok());
+    }
+  }
+}
+
+TEST(GraphCheck, OverSynchronizationReasonsAreClassified) {
+  TaskGraphModel m;
+  m.name = "oversync";
+  const int a = m.addTask("a");
+  const int mid = m.addTask("mid");
+  const int b = m.addTask("b");
+  m.tasks[static_cast<std::size_t>(a)].writes.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.tasks[static_cast<std::size_t>(b)].reads.push_back(
+      acc(FieldId::Phi1, 0, Box::cube(4)));
+  m.addEdge(a, b);
+  m.addEdge(a, b);   // duplicate of the conflict-carrying edge
+  m.addEdge(a, mid); // orders nothing: mid touches no memory
+  m.addEdge(mid, b);
+  const GraphCheckReport rep = checkTaskGraph(m, /*findRemovable=*/true);
+  EXPECT_TRUE(rep.ok());
+  bool sawDuplicate = false;
+  bool sawImplied = false;
+  bool sawNoConflict = false;
+  for (const RemovableEdge& e : rep.removable) {
+    if (e.reason.find("duplicate") != std::string::npos) {
+      sawDuplicate = true;
+    }
+    if (e.reason.find("transitively implied") != std::string::npos) {
+      sawImplied = true;
+    }
+    if (e.reason.find("no conflicting") != std::string::npos) {
+      sawNoConflict = true;
+    }
+  }
+  EXPECT_TRUE(sawDuplicate);
+  // a -> b is both duplicated and shadowed by a -> mid -> b; one instance
+  // reports as duplicate, the other as implied by the alternate path.
+  EXPECT_TRUE(sawImplied);
+  // a -> mid (and mid -> b) order no conflicting accesses themselves; with
+  // the direct a -> b edges present they are removable outright.
+  EXPECT_TRUE(sawNoConflict);
+}
+
+// ---------------------------------------------------------------------------
+// Real executor graphs.
+// ---------------------------------------------------------------------------
+
+/// The four schedule families at one representative configuration each
+/// (WithinBox granularity so hybrid builds real intra-box tile tasks).
+std::vector<VariantConfig> representativeFamilies() {
+  return {
+      core::makeBaseline(core::ParallelGranularity::WithinBox),
+      core::makeShiftFuse(core::ParallelGranularity::WithinBox),
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Outside),
+      core::makeBlockedWF(8, core::ParallelGranularity::WithinBox,
+                          core::ComponentLoop::Inside),
+      core::makeOverlapped(core::IntraTileSchedule::ShiftFuse, 8,
+                           core::ParallelGranularity::WithinBox),
+  };
+}
+
+/// 8-box level (2x2x2 boxes of side 16), ghosts exchanged.
+LevelData makeExchangedLevel(Pitch pitch) {
+  const ProblemDomain dom(Box::cube(32));
+  const DisjointBoxLayout dbl(dom, 16);
+  LevelData phi0(dbl, kernels::kNumComp, kernels::kNumGhost, pitch);
+  kernels::initializeExemplar(phi0);
+  return phi0;
+}
+
+TaskGraphModel lowerModel(const VariantConfig& cfg, LevelPolicy policy,
+                          Pitch pitch, bool withExchange) {
+  LevelData phi0 = makeExchangedLevel(pitch);
+  LevelData phi1(phi0.layout(), kernels::kNumComp, 0, pitch);
+  core::LevelExecOptions opts;
+  opts.policy = policy;
+  core::LevelExecutor exec(cfg, 3, opts);
+  return exec.lowerGraph(phi0, phi1, withExchange);
+}
+
+TEST(GraphCheck, AllPolicyFamiliesAndPitchesVerifyClean) {
+  for (const Pitch pitch : {Pitch::Padded, Pitch::Dense}) {
+    for (const VariantConfig& cfg : representativeFamilies()) {
+      for (const LevelPolicy policy :
+           {LevelPolicy::BoxParallel, LevelPolicy::Hybrid}) {
+        for (const bool withExchange : {false, true}) {
+          const TaskGraphModel m =
+              lowerModel(cfg, policy, pitch, withExchange);
+          const GraphCheckReport rep = checkTaskGraph(m);
+          EXPECT_TRUE(rep.ok()) << m.name << ": first diagnostic: "
+                                << (rep.diagnostics.empty()
+                                        ? std::string("-")
+                                        : rep.diagnostics[0].message());
+          EXPECT_GE(rep.taskCount, 8) << m.name;
+          if (withExchange) {
+            EXPECT_GT(rep.edgeCount, 0)
+                << m.name << ": runStep must order fringes after ops";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphCheck, SequentialPolicyHasNoGraphToLower) {
+  LevelData phi0 = makeExchangedLevel(Pitch::Padded);
+  LevelData phi1(phi0.layout(), kernels::kNumComp, 0);
+  core::LevelExecutor exec(representativeFamilies()[0], 2);
+  EXPECT_THROW(exec.lowerGraph(phi0, phi1, false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutations: the checker must reject each with its predicted
+// witness.
+// ---------------------------------------------------------------------------
+
+void expectMutationCaught(const TaskGraphModel& original,
+                          const mutate::GraphMutation& mut,
+                          std::uint64_t seed) {
+  if (mut.expect == DiagnosticKind::Ok) {
+    return; // this graph offers no candidate for the class
+  }
+  const GraphCheckReport rep = checkTaskGraph(mut.model);
+  ASSERT_FALSE(rep.ok())
+      << original.name << " seed " << seed << ": " << mut.what
+      << " was accepted";
+  EXPECT_TRUE(reported(rep, mut.expect, original.label(mut.taskA),
+                       original.label(mut.taskB)))
+      << original.name << " seed " << seed << ": " << mut.what
+      << "\n  expected " << diagnosticKindName(mut.expect) << " naming '"
+      << original.label(mut.taskA) << "' vs '"
+      << original.label(mut.taskB) << "', first diagnostic: "
+      << rep.diagnostics[0].message();
+}
+
+TEST(GraphCheckMutation, SeededMutationsProduceTheExpectedDiagnostic) {
+  // runStep graphs of a box-parallel family and a tiled hybrid family:
+  // both have conflict-carrying edges to drop/reroute and exchange-op
+  // writes to shrink.
+  const TaskGraphModel models[] = {
+      lowerModel(representativeFamilies()[1], LevelPolicy::BoxParallel,
+                 Pitch::Padded, /*withExchange=*/true),
+      lowerModel(representativeFamilies()[4], LevelPolicy::Hybrid,
+                 Pitch::Padded, /*withExchange=*/true),
+  };
+  for (const TaskGraphModel& m : models) {
+    int executed = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const mutate::GraphMutation muts[] = {
+          mutate::dropGraphEdge(m, seed),
+          mutate::rerouteGraphEdge(m, seed),
+          mutate::shrinkGhostWrite(m, seed),
+      };
+      for (const mutate::GraphMutation& mut : muts) {
+        expectMutationCaught(m, mut, seed);
+        executed += mut.expect != DiagnosticKind::Ok ? 1 : 0;
+      }
+    }
+    EXPECT_GE(executed, 5)
+        << m.name << ": a runStep graph must offer candidates for "
+        << "every mutation class";
+  }
+}
+
+TEST(GraphCheckMutation, MutationsAreDeterministicPerSeed) {
+  const TaskGraphModel m =
+      lowerModel(representativeFamilies()[0], LevelPolicy::BoxParallel,
+                 Pitch::Padded, /*withExchange=*/true);
+  const mutate::GraphMutation a = mutate::dropGraphEdge(m, 3);
+  const mutate::GraphMutation b = mutate::dropGraphEdge(m, 3);
+  EXPECT_EQ(a.what, b.what);
+  EXPECT_EQ(a.taskA, b.taskA);
+  EXPECT_EQ(a.taskB, b.taskB);
+  EXPECT_EQ(a.expect, b.expect);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial replay: hostile orderings stay bit-identical (and, when
+// FLUXDIV_SHADOW_CHECK is compiled in, shadow-race-free).
+// ---------------------------------------------------------------------------
+
+TEST(GraphCheckReplay, HostileOrderingsAreBitIdenticalToSequential) {
+  const LevelData phi0 = makeExchangedLevel(Pitch::Padded);
+  for (const VariantConfig& cfg : representativeFamilies()) {
+    LevelData expected(phi0.layout(), kernels::kNumComp, 0);
+    {
+      core::LevelExecOptions opts;
+      opts.policy = LevelPolicy::BoxSequential;
+      core::LevelExecutor exec(cfg, 3, opts);
+      exec.run(phi0, expected);
+    }
+    for (const LevelPolicy policy :
+         {LevelPolicy::BoxParallel, LevelPolicy::Hybrid}) {
+      for (const core::ReplayOrder order : core::kReplayOrders) {
+        core::LevelExecOptions opts;
+        opts.policy = policy;
+        opts.replay = {order, /*seed=*/42};
+        core::LevelExecutor exec(cfg, 3, opts);
+        LevelData actual(phi0.layout(), kernels::kNumComp, 0);
+        exec.run(phi0, actual);
+        EXPECT_EQ(LevelData::maxAbsDiffValid(expected, actual), 0.0)
+            << cfg.name() << " / " << core::levelPolicyName(policy)
+            << " / " << core::replayOrderName(order);
+      }
+    }
+  }
+}
+
+TEST(GraphCheckReplay, RunStepReplayExchangesAndMatches) {
+  const ProblemDomain dom(Box::cube(32));
+  const DisjointBoxLayout dbl(dom, 16);
+  const VariantConfig cfg = representativeFamilies()[1];
+  // Reference: barrier exchange + sequential evaluation.
+  LevelData ref0(dbl, kernels::kNumComp, kernels::kNumGhost);
+  kernels::initializeExemplar(ref0);
+  LevelData expected(dbl, kernels::kNumComp, 0);
+  {
+    core::LevelExecOptions opts;
+    opts.policy = LevelPolicy::BoxSequential;
+    core::LevelExecutor exec(cfg, 3, opts);
+    exec.run(ref0, expected);
+  }
+  for (const core::ReplayOrder order : core::kReplayOrders) {
+    LevelData phi0(dbl, kernels::kNumComp, kernels::kNumGhost);
+    kernels::initializeExemplar(phi0);
+    core::LevelExecOptions opts;
+    opts.policy = LevelPolicy::BoxParallel;
+    opts.replay = {order, /*seed=*/42};
+    core::LevelExecutor exec(cfg, 3, opts);
+    LevelData actual(dbl, kernels::kNumComp, 0);
+    exec.runStep(phi0, actual);
+    EXPECT_EQ(LevelData::maxAbsDiffValid(expected, actual), 0.0)
+        << core::replayOrderName(order);
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::analysis

@@ -1,13 +1,18 @@
 // White-box tests of the work-stealing task pool (core/taskpool): every
 // task runs exactly once, dependency edges order execution, cycles are
 // rejected before anything runs, and the pool is reusable across runs.
+// Also covers the labeled-diagnostics contract (graph-construction and
+// cycle errors name task labels, not indices) and the deterministic
+// adversarial-replay mode (core::ReplayMode).
 
 #include "core/taskpool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace fluxdiv::core {
@@ -178,6 +183,137 @@ TEST(TaskPool, ManyDependentsReleaseOnlyWhenAllPredecessorsDone) {
   }
   pool.run(graph);
   EXPECT_TRUE(sawAll);
+}
+
+/// Runs `fn`, expecting it to throw E; returns the exception message.
+template <typename E, typename Fn> std::string messageOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const E& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected exception was not thrown";
+  return {};
+}
+
+TEST(TaskPool, LabelsRoundTripAndDefaultToIndices) {
+  TaskGraph graph;
+  const int a = graph.addTask([](int) {}, 0, "box 3 interior");
+  const int b = graph.addTask([](int) {});
+  EXPECT_EQ(graph.label(a), "box 3 interior");
+  EXPECT_EQ(graph.label(b), "task#1");
+  EXPECT_NE(graph.label(99).find("out of range"), std::string::npos);
+}
+
+TEST(TaskPool, CycleErrorNamesTaskLabels) {
+  TaskPool pool(2);
+  TaskGraph graph;
+  const int a = graph.addTask([](int) {}, 0, "box 0 fringe z-lo");
+  const int b = graph.addTask([](int) {}, 0, "exchange op 7");
+  graph.addDep(a, b);
+  graph.addDep(b, a);
+  const std::string msg =
+      messageOf<std::logic_error>([&] { pool.run(graph); });
+  EXPECT_NE(msg.find("box 0 fringe z-lo"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("exchange op 7"), std::string::npos) << msg;
+}
+
+TEST(TaskPool, AddDepErrorsNameTaskLabels) {
+  TaskGraph graph;
+  const int a = graph.addTask([](int) {}, 0, "box 2 velocity");
+  const std::string self = messageOf<std::invalid_argument>(
+      [&] { graph.addDep(a, a); });
+  EXPECT_NE(self.find("box 2 velocity"), std::string::npos) << self;
+  const std::string range = messageOf<std::invalid_argument>(
+      [&] { graph.addDep(a, 41); });
+  EXPECT_NE(range.find("box 2 velocity"), std::string::npos) << range;
+  EXPECT_NE(range.find("out of range"), std::string::npos) << range;
+}
+
+TEST(TaskPool, ReplayOrderNamesRoundTrip) {
+  for (const ReplayOrder order : kReplayOrders) {
+    EXPECT_EQ(parseReplayOrder(replayOrderName(order)), order);
+  }
+  EXPECT_EQ(parseReplayOrder("none"), ReplayOrder::None);
+  EXPECT_THROW(parseReplayOrder("chaotic"), std::invalid_argument);
+}
+
+TEST(TaskPool, ReplayRunsEveryTaskOnceRespectingDeps) {
+  TaskPool pool(3);
+  for (const ReplayOrder order : kReplayOrders) {
+    // Diamond a -> {b, c} -> d plus free tasks, replayed serially.
+    std::vector<int> trace;
+    TaskGraph graph;
+    const int a = graph.addTask([&](int) { trace.push_back(0); });
+    const int b = graph.addTask([&](int) { trace.push_back(1); });
+    const int c = graph.addTask([&](int) { trace.push_back(2); });
+    const int d = graph.addTask([&](int) { trace.push_back(3); });
+    for (int i = 0; i < 4; ++i) {
+      graph.addTask([&, i](int) { trace.push_back(4 + i); });
+    }
+    graph.addDep(a, b);
+    graph.addDep(a, c);
+    graph.addDep(b, d);
+    graph.addDep(c, d);
+    pool.runReplay(graph, {order, /*seed=*/7});
+    ASSERT_EQ(trace.size(), 8u) << replayOrderName(order);
+    std::vector<std::size_t> pos(8);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      pos[static_cast<std::size_t>(trace[i])] = i;
+    }
+    EXPECT_LT(pos[0], pos[1]) << replayOrderName(order);
+    EXPECT_LT(pos[0], pos[2]) << replayOrderName(order);
+    EXPECT_LT(pos[1], pos[3]) << replayOrderName(order);
+    EXPECT_LT(pos[2], pos[3]) << replayOrderName(order);
+  }
+}
+
+TEST(TaskPool, ReplayIsDeterministicPerSeed) {
+  TaskPool pool(4);
+  const auto traceOf = [&pool](std::uint64_t seed) {
+    std::vector<int> trace;
+    TaskGraph graph;
+    for (int i = 0; i < 64; ++i) {
+      graph.addTask([&trace, i](int) { trace.push_back(i); }, i);
+    }
+    pool.runReplay(graph, {ReplayOrder::Random, seed});
+    return trace;
+  };
+  EXPECT_EQ(traceOf(11), traceOf(11));
+  EXPECT_NE(traceOf(11), traceOf(12))
+      << "different seeds should (with 64 tasks) pick different orders";
+}
+
+TEST(TaskPool, ReplayAttributesWorkersByTaskIndex) {
+  TaskPool pool(3);
+  std::vector<int> workers;
+  TaskGraph graph;
+  for (int i = 0; i < 9; ++i) {
+    graph.addTask([&workers](int w) {
+      workers.push_back(w);
+      EXPECT_EQ(TaskPool::currentWorker(), w);
+    });
+  }
+  pool.runReplay(graph, {ReplayOrder::Fifo, 0});
+  ASSERT_EQ(workers.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(workers[static_cast<std::size_t>(i)], i % 3);
+  }
+  EXPECT_EQ(TaskPool::currentWorker(), -1)
+      << "replay must restore the caller's worker identity";
+}
+
+TEST(TaskPool, ReplayRejectsCyclesLikeRun) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGraph graph;
+  const int a = graph.addTask([&ran](int) { ran.fetch_add(1); });
+  const int b = graph.addTask([&ran](int) { ran.fetch_add(1); });
+  graph.addDep(a, b);
+  graph.addDep(b, a);
+  EXPECT_THROW(pool.runReplay(graph, {ReplayOrder::Lifo, 0}),
+               std::logic_error);
+  EXPECT_EQ(ran.load(), 0);
 }
 
 } // namespace

@@ -28,11 +28,15 @@
 #include <vector>
 
 #include "analysis/advisor.hpp"
+#include "analysis/graphcheck.hpp"
+#include "core/exec_level.hpp"
+#include "grid/leveldata.hpp"
 #include "grid/real.hpp"
 #include "harness/args.hpp"
 #include "harness/csv.hpp"
 #include "harness/machine.hpp"
 #include "harness/table.hpp"
+#include "kernels/exemplar.hpp"
 
 using namespace fluxdiv;
 
@@ -194,6 +198,62 @@ int main(int argc, char** argv) {
       }
     }
     ptable.print(std::cout);
+
+    // Over-synchronization advisory: lower the actual task graphs the
+    // level executor would run under the parallel policies over a small
+    // level of this box count, and ask the graph checker which dependency
+    // edges could be dropped without losing race-freedom. Removable edges
+    // are parallelism the depth/concurrency table above cannot see.
+    const int side = std::min(n, 16);
+    const int wantBoxes = std::min(nBoxes, 8);
+    grid::IntVect counts = grid::IntVect::unit(1);
+    while (counts.product() < wantBoxes) {
+      int smallest = 0;
+      for (int d = 1; d < grid::SpaceDim; ++d) {
+        if (counts[d] < counts[smallest]) {
+          smallest = d;
+        }
+      }
+      counts[smallest] += 1;
+    }
+    const grid::ProblemDomain dom(grid::Box(
+        grid::IntVect::zero(),
+        grid::IntVect{counts[0] * side - 1, counts[1] * side - 1,
+                      counts[2] * side - 1}));
+    const grid::DisjointBoxLayout dbl(dom, side);
+    bool anyGraphNote = false;
+    for (std::size_t i = 0; i < shown; ++i) {
+      for (const core::LevelPolicy policy :
+           {core::LevelPolicy::BoxParallel, core::LevelPolicy::Hybrid}) {
+        core::LevelExecOptions opts;
+        opts.policy = policy;
+        core::LevelExecutor exec(ranked[i].cfg, nThreads, opts);
+        grid::LevelData phi0(dbl, kernels::kNumComp, kernels::kNumGhost);
+        grid::LevelData phi1(dbl, kernels::kNumComp, 0);
+        for (const bool withExchange : {false, true}) {
+          const analysis::TaskGraphModel model =
+              exec.lowerGraph(phi0, phi1, withExchange);
+          const analysis::GraphCheckReport rep =
+              analysis::checkTaskGraph(model, /*findRemovable=*/true);
+          if (rep.removable.empty()) {
+            continue;
+          }
+          analysis::CostNote note;
+          note.kind = analysis::CostNoteKind::OverSynchronized;
+          note.where = model.name;
+          note.actualBytes = static_cast<double>(rep.removable.size());
+          note.limitBytes = static_cast<double>(rep.edgeCount);
+          if (!anyGraphNote) {
+            std::cout << "\ntask-graph notes (" << dbl.size() << " x "
+                      << side << "^3 boxes, analysis/graphcheck):\n";
+            anyGraphNote = true;
+          }
+          std::cout << "  [" << analysis::costNoteKindName(note.kind)
+                    << "] " << ranked[i].cost.variant << ": "
+                    << note.message() << "\n";
+        }
+      }
+    }
   }
 
   const analysis::TileAdvice advice = advisor.recommendBlockedTile(n, nThreads);
