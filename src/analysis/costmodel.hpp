@@ -55,6 +55,7 @@ enum class CostNoteKind {
   ItemExceedsL2,  ///< a concurrent work item's footprint exceeds L2
   HighRecompute,  ///< duplicated temporary production above threshold
   OverSynchronized, ///< task graph carries removable dependency edges
+  OverCommunicated, ///< exchange plan has redundant/mergeable ops
   ModelError,     ///< internal inconsistency (tool-level strict checks)
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/region.hpp"
+#include "analysis/region_ops.hpp"
 
 namespace fluxdiv::analysis {
 
@@ -394,11 +395,11 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
           continue;
         }
         const std::vector<Box> ghostPieces =
-            boxDiff(r.region, m.validBoxes[r.box]);
+            subtractAll(r.region, {m.validBoxes[r.box]});
         if (ghostPieces.empty()) {
           continue;
         }
-        std::vector<Box> cover;
+        CoverSet cover;
         const auto cidx = static_cast<std::size_t>(
             comps.compOf[t]);
         const auto lt = static_cast<std::size_t>(comps.localId[t]);
@@ -412,12 +413,12 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
             if (w.field == FieldId::Phi0 && w.box == r.box &&
                 w.comp0 <= r.comp0 &&
                 r.comp0 + r.nComp <= w.comp0 + w.nComp) {
-              cover.push_back(w.region);
+              cover.add(w.region);
             }
           }
         }
         for (const Box& piece : ghostPieces) {
-          const Box missing = firstUncovered(piece, cover);
+          const Box missing = cover.firstMissing(piece);
           if (missing.empty()) {
             continue;
           }

@@ -330,4 +330,134 @@ GraphMutation shrinkGhostWrite(const TaskGraphModel& m,
   return out;
 }
 
+CommMutation dropCommOp(const CommPlanModel& m, std::uint64_t seed) {
+  CommMutation out;
+  out.model = m;
+  if (m.ops.empty()) {
+    out.what = "plan has no ops; nothing to drop";
+    return out;
+  }
+  const std::size_t i = seed % m.ops.size();
+  const CommOp op = m.ops[i];
+  out.model.ops.erase(out.model.ops.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+  out.expect = CommDiagKind::GhostGap;
+  out.expectAlso = CommDiagKind::UnmatchedRecv;
+  out.witnessA = "box" + std::to_string(op.destBox) + " ghost halo";
+  out.witnessB = derivedSendLabel(op.srcBox, op.destBox, op.sector);
+  out.what = "drop '" + op.label + "' (skipped neighbor in the plan build)";
+  return out;
+}
+
+CommMutation shrinkCommRegion(const CommPlanModel& m, std::uint64_t seed) {
+  CommMutation out;
+  out.model = m;
+  // Candidates: (op, axis) pairs where shaving the outermost ghost
+  // layer along the op's sector axis leaves a non-empty region, so the
+  // mutation under-copies rather than degenerating into a drop.
+  struct Cand {
+    std::size_t op = 0;
+    int axis = 0;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < m.ops.size(); ++i) {
+    const CommOp& op = m.ops[i];
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      if (op.sector[d] != 0 &&
+          op.destRegion.hi(d) > op.destRegion.lo(d)) {
+        cands.push_back({i, d});
+      }
+    }
+  }
+  if (cands.empty()) {
+    out.what = "every op is one layer deep; nothing to shrink";
+    return out;
+  }
+  const Cand& c = cands[seed % cands.size()];
+  CommOp& op = out.model.ops[c.op];
+  grid::IntVect lo = op.destRegion.lo();
+  grid::IntVect hi = op.destRegion.hi();
+  // The outermost layer is the one farthest from the valid box: the low
+  // side for a -1 sector, the high side for +1.
+  if (op.sector[c.axis] < 0) {
+    lo[c.axis] += 1;
+  } else {
+    hi[c.axis] -= 1;
+  }
+  op.destRegion = Box(lo, hi);
+  out.expect = CommDiagKind::GhostGap;
+  out.expectAlso = CommDiagKind::ExtentMismatch;
+  out.witnessA = "box" + std::to_string(op.destBox) + " ghost halo";
+  out.witnessB = derivedSendLabel(op.srcBox, op.destBox, op.sector);
+  out.what = "shrink '" + op.label + "' by its outermost layer in dim " +
+             std::to_string(c.axis) + " (halo fill under-copies)";
+  return out;
+}
+
+CommMutation skewCommSource(const CommPlanModel& m, std::uint64_t seed) {
+  CommMutation out;
+  out.model = m;
+  if (m.ops.empty()) {
+    out.what = "plan has no ops; nothing to skew";
+    return out;
+  }
+  const std::size_t i = seed % m.ops.size();
+  CommOp& op = out.model.ops[i];
+  const Box srcValid = m.layout.box(op.srcBox);
+  // Prefer a one-cell skew that keeps the source inside the valid
+  // region, so the bug is pure C2 (wrong cells, not invalid cells);
+  // fall back to any skew and expect SourceInvalid as well.
+  grid::IntVect best;
+  bool staysValid = false;
+  for (int d = 0; d < grid::SpaceDim && !staysValid; ++d) {
+    for (const int s : {-1, 1}) {
+      grid::IntVect delta;
+      delta[d] = s;
+      if (srcValid.contains(
+              op.destRegion.shift(op.srcShift + delta))) {
+        best = delta;
+        staysValid = true;
+        break;
+      }
+    }
+  }
+  if (!staysValid) {
+    best = grid::IntVect(1, 0, 0);
+  }
+  op.srcShift += best;
+  out.expect = CommDiagKind::ExtentMismatch;
+  out.expectAlso =
+      staysValid ? CommDiagKind::Ok : CommDiagKind::SourceInvalid;
+  out.witnessA = op.label;
+  out.witnessB = derivedSendLabel(op.srcBox, op.destBox, op.sector);
+  out.what = "skew source of '" + op.label +
+             "' by one cell (wrap arithmetic off by one)";
+  return out;
+}
+
+CommMutation unmatchCommSend(const CommPlanModel& m, std::uint64_t seed) {
+  CommMutation out;
+  out.model = m;
+  if (m.ops.empty() || m.layout.size() < 2) {
+    out.what = "plan needs >= 2 boxes to repoint a send; no candidate";
+    return out;
+  }
+  const std::size_t i = seed % m.ops.size();
+  CommOp& op = out.model.ops[i];
+  const std::size_t original = op.srcBox;
+  op.srcBox = (op.srcBox + 1 + seed % (m.layout.size() - 1)) %
+              m.layout.size();
+  if (op.srcBox == original) {
+    op.srcBox = (op.srcBox + 1) % m.layout.size();
+  }
+  out.expect = CommDiagKind::UnmatchedSend;
+  out.expectAlso = CommDiagKind::UnmatchedRecv;
+  out.witnessA = op.label;
+  out.witnessB = "";  // no geometric send exists from the wrong box
+  out.what = "repoint source of '" + op.label + "' from box" +
+             std::to_string(original) + " to box" +
+             std::to_string(op.srcBox) + " (send posted by the wrong rank)";
+  return out;
+}
+
 } // namespace fluxdiv::analysis::mutate

@@ -10,10 +10,17 @@
 // fringe-footprint shrinks, each predicting the two-task witness
 // checkTaskGraph must report.
 
+//
+// The CommMutation half miscompiles *exchange plans*
+// (analysis/commcheck.hpp): seeded op drops, region shrinks, source
+// skews, and send unmatchings, each predicting the labeled two-endpoint
+// witness checkCommPlan must report.
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
 #include "analysis/model.hpp"
 
@@ -78,5 +85,48 @@ GraphMutation rerouteGraphEdge(const TaskGraphModel& m,
 /// first starved reader and the op.
 GraphMutation shrinkGhostWrite(const TaskGraphModel& m,
                                std::uint64_t seed);
+
+/// A seeded exchange-plan miscompilation plus the diagnostics it must
+/// provoke. `expect == Ok` means the plan offered no candidate for this
+/// mutation class (e.g. an empty plan has nothing to drop); callers skip
+/// those. Otherwise checkCommPlan(model) must report a diagnostic of
+/// kind `expect` whose (opA, opB) witness labels equal
+/// (witnessA, witnessB) — empty strings mean "don't care" — and, when
+/// `expectAlso != Ok`, a second diagnostic of that kind: the two
+/// endpoints of the broken conversation each produce their half of the
+/// evidence.
+struct CommMutation {
+  CommPlanModel model;
+  std::string what; ///< human description of the injected bug
+  CommDiagKind expect = CommDiagKind::Ok;
+  CommDiagKind expectAlso = CommDiagKind::Ok;
+  std::string witnessA;
+  std::string witnessB;
+};
+
+/// Delete one op outright — the classic skipped neighbor in a plan
+/// build. Expected: GhostGap naming the starved halo and the
+/// geometry-derived send that should have fed it, plus UnmatchedRecv
+/// for the send side.
+CommMutation dropCommOp(const CommPlanModel& m, std::uint64_t seed);
+
+/// Shave the outermost ghost layer off one op's dest region (a halo
+/// fill that under-copies; needs nghost >= 2 for a candidate).
+/// Expected: GhostGap over the shaved layer, plus ExtentMismatch between
+/// the shrunken recv and the full-extent derived send.
+CommMutation shrinkCommRegion(const CommPlanModel& m, std::uint64_t seed);
+
+/// Skew one op's source shift by one cell (reading the neighbor's cells
+/// off by one — the classic wrap-arithmetic bug). Expected:
+/// ExtentMismatch reporting the shift disagreement; when no skew
+/// direction keeps the source inside the valid region, SourceInvalid
+/// fires as well.
+CommMutation skewCommSource(const CommPlanModel& m, std::uint64_t seed);
+
+/// Repoint one op's source at an unrelated box (send posted from the
+/// wrong rank; needs >= 2 boxes). Expected: UnmatchedSend at the
+/// receiver plus UnmatchedRecv for the original sender's now-orphaned
+/// send — the two-endpoint witness.
+CommMutation unmatchCommSend(const CommPlanModel& m, std::uint64_t seed);
 
 } // namespace fluxdiv::analysis::mutate

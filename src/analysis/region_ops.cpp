@@ -1,0 +1,53 @@
+#include "analysis/region_ops.hpp"
+
+namespace fluxdiv::analysis {
+
+std::vector<Box> subtractAll(const Box& target,
+                             const std::vector<Box>& cuts) {
+  std::vector<Box> pieces;
+  if (target.empty()) {
+    return pieces;
+  }
+  pieces.push_back(target);
+  for (const Box& cut : cuts) {
+    if (cut.empty()) {
+      continue;
+    }
+    std::vector<Box> next;
+    next.reserve(pieces.size());
+    for (const Box& piece : pieces) {
+      if (!piece.intersects(cut)) {
+        next.push_back(piece);
+        continue;
+      }
+      std::vector<Box> diff = boxDiff(piece, cut);
+      next.insert(next.end(), diff.begin(), diff.end());
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) {
+      break;
+    }
+  }
+  return pieces;
+}
+
+std::vector<Box> CoverSet::missingPieces(const Box& target) const {
+  return subtractAll(target, boxes_);
+}
+
+std::optional<PairOverlap> firstPairOverlap(const std::vector<Box>& boxes) {
+  for (std::size_t i = 0; i + 1 < boxes.size(); ++i) {
+    if (boxes[i].empty()) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      const Box shared = boxes[i] & boxes[j];
+      if (!shared.empty()) {
+        return PairOverlap{i, j, shared};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace fluxdiv::analysis

@@ -6,6 +6,7 @@
 
 #include "analysis/lower.hpp"
 #include "analysis/region.hpp"
+#include "analysis/region_ops.hpp"
 
 namespace fluxdiv::analysis {
 
@@ -260,14 +261,14 @@ Diagnostic ScheduleVerifier::verify(const ScheduleModel& m) const {
             continue;
           }
           for (int c = r.comp0; c < r.comp0 + r.nComp; ++c) {
-            std::vector<Box> cover;
+            CoverSet cover;
             std::string lastProducer;
             if (r.storage == StorageClass::Shared) {
               for (const auto& cw : committed) {
                 if (cw.access.field == r.field &&
                     cw.access.storage == StorageClass::Shared &&
                     compContains(cw.access, c)) {
-                  cover.push_back(cw.access.box);
+                  cover.add(cw.access.box);
                   lastProducer = cw.stage;
                 }
               }
@@ -275,11 +276,11 @@ Diagnostic ScheduleVerifier::verify(const ScheduleModel& m) const {
             for (const auto& [acc, st] : local) {
               if (acc.field == r.field && acc.storage == r.storage &&
                   compContains(acc, c)) {
-                cover.push_back(acc.box);
+                cover.add(acc.box);
                 lastProducer = st;
               }
             }
-            const Box missing = firstUncovered(r.box, cover);
+            const Box missing = cover.firstMissing(r.box);
             if (!missing.empty()) {
               Diagnostic d;
               d.kind = r.storage == StorageClass::Private

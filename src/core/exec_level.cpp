@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
 #include "core/exec_common.hpp"
 #include "kernels/footprint.hpp"
@@ -121,8 +122,8 @@ void noteExchangeOp(GraphTask* t, const grid::CopyOp& op) {
   t->exchangeOp = true;
   t->writes.push_back(
       acc(FieldId::Phi0, op.destBox, 0, kNumComp, op.destRegion));
-  t->reads.push_back(acc(FieldId::Phi0, op.srcBox, 0, kNumComp,
-                         op.destRegion.shift(op.srcShift)));
+  t->reads.push_back(
+      acc(FieldId::Phi0, op.srcBox, 0, kNumComp, op.srcRegion()));
 }
 
 #ifdef FLUXDIV_GRAPH_VERIFY
@@ -439,6 +440,62 @@ void LevelExecutor::initGraphModel(analysis::TaskGraphModel& model,
   }
 }
 
+bool LevelExecutor::recordCommShape(const LevelData& phi0) {
+  CommShape shape;
+  shape.nBoxes = phi0.size();
+  shape.firstValid = phi0.validBox(0);
+  shape.nghost = phi0.nGhost();
+  grid::IntVect lo = shape.firstValid.lo();
+  grid::IntVect hi = shape.firstValid.hi();
+  for (std::size_t b = 1; b < phi0.size(); ++b) {
+    lo = grid::IntVect::min(lo, phi0.validBox(b).lo());
+    hi = grid::IntVect::max(hi, phi0.validBox(b).hi());
+  }
+  shape.hull = Box(lo, hi);
+  for (const CommShape& seen : verifiedComms_) {
+    if (seen.nBoxes == shape.nBoxes &&
+        seen.firstValid == shape.firstValid && seen.hull == shape.hull &&
+        seen.nghost == shape.nghost) {
+      return false;
+    }
+  }
+  verifiedComms_.push_back(shape);
+  return true;
+}
+
+void LevelExecutor::verifyCommOnce(const LevelData& phi0) {
+  if (phi0.size() == 0 || phi0.nGhost() <= 0 || !recordCommShape(phi0)) {
+    return;
+  }
+  analysis::CommPlanModel model = analysis::buildCommPlanModel(
+      phi0.layout(), phi0.copier(), phi0.nComp());
+  for (const int nranks : {1, 2, 4, 8}) {
+    if (static_cast<std::size_t>(nranks) > phi0.size()) {
+      break;
+    }
+    analysis::applyRankPartition(model, nranks);
+    const analysis::CommCheckReport report =
+        analysis::checkCommPlan(model);
+    if (report.ok()) {
+      continue;
+    }
+    std::string msg =
+        "LevelExecutor: exchange-plan verification failed for '" +
+        model.name + "' under " + std::to_string(nranks) + " rank(s) (" +
+        std::to_string(report.diagnostics.size()) + " diagnostic(s)):";
+    const std::size_t shown =
+        std::min<std::size_t>(report.diagnostics.size(), 4);
+    for (std::size_t i = 0; i < shown; ++i) {
+      msg += "\n  " + report.diagnostics[i].message();
+    }
+    if (report.diagnostics.size() > shown) {
+      msg += "\n  (+" +
+             std::to_string(report.diagnostics.size() - shown) + " more)";
+    }
+    throw std::logic_error(msg);
+  }
+}
+
 bool LevelExecutor::recordGraphShape(const LevelData& phi0,
                                      bool withExchange) {
   GraphShape shape;
@@ -524,6 +581,9 @@ void LevelExecutor::run(const LevelData& phi0, LevelData& phi1,
 }
 
 void LevelExecutor::runStep(LevelData& phi0, LevelData& phi1, Real scale) {
+#ifdef FLUXDIV_COMM_VERIFY
+  verifyCommOnce(phi0);
+#endif
   if (opts_.policy == LevelPolicy::BoxSequential ||
       !opts_.overlapExchange) {
     phi0.exchange();

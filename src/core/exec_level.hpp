@@ -139,6 +139,17 @@ private:
     bool withExchange = false;
   };
 
+  /// Shape key of an already-verified exchange plan (FLUXDIV_COMM_VERIFY):
+  /// the Copier is a pure function of (layout, nghost) and the partition
+  /// sweep is fixed, so one verification covers every later step with the
+  /// same level shape.
+  struct CommShape {
+    std::size_t nBoxes = 0;
+    grid::Box firstValid;
+    grid::Box hull;
+    int nghost = 0;
+  };
+
   [[nodiscard]] int ownerOf(std::size_t box) const {
     return static_cast<int>(box % static_cast<std::size_t>(nThreads_));
   }
@@ -175,6 +186,14 @@ private:
   /// level shape has not been verified yet.
   bool recordGraphShape(const grid::LevelData& phi0, bool withExchange);
 
+  /// FLUXDIV_COMM_VERIFY support: on the first runStep() over a new
+  /// (layout, nghost) shape, prove the level's exchange plan exact,
+  /// matched, and deadlock-free (analysis/commcheck) under rank
+  /// partitions {1,2,4,8}; throws std::logic_error with the witness
+  /// diagnostics on failure. Later steps with the same shape are free.
+  void verifyCommOnce(const grid::LevelData& phi0);
+  bool recordCommShape(const grid::LevelData& phi0);
+
   /// Run `graph` honoring opts_.replay.
   void dispatch(TaskGraph& graph);
 
@@ -190,6 +209,7 @@ private:
   std::vector<Workspace> boxShared_; ///< per-box blocked-WF cache storage
   TaskPool taskPool_;
   std::vector<GraphShape> verifiedGraphs_; ///< FLUXDIV_GRAPH_VERIFY cache
+  std::vector<CommShape> verifiedComms_;   ///< FLUXDIV_COMM_VERIFY cache
 };
 
 } // namespace fluxdiv::core

@@ -1,6 +1,8 @@
 #include "distsim/comm_model.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 namespace fluxdiv::distsim {
@@ -12,6 +14,7 @@ ExchangeCost analyzeExchange(const RankDecomposition& ranks,
   const auto n = static_cast<std::size_t>(ranks.nRanks());
   std::vector<std::int64_t> recvMessages(n, 0);
   std::vector<std::uint64_t> recvBytes(n, 0);
+  std::map<std::pair<int, int>, RankPairCost> pairs;
 
   for (const grid::CopyOp& op : copier.ops()) {
     const int src = ranks.rankOf(op.srcBox);
@@ -28,6 +31,15 @@ ExchangeCost analyzeExchange(const RankDecomposition& ranks,
     cost.bytesTotal += bytes;
     ++recvMessages[static_cast<std::size_t>(dst)];
     recvBytes[static_cast<std::size_t>(dst)] += bytes;
+    RankPairCost& pc = pairs[{src, dst}];
+    pc.srcRank = src;
+    pc.dstRank = dst;
+    ++pc.messages;
+    pc.bytes += bytes;
+  }
+  cost.pairs.reserve(pairs.size());
+  for (const auto& [key, pc] : pairs) {
+    cost.pairs.push_back(pc);
   }
 
   double worst = 0.0;

@@ -7,6 +7,7 @@
 // both message count and ghost volume.
 
 #include <cstdint>
+#include <vector>
 
 #include "distsim/rank_layout.hpp"
 #include "grid/copier.hpp"
@@ -20,15 +21,27 @@ struct NetworkParams {
   double bytesPerSecond = 5.0e9;           ///< per rank link (1/beta)
 };
 
+/// Traffic one ordered rank pair exchanges: the alpha-beta inputs at
+/// their native granularity. analysis/commcheck re-derives these figures
+/// independently from layout geometry and cross-validates them exactly.
+struct RankPairCost {
+  int srcRank = 0;
+  int dstRank = 0;
+  std::int64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Cost breakdown of one ghost exchange.
 struct ExchangeCost {
   std::int64_t onRankCells = 0;   ///< ghost cells filled by local copy
   std::int64_t offRankCells = 0;  ///< ghost cells needing a message
-  std::int64_t messagesTotal = 0; ///< distinct (src,dest,box-pair) sends
+  std::int64_t messagesTotal = 0; ///< one per cross-rank copy op
   std::int64_t maxMessagesPerRank = 0; ///< busiest receiver
   std::uint64_t bytesTotal = 0;        ///< off-rank bytes (all ranks)
   std::uint64_t maxBytesPerRank = 0;   ///< busiest receiver's bytes
   double predictedSeconds = 0.0; ///< alpha-beta time of the busiest rank
+  /// Per ordered rank pair with traffic, sorted by (srcRank, dstRank).
+  std::vector<RankPairCost> pairs;
 
   /// Fraction of all ghost cells that cross rank boundaries.
   [[nodiscard]] double offRankFraction() const {

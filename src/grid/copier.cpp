@@ -4,6 +4,24 @@
 
 namespace fluxdiv::grid {
 
+std::string Copier::opLabel(std::size_t i) const {
+  const CopyOp& op = ops_.at(i);
+  std::string label = "op " + std::to_string(i) + ": box" +
+                      std::to_string(op.destBox) + "<-box" +
+                      std::to_string(op.srcBox) + " sector[";
+  for (int d = 0; d < SpaceDim; ++d) {
+    if (d > 0) {
+      label += ',';
+    }
+    if (op.sector[d] > 0) {
+      label += '+';
+    }
+    label += std::to_string(op.sector[d]);
+  }
+  label += ']';
+  return label;
+}
+
 Copier::Copier(const DisjointBoxLayout& layout, int nghost)
     : nghost_(nghost) {
   if (nghost <= 0) {
@@ -55,6 +73,7 @@ Copier::Copier(const DisjointBoxLayout& layout, int nghost)
           op.srcBox = static_cast<std::size_t>(src);
           op.destRegion = Box(rlo, rhi);
           op.srcShift = wrapShift;
+          op.sector = off;
           if (op.destRegion.empty()) {
             // Degenerate sector: nothing to move. Dropping it here keeps
             // every dispatch loop (exchange, exchangeAsync, the level

@@ -6,6 +6,7 @@
 // move, so ghost-overhead experiments can report measured copy volume.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "grid/layout.hpp"
@@ -16,11 +17,17 @@ namespace fluxdiv::grid {
 /// One ghost-region copy: fill `destRegion` (global coordinates, ghost cells
 /// of box `destBox`) from box `srcBox`, whose corresponding valid cells sit
 /// at `destRegion.shift(srcShift)` (non-zero shift = periodic wrap).
+/// `sector` is the halo-sector offset (each component in {-1,0,+1}) the op
+/// was built for: destRegion is the `sector` slab of destBox's halo.
 struct CopyOp {
   std::size_t destBox = 0;
   std::size_t srcBox = 0;
   Box destRegion;
   IntVect srcShift;
+  IntVect sector;
+
+  /// The source cells read by this op, in the source box's frame.
+  [[nodiscard]] Box srcRegion() const { return destRegion.shift(srcShift); }
 };
 
 /// Ghost-exchange plan over a DisjointBoxLayout.
@@ -37,6 +44,12 @@ public:
   /// byte accounting never see empty ops.
   [[nodiscard]] const std::vector<CopyOp>& ops() const { return ops_; }
   [[nodiscard]] int nGhost() const { return nghost_; }
+
+  /// Stable human-readable label for op `i`, for diagnostics in the
+  /// labeled-witness style of analysis/graphcheck: ops are identified the
+  /// same way in commcheck reports, mutation predictions, and CLI output.
+  /// Format: "op 12: box5<-box3 sector[+1,0,-1]".
+  [[nodiscard]] std::string opLabel(std::size_t i) const;
 
   /// Total ghost cells filled per exchange (per component).
   [[nodiscard]] std::int64_t ghostCellCount() const { return ghostCells_; }

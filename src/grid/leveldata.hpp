@@ -106,6 +106,11 @@ public:
     return copier_.bytesPerExchange(ncomp_);
   }
 
+  /// The ghost-exchange plan this level executes. Read-only introspection
+  /// for static analysis (analysis/commcheck) and the verification gates;
+  /// the plan is immutable after construction.
+  [[nodiscard]] const Copier& copier() const { return copier_; }
+
   /// Total allocated cells (valid + ghost) across all boxes, per component.
   [[nodiscard]] std::int64_t totalCellsAllocated() const;
   /// Total valid (physical) cells across all boxes, per component.

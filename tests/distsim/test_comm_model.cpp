@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace fluxdiv::distsim {
 namespace {
 
@@ -110,6 +112,52 @@ TEST(CommModel, OffRankFraction) {
   EXPECT_EQ(analyzeExchange(one, c.copier, 5).offRankFraction(), 0.0);
   RankDecomposition all(c.dbl, 64);
   EXPECT_EQ(analyzeExchange(all, c.copier, 5).offRankFraction(), 1.0);
+}
+
+TEST(CommModel, RankPairTrafficSumsToTotals) {
+  Case c(64, 16);
+  for (int nRanks : {1, 2, 4, 8, 64}) {
+    RankDecomposition ranks(c.dbl, nRanks);
+    const ExchangeCost cost = analyzeExchange(ranks, c.copier, 5);
+    std::int64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    int prevSrc = -1;
+    int prevDst = -1;
+    for (const RankPairCost& p : cost.pairs) {
+      EXPECT_NE(p.srcRank, p.dstRank); // cross-rank pairs only
+      EXPECT_GE(p.srcRank, 0);
+      EXPECT_LT(p.srcRank, nRanks);
+      EXPECT_GE(p.dstRank, 0);
+      EXPECT_LT(p.dstRank, nRanks);
+      // Sorted by (srcRank, dstRank), no duplicates.
+      EXPECT_TRUE(p.srcRank > prevSrc ||
+                  (p.srcRank == prevSrc && p.dstRank > prevDst));
+      prevSrc = p.srcRank;
+      prevDst = p.dstRank;
+      EXPECT_GT(p.messages, 0);
+      EXPECT_GT(p.bytes, 0u);
+      msgs += p.messages;
+      bytes += p.bytes;
+    }
+    EXPECT_EQ(msgs, cost.messagesTotal) << nRanks;
+    EXPECT_EQ(bytes, cost.bytesTotal) << nRanks;
+    if (nRanks == 1) {
+      EXPECT_TRUE(cost.pairs.empty());
+    }
+  }
+}
+
+TEST(CommModel, OneBoxPerRankPairTraffic) {
+  // 2^3 boxes on 8 ranks: each ordered rank pair is one box pair, and
+  // the periodic wrap makes every pair exchange through multiple sectors
+  // (face + edge + corner images of the same neighbor).
+  Case c(16, 8);
+  RankDecomposition ranks(c.dbl, 8);
+  const ExchangeCost cost = analyzeExchange(ranks, c.copier, 1);
+  EXPECT_EQ(cost.pairs.size(), 8u * 7u); // all-to-all at this box count
+  for (const RankPairCost& p : cost.pairs) {
+    EXPECT_GT(p.messages, 1) << p.srcRank << "->" << p.dstRank;
+  }
 }
 
 } // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <string>
 
 namespace fluxdiv::grid {
 namespace {
@@ -117,6 +119,46 @@ TEST(Copier, BytesPerExchangeScalesWithComponents) {
   DisjointBoxLayout dbl(ProblemDomain(Box::cube(16)), 8);
   const Copier copier(dbl, 2);
   EXPECT_EQ(copier.bytesPerExchange(5), 5 * copier.bytesPerExchange(1));
+}
+
+TEST(Copier, OpIntrospectionIsConsistent) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(24)), 8);
+  const Copier copier(dbl, 2);
+  for (const CopyOp& op : copier.ops()) {
+    // srcRegion() is the read footprint: the dest region pulled back by
+    // the shift, always inside the source box's valid cells.
+    EXPECT_EQ(op.srcRegion(), op.destRegion.shift(op.srcShift));
+    EXPECT_TRUE(dbl.box(op.srcBox).contains(op.srcRegion()));
+    // The recorded sector is the halo sector the dest region occupies.
+    const Box valid = dbl.box(op.destBox);
+    for (int d = 0; d < SpaceDim; ++d) {
+      const int expected = op.destRegion.hi(d) < valid.lo(d)   ? -1
+                           : op.destRegion.lo(d) > valid.hi(d) ? 1
+                                                               : 0;
+      EXPECT_EQ(op.sector[d], expected);
+    }
+    EXPECT_FALSE(op.sector == IntVect::zero());
+  }
+}
+
+TEST(Copier, OpLabelsAreStableAndUnique) {
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(24)), 8);
+  const Copier copier(dbl, 2);
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < copier.ops().size(); ++i) {
+    const std::string label = copier.opLabel(i);
+    // Deterministic: same plan, same label.
+    EXPECT_EQ(label, copier.opLabel(i));
+    // One label per (dest, src, sector) triple — and the plan has one op
+    // per such triple, so labels are unique across the plan.
+    EXPECT_TRUE(seen.insert(label).second) << label;
+    const CopyOp& op = copier.ops()[i];
+    EXPECT_NE(label.find("box" + std::to_string(op.destBox)),
+              std::string::npos);
+    EXPECT_NE(label.find("box" + std::to_string(op.srcBox)),
+              std::string::npos);
+    EXPECT_NE(label.find("sector["), std::string::npos);
+  }
 }
 
 } // namespace

@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "analysis/advisor.hpp"
+#include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
 #include "core/exec_level.hpp"
+#include "grid/copier.hpp"
 #include "grid/leveldata.hpp"
 #include "grid/real.hpp"
 #include "harness/args.hpp"
@@ -253,6 +255,42 @@ int main(int argc, char** argv) {
                     << note.message() << "\n";
         }
       }
+    }
+
+    // Over-communication advisory: verify the level's ghost-exchange plan
+    // (analysis/commcheck) under the largest standard rank partition and
+    // surface any redundant ops or same-box-pair messages a smarter
+    // lowering would aggregate — alpha-model latency the policy table
+    // above prices as unavoidable.
+    int planRanks = 1;
+    for (const int r : {2, 4, 8}) {
+      if (static_cast<std::size_t>(r) <= dbl.size()) {
+        planRanks = r;
+      }
+    }
+    const grid::Copier copier(dbl, kernels::kNumGhost);
+    analysis::CommPlanModel plan = analysis::buildCommPlanModel(
+        dbl, copier, kernels::kNumComp);
+    analysis::applyRankPartition(plan, planRanks);
+    const analysis::CommCheckReport commRep =
+        analysis::checkCommPlan(plan, /*findAdvisories=*/true);
+    std::int64_t wastedMessages = 0;
+    for (const analysis::CommAdvisory& a : commRep.advisories) {
+      wastedMessages += a.kind == analysis::CommAdviceKind::RedundantOp
+                            ? 1
+                            : a.messages - a.merged;
+    }
+    if (wastedMessages > 0) {
+      analysis::CostNote note;
+      note.kind = analysis::CostNoteKind::OverCommunicated;
+      note.where = plan.name;
+      note.actualBytes = static_cast<double>(wastedMessages);
+      note.limitBytes = static_cast<double>(commRep.messagesTotal);
+      std::cout << "\nexchange-plan notes (" << dbl.size() << " x " << side
+                << "^3 boxes, " << planRanks
+                << " simulated ranks, analysis/commcheck):\n";
+      std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
+                << note.message() << "\n";
     }
   }
 

@@ -1,0 +1,376 @@
+// Exchange-plan verifier CLI (docs/static-analysis.md, "Communication-plan
+// verification"). Builds the Copier plans the executors consume — over
+// periodic, non-periodic, and mixed domains of the requested level shape —
+// and proves each exact (C1), matched (C2), and deadlock-free (C3) with
+// analysis::checkCommPlan under every requested rank partition, then
+// cross-validates the statically counted per-rank-pair bytes/messages
+// EXACTLY against distsim's alpha-beta inputs. Also reports the
+// over-communication advisories (redundant ops, mergeable messages).
+//
+//   ./tools/fluxdiv_commcheck [--nboxes 8] [--boxsize 16] [--ghost 2]
+//                             [--ncomp 5] [--nranks 0] [--capacity 4]
+//                             [--strict] [--json] [--mutate] [--seeds 5]
+//
+// --nranks 0 sweeps the partition over {1, 2, 4, 8} (clipped to the box
+//   count); any other value verifies that single partition.
+// --strict exits 1 unless every plan verifies clean and every
+//   cross-validation agrees exactly.
+// --mutate additionally runs the seeded plan miscompilations of
+//   analysis/mutate (op drops, region shrinks, source skews, send
+//   unmatchings) and exits 1 unless the checker rejects each with the
+//   predicted labeled witness — the CI guard that the verifier actually
+//   detects broken plans, not merely accepts correct ones.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/commcheck.hpp"
+#include "analysis/mutate.hpp"
+#include "distsim/comm_model.hpp"
+#include "distsim/rank_layout.hpp"
+#include "grid/box.hpp"
+#include "grid/copier.hpp"
+#include "grid/layout.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "kernels/exemplar.hpp"
+
+using namespace fluxdiv;
+using grid::Box;
+using grid::Copier;
+using grid::DisjointBoxLayout;
+using grid::IntVect;
+using grid::ProblemDomain;
+
+namespace {
+
+/// Near-cubic per-axis box counts whose product is >= nBoxes.
+IntVect factorBoxes(int nBoxes) {
+  IntVect counts = IntVect::unit(1);
+  while (counts.product() < nBoxes) {
+    int smallest = 0;
+    for (int d = 1; d < grid::SpaceDim; ++d) {
+      if (counts[d] < counts[smallest]) {
+        smallest = d;
+      }
+    }
+    counts[smallest] += 1;
+  }
+  return counts;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// One domain flavor of the requested level shape.
+struct Shape {
+  std::string name;
+  DisjointBoxLayout dbl;
+};
+
+std::vector<Shape> makeShapes(int nBoxes, int boxSize) {
+  const IntVect counts = factorBoxes(nBoxes);
+  const Box domBox(IntVect::zero(),
+                   IntVect{counts[0] * boxSize - 1, counts[1] * boxSize - 1,
+                           counts[2] * boxSize - 1});
+  return {
+      {"periodic", DisjointBoxLayout(ProblemDomain(domBox), boxSize)},
+      {"walls", DisjointBoxLayout(
+                    ProblemDomain(domBox, /*periodicAll=*/false), boxSize)},
+      {"mixed",
+       DisjointBoxLayout(
+           ProblemDomain(domBox, std::array<bool, 3>{true, false, true}),
+           boxSize)},
+  };
+}
+
+struct PlanRun {
+  std::string shape;
+  int nRanks = 1;
+  analysis::CommCheckReport report;
+  std::vector<std::string> xval;
+};
+
+int runMutations(const std::vector<Shape>& shapes, int ghost, int ncomp,
+                 int nRanks, int capacity, int nSeeds, bool json,
+                 std::vector<std::string>& jsonRows) {
+  using analysis::mutate::CommMutation;
+  int failures = 0;
+  int executed = 0;
+  int skipped = 0;
+  for (const Shape& shape : shapes) {
+    const Copier copier(shape.dbl, ghost);
+    analysis::CommPlanModel base =
+        analysis::buildCommPlanModel(shape.dbl, copier, ncomp,
+                                     "mutated " + shape.name);
+    analysis::applyRankPartition(
+        base, std::min<int>(nRanks,
+                            static_cast<int>(shape.dbl.size())));
+    base.queueCapacity = capacity;
+    for (std::uint64_t seed = 0;
+         seed < static_cast<std::uint64_t>(nSeeds); ++seed) {
+      const CommMutation muts[] = {
+          analysis::mutate::dropCommOp(base, seed),
+          analysis::mutate::shrinkCommRegion(base, seed),
+          analysis::mutate::skewCommSource(base, seed),
+          analysis::mutate::unmatchCommSend(base, seed),
+      };
+      for (const CommMutation& mut : muts) {
+        if (mut.expect == analysis::CommDiagKind::Ok) {
+          ++skipped; // plan offered no candidate for this class
+          continue;
+        }
+        ++executed;
+        const analysis::CommCheckReport rep =
+            analysis::checkCommPlan(mut.model);
+        bool caught = false;
+        bool caughtAlso = mut.expectAlso == analysis::CommDiagKind::Ok;
+        for (const analysis::CommDiagnostic& d : rep.diagnostics) {
+          if (d.kind == mut.expect &&
+              (mut.witnessA.empty() || d.opA == mut.witnessA) &&
+              (mut.witnessB.empty() || d.opB == mut.witnessB)) {
+            caught = true;
+          }
+          if (d.kind == mut.expectAlso) {
+            caughtAlso = true;
+          }
+        }
+        if (!caught || !caughtAlso) {
+          ++failures;
+          std::cerr << "MISSED MUTATION [" << shape.name << ", seed "
+                    << seed << "]: " << mut.what << "\n  expected "
+                    << analysis::commDiagKindName(mut.expect)
+                    << " naming '" << mut.witnessA << "' vs '"
+                    << mut.witnessB << "'";
+          if (mut.expectAlso != analysis::CommDiagKind::Ok) {
+            std::cerr << " plus "
+                      << analysis::commDiagKindName(mut.expectAlso);
+          }
+          std::cerr << ", got " << rep.diagnostics.size()
+                    << " diagnostic(s)";
+          for (const auto& d : rep.diagnostics) {
+            std::cerr << "\n    " << d.message();
+          }
+          std::cerr << "\n";
+        }
+      }
+    }
+  }
+  if (json) {
+    std::string row = "  \"mutations\": {\"executed\": ";
+    row += std::to_string(executed);
+    row += ", \"skipped\": ";
+    row += std::to_string(skipped);
+    row += ", \"missed\": ";
+    row += std::to_string(failures);
+    row += "}";
+    jsonRows.push_back(std::move(row));
+  } else {
+    std::cout << "\nmutation suite: " << executed
+              << " seeded plan miscompilation(s), " << failures
+              << " missed, " << skipped << " without a candidate\n";
+  }
+  return failures;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args;
+  args.addInt("nboxes", 8, "boxes per level");
+  args.addInt("boxsize", 16, "box side N");
+  args.addInt("ghost", kernels::kNumGhost, "ghost layers");
+  args.addInt("ncomp", kernels::kNumComp, "components priced per cell");
+  args.addInt("nranks", 0,
+              "simulated rank count (0 = sweep 1,2,4,8 clipped to the "
+              "box count)");
+  args.addInt("capacity", analysis::kDefaultQueueCapacity,
+              "per-channel in-flight message capacity for the C3 "
+              "deadlock check");
+  args.addBool("strict",
+               "exit 1 unless every plan verifies clean and every "
+               "alpha-beta cross-validation agrees exactly");
+  args.addBool("json", "machine-readable JSON output");
+  args.addBool("mutate",
+               "run the seeded plan miscompilations and require the "
+               "checker to reject each with its predicted witness");
+  args.addInt("seeds", 5, "seeds per mutation class for --mutate");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const int nBoxes = static_cast<int>(args.getInt("nboxes"));
+  const int boxSize = static_cast<int>(args.getInt("boxsize"));
+  const int ghost = static_cast<int>(args.getInt("ghost"));
+  const int ncomp = static_cast<int>(args.getInt("ncomp"));
+  const int capacity = static_cast<int>(args.getInt("capacity"));
+  if (nBoxes < 1 || boxSize < 1 || ncomp < 1 || ghost < 0 ||
+      ghost > boxSize) {
+    std::cerr << "error: need --nboxes >= 1, --boxsize >= 1, --ncomp >= "
+                 "1, and 0 <= --ghost <= --boxsize (one halo maps to one "
+                 "neighbor)\n";
+    return 1;
+  }
+  std::vector<int> rankSweep;
+  const int nRanksArg = static_cast<int>(args.getInt("nranks"));
+  if (nRanksArg == 0) {
+    for (const int r : {1, 2, 4, 8}) {
+      if (r <= nBoxes) {
+        rankSweep.push_back(r);
+      }
+    }
+  } else if (nRanksArg > 0) {
+    rankSweep.push_back(nRanksArg);
+  } else {
+    std::cerr << "error: --nranks must be >= 0\n";
+    return 1;
+  }
+
+  const std::vector<Shape> shapes = makeShapes(nBoxes, boxSize);
+  const bool json = args.getBool("json");
+
+  std::vector<PlanRun> runs;
+  for (const Shape& shape : shapes) {
+    const Copier copier(shape.dbl, ghost);
+    analysis::CommPlanModel model = analysis::buildCommPlanModel(
+        shape.dbl, copier, ncomp, shape.name);
+    model.queueCapacity = capacity;
+    for (const int nranks : rankSweep) {
+      const distsim::RankDecomposition ranks(shape.dbl, nranks);
+      analysis::applyRankPartition(model, ranks);
+      PlanRun run;
+      run.shape = shape.name;
+      run.nRanks = nranks;
+      run.report = analysis::checkCommPlan(model, /*findAdvisories=*/true);
+      run.xval = analysis::crossValidateCommCost(
+          run.report, distsim::analyzeExchange(ranks, copier, ncomp));
+      runs.push_back(std::move(run));
+    }
+  }
+
+  int diagnostics = 0;
+  int xvalMismatches = 0;
+  std::vector<std::string> jsonRows;
+  if (json) {
+    std::string row = "  \"plans\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const PlanRun& run = runs[i];
+      if (i > 0) {
+        row += ", ";
+      }
+      row += "{\"shape\": \"" + jsonEscape(run.shape) + "\"";
+      row += ", \"nranks\": " + std::to_string(run.nRanks);
+      row += ", \"ops\": " + std::to_string(run.report.opCount);
+      row += ", \"crossRankOps\": " +
+             std::to_string(run.report.crossRankOps);
+      row += ", \"messages\": " +
+             std::to_string(run.report.messagesTotal);
+      row += ", \"bytes\": " + std::to_string(run.report.bytesTotal);
+      row += ", \"rankPairs\": " + std::to_string(run.report.pairs.size());
+      row += ", \"diagnostics\": " +
+             std::to_string(run.report.diagnostics.size());
+      row += ", \"advisories\": " +
+             std::to_string(run.report.advisories.size());
+      row += ", \"xvalMismatches\": " + std::to_string(run.xval.size());
+      row += "}";
+    }
+    row += "]";
+    jsonRows.push_back(std::move(row));
+  } else {
+    std::cout << "verifying ghost-exchange plans over " << nBoxes << " x "
+              << boxSize << "^3 boxes, ghost " << ghost << ", ncomp "
+              << ncomp << ", queue capacity " << capacity << "\n\n";
+    harness::Table table({"shape", "ranks", "ops", "cross", "msgs",
+                          "bytes", "pairs", "diags", "advis", "xval"});
+    for (const PlanRun& run : runs) {
+      table.addRow({run.shape, std::to_string(run.nRanks),
+                    std::to_string(run.report.opCount),
+                    std::to_string(run.report.crossRankOps),
+                    std::to_string(run.report.messagesTotal),
+                    harness::formatBytes(
+                        static_cast<std::size_t>(run.report.bytesTotal)),
+                    std::to_string(run.report.pairs.size()),
+                    run.report.ok()
+                        ? "-"
+                        : std::to_string(run.report.diagnostics.size()),
+                    std::to_string(run.report.advisories.size()),
+                    run.xval.empty() ? "exact"
+                                     : std::to_string(run.xval.size())});
+    }
+    table.print(std::cout);
+  }
+  bool anyAdvisory = false;
+  for (const PlanRun& run : runs) {
+    diagnostics += static_cast<int>(run.report.diagnostics.size());
+    xvalMismatches += static_cast<int>(run.xval.size());
+    for (const analysis::CommDiagnostic& d : run.report.diagnostics) {
+      std::cerr << "COMM [" << run.shape << ", " << run.nRanks
+                << " rank(s)]: " << d.message() << "\n";
+    }
+    for (const std::string& x : run.xval) {
+      std::cerr << "XVAL [" << run.shape << ", " << run.nRanks
+                << " rank(s)]: " << x << "\n";
+    }
+    if (!json) {
+      for (const analysis::CommAdvisory& a : run.report.advisories) {
+        if (!anyAdvisory) {
+          std::cout << "\nadvisories:\n";
+          anyAdvisory = true;
+        }
+        std::cout << "  [" << run.shape << ", " << run.nRanks
+                  << " rank(s)] " << a.message() << "\n";
+      }
+    }
+  }
+
+  int mutationFailures = 0;
+  if (args.getBool("mutate")) {
+    mutationFailures = runMutations(
+        shapes, ghost, ncomp, rankSweep.back(), capacity,
+        static_cast<int>(args.getInt("seeds")), json, jsonRows);
+  }
+
+  if (json) {
+    std::cout << "{\n";
+    for (std::size_t i = 0; i < jsonRows.size(); ++i) {
+      std::cout << jsonRows[i] << (i + 1 < jsonRows.size() ? ",\n" : "\n");
+    }
+    std::cout << "}\n";
+  }
+
+  // Missed mutations are self-test failures and always fail; plan
+  // diagnostics and cross-validation mismatches fail under --strict.
+  const bool failed =
+      mutationFailures > 0 ||
+      (args.getBool("strict") && (diagnostics > 0 || xvalMismatches > 0));
+  if (failed) {
+    std::cerr << "\ncommcheck: FAILED (" << diagnostics
+              << " plan diagnostic(s), " << xvalMismatches
+              << " cross-validation mismatch(es), " << mutationFailures
+              << " missed mutation(s))\n";
+    return 1;
+  }
+  if (!json) {
+    std::cout << "\ncommcheck: all clean over " << runs.size()
+              << " plan(s)\n";
+  }
+  return 0;
+}
