@@ -535,6 +535,8 @@ const char* costNoteKindName(CostNoteKind k) {
     return "over-synchronized";
   case CostNoteKind::OverCommunicated:
     return "over-communicated";
+  case CostNoteKind::OverdeclaredFootprint:
+    return "overdeclared-footprint";
   case CostNoteKind::ModelError:
     return "model-error";
   }
@@ -571,6 +573,13 @@ std::string CostNote::message() const {
        << static_cast<std::int64_t>(limitBytes)
        << " exchange messages redundant or mergeable per box pair "
           "-> plan over-communicates";
+    break;
+  case CostNoteKind::OverdeclaredFootprint:
+    os << "'" << where << "': "
+       << static_cast<std::int64_t>(actualBytes) << " of "
+       << static_cast<std::int64_t>(limitBytes)
+       << " declared stencil offset(s) never read by the kernel -> cost "
+          "model prices ghost cells no kernel touches";
     break;
   case CostNoteKind::ModelError:
     os << where;

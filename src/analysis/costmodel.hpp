@@ -56,6 +56,7 @@ enum class CostNoteKind {
   HighRecompute,  ///< duplicated temporary production above threshold
   OverSynchronized, ///< task graph carries removable dependency edges
   OverCommunicated, ///< exchange plan has redundant/mergeable ops
+  OverdeclaredFootprint, ///< declared stencil offsets no kernel reads
   ModelError,     ///< internal inconsistency (tool-level strict checks)
 };
 

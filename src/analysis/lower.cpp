@@ -26,6 +26,19 @@ constexpr StorageClass kPrivate = StorageClass::Private;
 
 const char* dirName(int d) { return d == 0 ? "x" : (d == 1 ? "y" : "z"); }
 
+/// Canonical per-direction stage label, e.g. "EvalFlux1[d=x]" — the one
+/// spelling of kernels::stageName the verifier diagnostics, mutation
+/// greps, and kernelcheck witnesses all share.
+std::string stageTag(Stage stage, int d) {
+  return std::string(kernels::stageName(stage)) + "[d=" + dirName(d) + "]";
+}
+
+/// Per-direction, per-component stage label, e.g. "EvalFlux2[d=x,c=2]".
+std::string stageTagC(Stage stage, int d, int c) {
+  return std::string(kernels::stageName(stage)) + "[d=" + dirName(d) +
+         ",c=" + std::to_string(c) + "]";
+}
+
 FieldId cacheField(int d) {
   return d == 0 ? FieldId::CacheX
                 : (d == 1 ? FieldId::CacheY : FieldId::CacheZ);
@@ -84,7 +97,7 @@ void emitBaselineSerial(WorkItem& item, const VariantConfig& cfg,
     const int vd = velocityComp(d);
     {
       StageExec s;
-      s.stage = tag + "EvalFlux1[d=" + dirName(d) + "]";
+      s.stage = tag + stageTag(Stage::EvalFlux1, d);
       s.reads.push_back(access(FieldId::Phi0, kShared, 0, kNumComp,
                                readRegion(Stage::EvalFlux1, d, fb)));
       s.writes.push_back(access(FieldId::Flux, scope, 0, kNumComp, fb));
@@ -100,14 +113,14 @@ void emitBaselineSerial(WorkItem& item, const VariantConfig& cfg,
       item.stages.push_back(std::move(copy));
 
       StageExec f2;
-      f2.stage = tag + "EvalFlux2[d=" + dirName(d) + "]";
+      f2.stage = tag + stageTag(Stage::EvalFlux2, d);
       f2.reads.push_back(access(FieldId::Velocity, scope, 0, 1, fb));
       f2.reads.push_back(access(FieldId::Flux, scope, 0, kNumComp, fb));
       f2.writes.push_back(access(FieldId::Flux, scope, 0, kNumComp, fb));
       item.stages.push_back(std::move(f2));
 
       StageExec acc;
-      acc.stage = tag + "FluxDifference[d=" + dirName(d) + "]";
+      acc.stage = tag + stageTag(Stage::FluxDifference, d);
       acc.reads.push_back(
           access(FieldId::Flux, scope, 0, kNumComp,
                  readRegion(Stage::FluxDifference, d, region)));
@@ -120,15 +133,13 @@ void emitBaselineSerial(WorkItem& item, const VariantConfig& cfg,
       // consumed it (no Velocity temporary).
       auto emitComp = [&](int c) {
         StageExec f2;
-        f2.stage = tag + "EvalFlux2[d=" + std::string(dirName(d)) +
-                   ",c=" + std::to_string(c) + "]";
+        f2.stage = tag + stageTagC(Stage::EvalFlux2, d, c);
         f2.reads.push_back(access(FieldId::Flux, scope, vd, 1, fb));
         f2.writes.push_back(access(FieldId::Flux, scope, c, 1, fb));
         item.stages.push_back(std::move(f2));
 
         StageExec acc;
-        acc.stage = tag + "FluxDifference[d=" + std::string(dirName(d)) +
-                    ",c=" + std::to_string(c) + "]";
+        acc.stage = tag + stageTagC(Stage::FluxDifference, d, c);
         acc.reads.push_back(
             access(FieldId::Flux, scope, c, 1,
                    readRegion(Stage::FluxDifference, d, region)));
@@ -278,7 +289,7 @@ ConeCheck fusedCone(const std::string& name, const Box& lattice) {
   }
   ConeCheck::LatticeWrite pw;
   pw.field = FieldId::Phi1;
-  pw.stage = "FluxDifference (fused)";
+  pw.stage = std::string(kernels::stageName(Stage::FluxDifference)) + " (fused)";
   pw.indexed = {true, true, true};
   cone.writes.push_back(std::move(pw));
   return cone;
@@ -331,7 +342,7 @@ void lowerBaseline(ScheduleModel& m, const VariantConfig& cfg,
     };
     auto evalFlux1Stage = [&](int tid) {
       StageExec s;
-      s.stage = "EvalFlux1[" + dTag + "]";
+      s.stage = stageTag(Stage::EvalFlux1, d);
       s.reads.push_back(access(FieldId::Phi0, kShared, 0, kNumComp,
                                readRegion(Stage::EvalFlux1, d,
                                           faceSlab(tid))));
@@ -341,7 +352,7 @@ void lowerBaseline(ScheduleModel& m, const VariantConfig& cfg,
     };
     auto fluxDiffStage = [&](int tid, int c, int nc) {
       StageExec s;
-      s.stage = "FluxDifference[" + dTag + ",c=" + std::to_string(c) + "]";
+      s.stage = stageTagC(Stage::FluxDifference, d, c);
       s.reads.push_back(
           access(FieldId::Flux, kShared, c, nc,
                  readRegion(Stage::FluxDifference, d, cellSlab(tid))));
@@ -363,7 +374,7 @@ void lowerBaseline(ScheduleModel& m, const VariantConfig& cfg,
             access(FieldId::Velocity, kShared, 0, 1, faceSlab(tid)));
         item.stages.push_back(std::move(copy));
         StageExec f2;
-        f2.stage = "EvalFlux2[" + dTag + "]";
+        f2.stage = stageTag(Stage::EvalFlux2, d);
         f2.reads.push_back(
             access(FieldId::Velocity, kShared, 0, 1, faceSlab(tid)));
         f2.reads.push_back(
@@ -402,7 +413,7 @@ void lowerBaseline(ScheduleModel& m, const VariantConfig& cfg,
 
     auto evalFlux2Stage = [&](int tid, int c) {
       StageExec s;
-      s.stage = "EvalFlux2[" + dTag + ",c=" + std::to_string(c) + "]";
+      s.stage = stageTagC(Stage::EvalFlux2, d, c);
       s.reads.push_back(
           access(FieldId::Flux, kShared, vd, 1, faceSlab(tid)));
       s.writes.push_back(

@@ -460,4 +460,131 @@ CommMutation unmatchCommSend(const CommPlanModel& m, std::uint64_t seed) {
   return out;
 }
 
+namespace {
+
+/// Candidate read roles for kernel mutations: roles with a nonempty
+/// declared footprint (and, for the observed-set edits, observations to
+/// drift). Returns indices into m.reads.
+std::vector<std::size_t> kernelRoleCandidates(const KernelFootprintModel& m,
+                                              bool needObserved) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < m.reads.size(); ++i) {
+    if (m.reads[i].declared.empty()) {
+      continue;
+    }
+    if (needObserved && m.reads[i].observed.empty()) {
+      continue;
+    }
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+grid::IntVect offsetHullHi(const std::vector<grid::IntVect>& pts) {
+  grid::IntVect hi = pts.front();
+  for (const grid::IntVect& p : pts) {
+    hi = grid::IntVect::max(hi, p);
+  }
+  return hi;
+}
+
+grid::IntVect offsetHullLo(const std::vector<grid::IntVect>& pts) {
+  grid::IntVect lo = pts.front();
+  for (const grid::IntVect& p : pts) {
+    lo = grid::IntVect::min(lo, p);
+  }
+  return lo;
+}
+
+} // namespace
+
+KernelMutation widenKernelRead(const KernelFootprintModel& m,
+                               std::uint64_t seed) {
+  KernelMutation mut;
+  mut.model = m;
+  const std::vector<std::size_t> cand = kernelRoleCandidates(m, false);
+  if (cand.empty()) {
+    mut.what = "widenKernelRead: no role with a declared footprint";
+    return mut;
+  }
+  const std::size_t ri = cand[seed % cand.size()];
+  RoleFootprint& r = mut.model.reads[ri];
+  const int d = static_cast<int>((seed / cand.size()) % 3);
+  // One cell past the declared hull along d: the <=-vs-< loop bound bug.
+  const grid::IntVect extra =
+      offsetHullHi(r.declared) + grid::IntVect::basis(d);
+  r.observed.push_back(extra);
+  r.witnesses.push_back(m.probeRegion.empty() ? grid::IntVect::zero()
+                                              : m.probeRegion.lo());
+  mut.what = "kernel reads one cell past the declared hull (" + r.role + ")";
+  mut.expect = KernelDiagKind::UndeclaredRead;
+  mut.role = r.role;
+  mut.offset = extra;
+  return mut;
+}
+
+KernelMutation shiftKernelStencil(const KernelFootprintModel& m,
+                                  std::uint64_t seed) {
+  KernelMutation mut;
+  mut.model = m;
+  const std::vector<std::size_t> cand = kernelRoleCandidates(m, true);
+  if (cand.empty()) {
+    mut.what = "shiftKernelStencil: no role with observed offsets";
+    return mut;
+  }
+  const std::size_t ri = cand[seed % cand.size()];
+  RoleFootprint& r = mut.model.reads[ri];
+  const int d =
+      m.dir >= 0 ? m.dir : static_cast<int>((seed / cand.size()) % 3);
+  const grid::IntVect shift = grid::IntVect::basis(d);
+  for (grid::IntVect& o : r.observed) {
+    o += shift;
+  }
+  // The shifted high end exceeds the declared hull; the declared low end
+  // is no longer exercised (observed == declared before the shift would
+  // make both exact, but the expectation only needs containment).
+  mut.what = "kernel stencil shifted by +e_" + std::to_string(d) + " (" +
+             r.role + ")";
+  mut.expect = KernelDiagKind::UndeclaredRead;
+  mut.offset = offsetHullHi(r.observed);
+  mut.role = r.role;
+  const grid::IntVect lostLo = offsetHullLo(r.declared);
+  if (std::find(r.observed.begin(), r.observed.end(), lostLo) ==
+      r.observed.end()) {
+    mut.expectAlso = KernelDiagKind::Overdeclared;
+  }
+  return mut;
+}
+
+KernelMutation forgetDeclaredOffset(const KernelFootprintModel& m,
+                                    std::uint64_t seed) {
+  KernelMutation mut;
+  mut.model = m;
+  // Need a declared offset that the kernel actually exercises, so the
+  // forgetting is observable.
+  std::vector<std::pair<std::size_t, std::size_t>> cand;
+  for (std::size_t i = 0; i < m.reads.size(); ++i) {
+    for (std::size_t j = 0; j < m.reads[i].declared.size(); ++j) {
+      const grid::IntVect& o = m.reads[i].declared[j];
+      if (std::find(m.reads[i].observed.begin(), m.reads[i].observed.end(),
+                    o) != m.reads[i].observed.end()) {
+        cand.emplace_back(i, j);
+      }
+    }
+  }
+  if (cand.empty()) {
+    mut.what = "forgetDeclaredOffset: no exercised declared offset";
+    return mut;
+  }
+  const auto [ri, oi] = cand[seed % cand.size()];
+  RoleFootprint& r = mut.model.reads[ri];
+  const grid::IntVect lost = r.declared[oi];
+  r.declared.erase(r.declared.begin() + static_cast<std::ptrdiff_t>(oi));
+  mut.what = "contract forgets declared offset at " + r.role;
+  mut.expect = KernelDiagKind::UndeclaredRead;
+  mut.role = r.role;
+  mut.offset = lost;
+  return mut;
+}
+
 } // namespace fluxdiv::analysis::mutate

@@ -22,6 +22,7 @@
 
 #include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
+#include "analysis/kernelcheck.hpp"
 #include "analysis/model.hpp"
 
 namespace fluxdiv::analysis::mutate {
@@ -128,5 +129,43 @@ CommMutation skewCommSource(const CommPlanModel& m, std::uint64_t seed);
 /// receiver plus UnmatchedRecv for the original sender's now-orphaned
 /// send — the two-endpoint witness.
 CommMutation unmatchCommSend(const CommPlanModel& m, std::uint64_t seed);
+
+/// A seeded kernel-footprint miscompilation plus the diagnostics it must
+/// provoke. The mutations edit an *inferred* KernelFootprintModel the way
+/// a miscompiled kernel (observed set drifts) or a stale contract
+/// (declared set drifts) would, so the tests and the kernelcheck tool can
+/// prove checkKernelFootprints rejects each class with the right witness.
+/// `expect == Ok` means the model offered no candidate (e.g. no role with
+/// a declared footprint); callers skip those. Otherwise the check must
+/// report a diagnostic of kind `expect` with role `role` and offset
+/// `offset`; when `expectAlso != Ok`, an advisory of that kind for the
+/// same role must fire as well.
+struct KernelMutation {
+  KernelFootprintModel model;
+  std::string what; ///< human description of the injected bug
+  KernelDiagKind expect = KernelDiagKind::Ok;
+  KernelDiagKind expectAlso = KernelDiagKind::Ok;
+  std::string role;
+  grid::IntVect offset;
+};
+
+/// Widen one read role's observed set by one offset just outside the
+/// declared hull — a kernel that reads one cell past its contract (the
+/// classic <= vs < loop bound). Expected: UndeclaredRead at that offset.
+KernelMutation widenKernelRead(const KernelFootprintModel& m,
+                               std::uint64_t seed);
+
+/// Shift one read role's entire observed set by +e_d — a kernel indexing
+/// off by one whole cell (the classic face/cell confusion). Expected:
+/// UndeclaredRead at the shifted high end, plus an Overdeclared advisory
+/// at the now-unexercised low end.
+KernelMutation shiftKernelStencil(const KernelFootprintModel& m,
+                                  std::uint64_t seed);
+
+/// Drop one declared-and-exercised offset from a read role's declared set
+/// — a stale footprint contract after a stencil widening. Expected:
+/// UndeclaredRead at the forgotten offset.
+KernelMutation forgetDeclaredOffset(const KernelFootprintModel& m,
+                                    std::uint64_t seed);
 
 } // namespace fluxdiv::analysis::mutate

@@ -19,6 +19,14 @@
 #include "analysis/verifier.hpp"
 #endif
 
+#ifdef FLUXDIV_KERNEL_VERIFY
+#include <mutex>
+#include <unordered_set>
+
+#include "analysis/kernelcheck.hpp"
+#include "core/kernelshapes.hpp"
+#endif
+
 namespace fluxdiv::core {
 
 #ifdef FLUXDIV_SHADOW_CHECK
@@ -110,6 +118,41 @@ void FluxDivRunner::adviseSchedule(const Box& valid) {
   }
 }
 
+void FluxDivRunner::verifyKernels() {
+#ifdef FLUXDIV_KERNEL_VERIFY
+  if (kernelsVerified_) {
+    return;
+  }
+  kernelsVerified_ = true;
+  // The probe executes this variant's real code path through a fresh
+  // runner, whose runBox re-enters this gate under the same config name;
+  // inserting the name before probing therefore terminates the recursion
+  // (and keeps concurrent runners from probing the same config twice).
+  static std::mutex mutex;
+  static std::unordered_set<std::string> probed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!probed.insert(cfg_.name()).second) {
+      return;
+    }
+  }
+  analysis::ProbeOptions opts;
+  // Smallest box the config accepts; sampled probing keeps the one-time
+  // gate cheap enough for Debug test runs.
+  opts.boxSize = std::max(6, cfg_.tileSize);
+  opts.exhaustiveSlotLimit = 0;
+  opts.sampleTarget = 400;
+  const analysis::KernelCheckReport report = analysis::checkKernelFootprints(
+      analysis::inferFootprint(makeVariantShape(cfg_, nThreads_), opts));
+  if (!report.ok()) {
+    throw std::logic_error("kernel contract verification failed for "
+                           "variant '" +
+                           cfg_.name() +
+                           "': " + report.diagnostics.front().message());
+  }
+#endif
+}
+
 void FluxDivRunner::runBoxSerial(const FArrayBox& phi0, FArrayBox& phi1,
                                  const Box& valid, Workspace& ws,
                                  Real scale) {
@@ -122,6 +165,7 @@ void FluxDivRunner::runBox(const FArrayBox& phi0, FArrayBox& phi1,
     throw std::invalid_argument("variant '" + cfg_.name() +
                                 "' is not valid for this box size");
   }
+  verifyKernels();
   verifySchedule(valid);
   adviseSchedule(valid);
 #ifdef FLUXDIV_SHADOW_CHECK
@@ -208,6 +252,7 @@ void FluxDivRunner::runLevel(const LevelData& phi0, LevelData& phi1,
     throw std::invalid_argument("run: phi0 needs >= kNumGhost ghost layers");
   }
 
+  verifyKernels();
   for (std::size_t b = 0; b < phi0.size(); ++b) {
     verifySchedule(phi0.validBox(b)); // cached after the first box shape
     adviseSchedule(phi0.validBox(b));

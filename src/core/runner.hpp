@@ -8,6 +8,9 @@
 // additionally proves the configured schedule legal before the first
 // execution over each box shape — see src/analysis and
 // docs/static-analysis.md. Release builds compile the gate out entirely.
+// A second Debug gate (-DFLUXDIV_VERIFY_KERNELS=ON elsewhere) probes each
+// variant's kernels differentially once per config and proves the
+// declared stencil footprints sound before the first real execution.
 //
 // With FLUXDIV_ADVISE=1 in the environment, the runner also consults the
 // static cost model (docs/cost-model.md) before the first execution over
@@ -65,6 +68,7 @@ public:
   /// runBox/run call this themselves; the task-parallel executor calls it
   /// up front so graph tasks need not.
   void prepare(const grid::Box& valid) {
+    verifyKernels();
     verifySchedule(valid);
     adviseSchedule(valid);
   }
@@ -99,11 +103,19 @@ private:
   /// capacity-bound. Cached per box extent; never throws.
   void adviseSchedule(const grid::Box& valid);
 
+  /// Kernel footprint contract gate (no-op unless FLUXDIV_KERNEL_VERIFY
+  /// is defined): differentially probe this variant's whole-pipeline
+  /// kernels over a small sampled box and prove the declared stencil
+  /// footprints sound (analysis/kernelcheck), throwing std::logic_error
+  /// on an undeclared access. Probed once per config name process-wide.
+  void verifyKernels();
+
   VariantConfig cfg_;
   int nThreads_;
   WorkspacePool pool_;
   std::vector<grid::IntVect> verifiedShapes_; ///< box extents proven legal
   std::vector<grid::IntVect> advisedShapes_;  ///< box extents already advised
+  bool kernelsVerified_ = false; ///< this runner passed the kernel gate
   /// Lazily-built executor backing the FLUXDIV_LEVEL_POLICY override.
   std::unique_ptr<LevelExecutor> levelExec_;
 };

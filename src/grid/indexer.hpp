@@ -44,6 +44,26 @@ struct FabIndexer {
   [[nodiscard]] std::int64_t stride(int d) const {
     return d == 0 ? 1 : (d == 1 ? sy : sz);
   }
+
+  /// Inverse of operator() for non-negative in-allocation offsets: the
+  /// (i, j, k) slot a linear offset addresses within one component. Pad
+  /// lanes of a padded pitch invert to i >= lo0 + rowLength — callers
+  /// (the kernelcheck tracer) compare against their box extent to tell
+  /// cell slots from padding (see isPad()).
+  [[nodiscard]] IntVect invert(std::int64_t offset) const {
+    const std::int64_t k = offset / sz;
+    const std::int64_t rem = offset - k * sz;
+    const std::int64_t j = rem / sy;
+    const std::int64_t i = rem - j * sy;
+    return {lo0 + static_cast<int>(i), lo1 + static_cast<int>(j),
+            lo2 + static_cast<int>(k)};
+  }
+
+  /// True if `slot` (as returned by invert()) lies in a row's pad lanes
+  /// rather than in a logical cell, for rows of length `rowLength`.
+  [[nodiscard]] bool isPad(const IntVect& slot, int rowLength) const {
+    return slot[0] >= lo0 + rowLength;
+  }
 };
 
 } // namespace fluxdiv::grid

@@ -1,0 +1,129 @@
+#include "grid/tracingfab.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace fluxdiv::grid {
+
+namespace {
+
+/// splitmix64: deterministic slot hashing for the fill values.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+Real TracingFab::fillValue(const TraceSlot& slot, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h = mix64(h ^ static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(slot.cell[0]) + 0x10000));
+  h = mix64(h ^ static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(slot.cell[1]) + 0x20000));
+  h = mix64(h ^ static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(slot.cell[2]) + 0x30000));
+  h = mix64(h ^ static_cast<std::uint64_t>(slot.comp + 7));
+  // 52 mantissa bits onto [1, 2): uniform magnitude, never subnormal.
+  const double frac =
+      static_cast<double>(h >> 12) / 4503599627370496.0; // 2^52
+  return 1.0 + frac;
+}
+
+void TracingFab::define(const Box& box, int nComp, Pitch pitch,
+                        std::uint64_t seed) {
+  fab_.define(box, nComp, pitch, Init::Zero);
+  for (const TraceSlot& slot : allSlots()) {
+    set(slot, fillValue(slot, seed));
+  }
+  snapshot();
+  ref_.clear();
+}
+
+std::int64_t TracingFab::rawIndex(const TraceSlot& slot) const {
+  assert(slot.comp >= 0 && slot.comp < fab_.nComp());
+  return fab_.strideC() * slot.comp + fab_.indexer()(
+      slot.cell[0], slot.cell[1], slot.cell[2]);
+}
+
+std::vector<TraceSlot> TracingFab::allSlots() const {
+  std::vector<TraceSlot> slots;
+  slots.reserve(fab_.size());
+  const Box& b = fab_.box();
+  const int rowLen = b.size(0);
+  const int pitch = static_cast<int>(fab_.pitch());
+  for (int c = 0; c < fab_.nComp(); ++c) {
+    for (int k = b.lo(2); k <= b.hi(2); ++k) {
+      for (int j = b.lo(1); j <= b.hi(1); ++j) {
+        for (int x = 0; x < pitch; ++x) {
+          TraceSlot s;
+          s.cell = IntVect(b.lo(0) + x, j, k);
+          s.comp = c;
+          s.pad = x >= rowLen;
+          slots.push_back(s);
+        }
+      }
+    }
+  }
+  return slots;
+}
+
+Real TracingFab::value(const TraceSlot& slot) const {
+  return fab_.dataPtr(0)[rawIndex(slot)];
+}
+
+void TracingFab::set(const TraceSlot& slot, Real v) {
+  fab_.dataPtr(0)[rawIndex(slot)] = v;
+}
+
+void TracingFab::snapshot() {
+  base_.assign(fab_.dataPtr(0), fab_.dataPtr(0) + fab_.size());
+}
+
+void TracingFab::restore() {
+  assert(base_.size() == fab_.size());
+  Real* dst = fab_.dataPtr(0);
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    dst[i] = base_[i];
+  }
+}
+
+void TracingFab::captureReference() {
+  ref_.assign(fab_.dataPtr(0), fab_.dataPtr(0) + fab_.size());
+}
+
+std::vector<TraceSlot> TracingFab::diffAgainst(
+    const std::vector<Real>& ref) const {
+  assert(ref.size() == fab_.size());
+  std::vector<TraceSlot> changed;
+  const Real* cur = fab_.dataPtr(0);
+  const std::int64_t sc = fab_.strideC();
+  const FabIndexer idx = fab_.indexer();
+  const int rowLen = fab_.box().size(0);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // Bitwise comparison: a dependence that flips only the sign of zero
+    // or re-derives the same value differently still counts.
+    if (std::memcmp(&cur[i], &ref[i], sizeof(Real)) == 0) {
+      continue;
+    }
+    TraceSlot s;
+    const std::int64_t raw = static_cast<std::int64_t>(i);
+    s.comp = static_cast<int>(raw / sc);
+    s.cell = idx.invert(raw - sc * s.comp);
+    s.pad = idx.isPad(s.cell, rowLen);
+    changed.push_back(s);
+  }
+  return changed;
+}
+
+std::vector<TraceSlot> TracingFab::changedSinceSnapshot() const {
+  return diffAgainst(base_);
+}
+
+std::vector<TraceSlot> TracingFab::changedSinceReference() const {
+  return diffAgainst(ref_);
+}
+
+} // namespace fluxdiv::grid

@@ -1,0 +1,88 @@
+#pragma once
+// TracingFab: the probe harness of the kernel footprint checker
+// (analysis/kernelcheck, docs/static-analysis.md "Kernel contract
+// checking"). The flux kernels read through raw pointers and strides, so
+// per-access interception at FabIndexer is impossible without taxing the
+// hot path; instead kernelcheck observes footprints *differentially* — it
+// perturbs one input slot, re-runs the real kernel, and bitwise-diffs the
+// output against a reference run. TracingFab supplies the pieces that
+// makes sound: deterministic position-keyed fills (so trials reproduce),
+// raw snapshots that cover pad lanes (so writes into row padding are
+// caught), and slot enumeration/inversion over the full allocation via
+// FabIndexer::invert (so reads *of* pad lanes are caught too).
+//
+// A TracingFab works in raw slot space deliberately: every double of the
+// allocation — valid cells, ghost cells, and pitch-padding lanes alike —
+// is a probe site, because an undeclared access is exactly an access to a
+// slot the contract says the kernel has no business touching.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/farraybox.hpp"
+
+namespace fluxdiv::grid {
+
+/// One raw storage slot of a fab: a cell index (possibly in a row's pad
+/// lanes, flagged) of one component.
+struct TraceSlot {
+  IntVect cell;
+  int comp = 0;
+  bool pad = false;
+};
+
+/// An FArrayBox plus the snapshot/diff machinery of the differential
+/// prober. Copy-free by design: FArrayBox is move-only under
+/// FLUXDIV_SHADOW_CHECK, so reference states live in plain Real buffers.
+class TracingFab {
+public:
+  TracingFab() = default;
+
+  /// Allocate over `box` x nComp at `pitch`, fill every raw slot (pad
+  /// lanes included) with a deterministic value keyed on (slot, seed),
+  /// and snapshot that state as the pre-run baseline.
+  void define(const Box& box, int nComp, Pitch pitch, std::uint64_t seed);
+
+  [[nodiscard]] FArrayBox& fab() { return fab_; }
+  [[nodiscard]] const FArrayBox& fab() const { return fab_; }
+  [[nodiscard]] bool defined() const { return fab_.defined(); }
+
+  /// Every raw slot of the allocation — the read prober's universe.
+  [[nodiscard]] std::vector<TraceSlot> allSlots() const;
+
+  /// Value / in-place update of one raw slot (pad lanes included; no
+  /// box-membership assertion, unlike FArrayBox::operator()).
+  [[nodiscard]] Real value(const TraceSlot& slot) const;
+  void set(const TraceSlot& slot, Real v);
+
+  /// Re-capture the pre-run baseline from the current contents.
+  void snapshot();
+  /// Restore the contents to the last snapshot().
+  void restore();
+  /// Capture the current contents as the reference (post-run) state the
+  /// perturbed runs are diffed against.
+  void captureReference();
+
+  /// Slots whose current value differs bitwise from the snapshot() —
+  /// the observed write set of a kernel run started from the baseline.
+  [[nodiscard]] std::vector<TraceSlot> changedSinceSnapshot() const;
+  /// Slots whose current value differs bitwise from captureReference() —
+  /// the observed dependence set of one perturbation.
+  [[nodiscard]] std::vector<TraceSlot> changedSinceReference() const;
+
+  /// The deterministic fill value define() gives a slot: strictly inside
+  /// [1, 2) so magnitudes are uniform and no flush-to-zero or special
+  /// value can mask a dependence.
+  static Real fillValue(const TraceSlot& slot, std::uint64_t seed);
+
+private:
+  [[nodiscard]] std::int64_t rawIndex(const TraceSlot& slot) const;
+  [[nodiscard]] std::vector<TraceSlot>
+  diffAgainst(const std::vector<Real>& ref) const;
+
+  FArrayBox fab_;
+  std::vector<Real> base_; ///< pre-run baseline
+  std::vector<Real> ref_;  ///< reference post-run state
+};
+
+} // namespace fluxdiv::grid

@@ -29,6 +29,32 @@ enum class Stage {
   FusedCell,      ///< one shifted+fused iteration (all faces of one cell)
 };
 
+/// Every Stage, for contract sweeps (kernelcheck, tools).
+inline constexpr std::array<Stage, 4> kStages = {
+    Stage::EvalFlux1, Stage::EvalFlux2, Stage::FluxDifference,
+    Stage::FusedCell};
+
+/// Canonical stage name, shared by the schedule lowering's stage labels,
+/// kernelcheck diagnostics, and the advisor's cost notes — the one
+/// spelling every grep and witness comparison keys on.
+constexpr const char* stageName(Stage stage) {
+  switch (stage) {
+  case Stage::EvalFlux1:
+    return "EvalFlux1";
+  case Stage::EvalFlux2:
+    return "EvalFlux2";
+  case Stage::FluxDifference:
+    return "FluxDifference";
+  case Stage::FusedCell:
+    return "FusedCell";
+  }
+  return "?";
+}
+
+/// The pointwise footprint: a stage that touches exactly the produced
+/// index (EvalFlux2's reads, and every stage's writes).
+inline constexpr Box kPointwiseOffsets{IntVect::zero(), IntVect::zero()};
+
 /// Offsets of the *cells* read by EvalFlux1 relative to the produced face
 /// index in direction d: face f reads cells f-2 .. f+1 (Eq. 6).
 constexpr Box evalFlux1ReadOffsets(int d) {
@@ -56,19 +82,22 @@ constexpr Box readOffsets(Stage stage, int d) {
   case Stage::EvalFlux1:
     return evalFlux1ReadOffsets(d);
   case Stage::EvalFlux2:
-    return {IntVect::zero(), IntVect::zero()};
+    return kPointwiseOffsets;
   case Stage::FluxDifference:
     return fluxDifferenceReadOffsets(d);
   case Stage::FusedCell:
     return fusedCellReadOffsets(d);
   }
-  return {IntVect::zero(), IntVect::zero()};
+  return kPointwiseOffsets;
 }
 
-/// Write offsets of every stage: each stage writes exactly the produced
-/// index (no stage scatters).
-constexpr Box writeOffsets(Stage) {
-  return {IntVect::zero(), IntVect::zero()};
+/// Write offsets of `stage` in direction d, declared symmetrically with
+/// readOffsets: each stage writes exactly the produced index (no stage
+/// scatters, in any direction). kernelcheck proves this against the code.
+constexpr Box writeOffsets(Stage stage, int d) {
+  (void)stage;
+  (void)d;
+  return kPointwiseOffsets;
 }
 
 /// The concrete region of the input field read when `stage` produces every
@@ -80,6 +109,37 @@ constexpr Box readRegion(Stage stage, int d, const Box& outputRegion) {
   const Box off = readOffsets(stage, d);
   return {outputRegion.lo() + off.lo(), outputRegion.hi() + off.hi()};
 }
+
+/// The concrete region written when `stage` produces every index of
+/// `outputRegion` (today always outputRegion itself; spelled via the
+/// declared write offsets so the symmetry is machine-checkable).
+constexpr Box writeRegion(Stage stage, int d, const Box& outputRegion) {
+  if (outputRegion.empty()) {
+    return outputRegion;
+  }
+  const Box off = writeOffsets(stage, d);
+  return {outputRegion.lo() + off.lo(), outputRegion.hi() + off.hi()};
+}
+
+/// Minkowski sum of two offset boxes: the composed footprint of a stage
+/// consuming another stage's output.
+constexpr Box composeOffsets(const Box& outer, const Box& inner) {
+  return {outer.lo() + inner.lo(), outer.hi() + inner.hi()};
+}
+
+// The fused iteration's declared footprint is not independent: it must be
+// exactly the flux-difference offsets composed with the face-average
+// offsets (the fused sweep inlines EvalFlux1/2 behind FluxDifference).
+// Checked per direction so a future edit to any one of the three boxes
+// re-proves the composition.
+static_assert(
+    composeOffsets(fluxDifferenceReadOffsets(0), evalFlux1ReadOffsets(0)) ==
+        fusedCellReadOffsets(0) &&
+    composeOffsets(fluxDifferenceReadOffsets(1), evalFlux1ReadOffsets(1)) ==
+        fusedCellReadOffsets(1) &&
+    composeOffsets(fluxDifferenceReadOffsets(2), evalFlux1ReadOffsets(2)) ==
+        fusedCellReadOffsets(2),
+    "FluxDifference o EvalFlux1 must equal the declared fused footprint");
 
 /// Loop-carried dependence vectors of the fused sweep: cell u consumes the
 /// shared-face flux deposited by cell u - e_d for every direction (via the

@@ -1,0 +1,86 @@
+// Property test: the pencil kernels are bit-level rewrites of the scalar
+// exemplar stages, so for every stage x direction x pitch x box size the
+// *inferred* footprints must match exactly — same observed offset sets
+// per dependence role, same write set, same output self-dependence. The
+// scalar drivers are the spec (a transliteration of Eqs. 6-8); the
+// pencil drivers are what the executors actually run; differential
+// probing of both closes the loop without trusting either.
+
+#include "analysis/kernelcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grid/box.hpp"
+#include "kernels/footprint.hpp"
+
+namespace fluxdiv::analysis {
+namespace {
+
+using grid::Pitch;
+
+const KernelShape* findShape(const std::vector<KernelShape>& shapes,
+                             const std::string& name) {
+  for (const KernelShape& s : shapes) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string fmtOffsets(const std::vector<grid::IntVect>& offs) {
+  std::string out = "{";
+  for (const grid::IntVect& o : offs) {
+    out += " (" + std::to_string(o[0]) + "," + std::to_string(o[1]) +
+           "," + std::to_string(o[2]) + ")";
+  }
+  return out + " }";
+}
+
+void expectSameFootprints(const KernelFootprintModel& scalar,
+                          const KernelFootprintModel& pencil,
+                          const std::string& where) {
+  ASSERT_EQ(scalar.reads.size(), pencil.reads.size()) << where;
+  for (std::size_t i = 0; i < scalar.reads.size(); ++i) {
+    EXPECT_EQ(scalar.reads[i].role, pencil.reads[i].role) << where;
+    EXPECT_EQ(scalar.reads[i].observed, pencil.reads[i].observed)
+        << where << " role " << scalar.reads[i].role << ": scalar "
+        << fmtOffsets(scalar.reads[i].observed) << " vs pencil "
+        << fmtOffsets(pencil.reads[i].observed);
+  }
+  EXPECT_EQ(scalar.output.observed, pencil.output.observed)
+      << where << " output self-dependence";
+  EXPECT_EQ(scalar.writes.observed, pencil.writes.observed)
+      << where << " write set";
+}
+
+TEST(KernelCheckProps, PencilMatchesScalarEverywhere) {
+  const std::vector<KernelShape> shapes = builtinStageShapes();
+  for (const kernels::Stage stage : kernels::kStages) {
+    for (int d = 0; d < 3; ++d) {
+      const std::string tag = kernelStageTag(stage, d);
+      const KernelShape* scalar = findShape(shapes, "scalar:" + tag);
+      const KernelShape* pencil = findShape(shapes, "pencil:" + tag);
+      ASSERT_NE(scalar, nullptr) << tag;
+      ASSERT_NE(pencil, nullptr) << tag;
+      for (const Pitch pitch : {Pitch::Padded, Pitch::Dense}) {
+        for (const int size : {4, 6}) {
+          ProbeOptions opts;
+          opts.boxSize = size;
+          opts.pitch = pitch;
+          const std::string where =
+              tag + (pitch == Pitch::Padded ? " padded" : " dense") +
+              " N=" + std::to_string(size);
+          expectSameFootprints(inferFootprint(*scalar, opts),
+                               inferFootprint(*pencil, opts), where);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace fluxdiv::analysis

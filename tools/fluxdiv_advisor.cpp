@@ -8,7 +8,12 @@
 //
 //   ./tools/fluxdiv_advisor [--boxsize 128] [--threads 8] [--extensions]
 //                           [--l2 BYTES] [--llc BYTES] [--csv out.csv]
-//                           [--strict] [--pad] [--nboxes 1]
+//                           [--strict] [--pad] [--nboxes 1] [--kernels]
+//
+// --kernels additionally probes the shipped kernels differentially
+// (analysis/kernelcheck) and reports any declared-but-never-read stencil
+// offsets — overdeclared footprints mean the traffic model and the
+// exchange plan price ghost cells no kernel touches.
 //
 // --pad prices working sets for the default padded fab allocation (x-pitch
 // rounded to grid::kSimdDoubles, docs/perf.md) instead of dense storage.
@@ -30,6 +35,7 @@
 #include "analysis/advisor.hpp"
 #include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
+#include "analysis/kernelcheck.hpp"
 #include "core/exec_level.hpp"
 #include "grid/copier.hpp"
 #include "grid/leveldata.hpp"
@@ -97,6 +103,9 @@ int main(int argc, char** argv) {
   args.addBool("pad", "price working sets for the padded fab x-pitch");
   args.addInt("nboxes", 1,
               "boxes per level for the level-policy ranking (1 = skip)");
+  args.addBool("kernels",
+               "probe the shipped kernels and report overdeclared "
+               "footprints (declared-but-never-read stencil offsets)");
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -291,6 +300,36 @@ int main(int argc, char** argv) {
                 << " simulated ranks, analysis/commcheck):\n";
       std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
                 << note.message() << "\n";
+    }
+  }
+
+  if (args.getBool("kernels")) {
+    // Kernel-contract advisory: differentially probe the shipped stage
+    // kernels and pipelines (analysis/kernelcheck) and lift any
+    // declared-but-never-read stencil offsets into cost notes. A small
+    // sampled probe suffices — tightness is per offset, not per cell.
+    analysis::ProbeOptions popts;
+    popts.boxSize = 6;
+    popts.exhaustiveSlotLimit = 0;
+    popts.sampleTarget = 400;
+    bool anyKernelNote = false;
+    for (const analysis::KernelShape& shape : analysis::builtinShapes()) {
+      const analysis::KernelCheckReport rep =
+          analysis::checkKernelFootprints(
+              analysis::inferFootprint(shape, popts));
+      for (const analysis::CostNote& note :
+           analysis::overdeclaredNotes(rep)) {
+        if (!anyKernelNote) {
+          std::cout << "\nkernel-contract notes (analysis/kernelcheck):\n";
+          anyKernelNote = true;
+        }
+        std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
+                  << note.message() << "\n";
+      }
+    }
+    if (!anyKernelNote) {
+      std::cout << "\nkernel-contract notes: every declared stencil "
+                   "offset is read (footprints tight)\n";
     }
   }
 
