@@ -537,6 +537,8 @@ const char* costNoteKindName(CostNoteKind k) {
     return "over-communicated";
   case CostNoteKind::OverdeclaredFootprint:
     return "overdeclared-footprint";
+  case CostNoteKind::DeepHaloRecompute:
+    return "deep-halo-recompute";
   case CostNoteKind::ModelError:
     return "model-error";
   }
@@ -580,6 +582,12 @@ std::string CostNote::message() const {
        << static_cast<std::int64_t>(limitBytes)
        << " declared stencil offset(s) never read by the kernel -> cost "
           "model prices ghost cells no kernel touches";
+    break;
+  case CostNoteKind::DeepHaloRecompute:
+    os << "'" << where << "': deepened-ghost recompute + extra halo "
+       << formatBytesD(actualBytes) << " > avoided-exchange savings "
+       << formatBytesD(limitBytes)
+       << " -> comm-avoiding unprofitable at this box size";
     break;
   case CostNoteKind::ModelError:
     os << where;
@@ -789,6 +797,126 @@ std::vector<LevelPolicyCost> analyzeLevelPolicies(
   for (LevelPolicyCost& c : out) {
     c.predictedSpeedup =
         usableParallelism(c.avgConcurrency, nThreads) / seqUsable;
+  }
+  return out;
+}
+
+namespace {
+
+// Alpha-model latency of one ghost-exchange message expressed in
+// byte-equivalents (~1.5 us at ~10 GB/s). This is the fixed cost
+// comm-avoiding buys back: a deep halo always moves MORE bytes than the
+// per-stage halos it replaces, so without a latency term CommAvoid could
+// never rank first and the trade would not depend on the box size.
+constexpr double kExchangeAlphaBytes = 16.0 * 1024;
+
+// Messages per exchange per box: the 26 face/edge/corner neighbors of a
+// 3D box (periodic levels keep all 26 as wrap copies).
+constexpr double kMessagesPerBox = 26.0;
+
+} // namespace
+
+std::vector<StepFusionCost> analyzeStepFusion(int rhsEvals, int boxSize,
+                                              int nBoxes, int eagerOps) {
+  rhsEvals = std::max(1, rhsEvals);
+  boxSize = std::max(1, boxSize);
+  nBoxes = std::max(1, nBoxes);
+  const int g = kernels::kNumGhost;
+  const double N = boxSize;
+  const double fieldBytes = kernels::kNumComp * kRealBytes;
+
+  // shell(x): bytes of an x-deep ghost shell around every box's N^3 valid
+  // region — the per-exchange halo volume at depth x.
+  const auto shell = [&](int x) {
+    const double side = N + 2.0 * x;
+    return (side * side * side - N * N * N) * fieldBytes * nBoxes;
+  };
+  const double alphaPerExchange = kMessagesPerBox * nBoxes *
+                                  kExchangeAlphaBytes;
+
+  const int deepDepth = g * rhsEvals;
+  // StepGraphExecutor falls back CommAvoid -> Fused when the deepened
+  // halo no longer fits next to the box (effectiveFuse()).
+  const bool caFeasible = deepDepth <= boxSize;
+
+  // CommAvoid recompute: stage s needs its RHS valid to width
+  // w_s = g x (rhsEvals - 1 - s) beyond the box, so it evaluates
+  // (N + 2 w_s)^3 - N^3 extra cells (planStepHalos' backward dataflow).
+  double recomputeCells = 0;
+  for (int s = 0; s < rhsEvals; ++s) {
+    const int w = g * (rhsEvals - 1 - s);
+    const double side = N + 2.0 * w;
+    recomputeCells += (side * side * side - N * N * N) * nBoxes;
+  }
+  const double validRhsCells = rhsEvals * N * N * N * nBoxes;
+
+  std::vector<StepFusionCost> out;
+  for (const core::StepFuse fuse : core::kStepFuseModes) {
+    StepFusionCost c;
+    c.fuse = fuse;
+    const bool deep = fuse == core::StepFuse::CommAvoid && caFeasible;
+    c.exchanges = deep ? 1 : rhsEvals;
+    c.exchangeDepth = deep ? deepDepth : g;
+    c.exchangeBytes = c.exchanges * shell(c.exchangeDepth);
+    c.alphaBytes = c.exchanges * alphaPerExchange;
+    c.recomputeCells = deep ? recomputeCells : 0;
+    c.recomputeFraction = c.recomputeCells / validRhsCells;
+    switch (fuse) {
+    case core::StepFuse::Eager:
+      // Every level-wide sweep of the eager loop is an implicit fork/join:
+      // per stage one exchange, one RHS dispatch, and ~2 stage combines.
+      c.dispatches = eagerOps > 0 ? eagerOps : 4 * rhsEvals;
+      break;
+    case core::StepFuse::Staged:
+      c.dispatches = rhsEvals; // one graph per stage, split at exchanges
+      break;
+    case core::StepFuse::Fused:
+    case core::StepFuse::CommAvoid:
+      c.dispatches = 1; // the whole step is one graph
+      break;
+    }
+    // Price: per-exchange fixed costs + halo bytes moved + the write
+    // traffic of recomputed RHS cells (each recomputed cell is produced —
+    // written — once more than the staged reference produces it).
+    c.costBytes = c.alphaBytes + c.exchangeBytes +
+                  c.recomputeCells * fieldBytes;
+    if (deep) {
+      // What deepening added vs what the avoided exchanges cost: fires
+      // exactly when CommAvoid prices worse than Fused.
+      const double extra = c.recomputeCells * fieldBytes +
+                           (shell(deepDepth) - shell(g));
+      const double savings = (rhsEvals - 1) *
+                             (shell(g) + alphaPerExchange);
+      if (extra > savings) {
+        CostNote note;
+        note.kind = CostNoteKind::DeepHaloRecompute;
+        note.where = "comm-avoiding " + std::to_string(rhsEvals) +
+                     "-stage step, box " + std::to_string(boxSize) + "^3";
+        note.actualBytes = extra;
+        note.limitBytes = savings;
+        note.fraction = c.recomputeFraction;
+        c.notes.push_back(note);
+      }
+    }
+    out.push_back(std::move(c));
+  }
+
+  // Rank by modeled traffic, dispatch count breaking ties (fewer joins
+  // wins at equal bytes); stable order keeps kStepFuseModes order for
+  // fully tied entries.
+  std::vector<std::size_t> order(out.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (out[a].costBytes != out[b].costBytes) {
+                       return out[a].costBytes < out[b].costBytes;
+                     }
+                     return out[a].dispatches < out[b].dispatches;
+                   });
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    out[order[r]].rank = static_cast<int>(r) + 1;
   }
   return out;
 }

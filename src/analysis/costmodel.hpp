@@ -57,6 +57,7 @@ enum class CostNoteKind {
   OverSynchronized, ///< task graph carries removable dependency edges
   OverCommunicated, ///< exchange plan has redundant/mergeable ops
   OverdeclaredFootprint, ///< declared stencil offsets no kernel reads
+  DeepHaloRecompute, ///< comm-avoiding recompute outweighs exchange savings
   ModelError,     ///< internal inconsistency (tool-level strict checks)
 };
 
@@ -146,5 +147,47 @@ struct LevelPolicyCost {
 std::vector<LevelPolicyCost> analyzeLevelPolicies(
     const core::VariantConfig& cfg, int boxSize, int nBoxes, int nThreads,
     const CacheSpec& spec);
+
+/// Static price of one whole RK time step under one StepFuse mode
+/// (core/stepgraph.hpp): exchanged halo bytes, per-exchange latency
+/// equivalents, deepened-ghost recomputation volume, and synchronization
+/// structure, per time step over the whole level. Mirrors planStepHalos
+/// analytically: under CommAvoid stage s of an R-stage scheme recomputes
+/// its RHS on a halo of width g x (R - 1 - s), fed by one exchange of
+/// depth g x R. A deep halo always moves MORE bytes than the R shallow
+/// halos it replaces ((N+2Rg)^3 grows faster than R shells of width g) —
+/// comm-avoiding pays bandwidth and recomputation to buy back the
+/// per-exchange fixed costs, so each exchange message is priced with an
+/// alpha-model latency byte-equivalent on top of its halo bytes. That is
+/// what makes the trade box-size dependent: small boxes are latency-bound
+/// (CommAvoid wins), large boxes are volume-bound (the
+/// DeepHaloRecompute note fires).
+struct StepFusionCost {
+  core::StepFuse fuse = core::StepFuse::Eager;
+  int exchanges = 0;        ///< ghost exchanges per time step
+  int exchangeDepth = 0;    ///< ghost layers each exchange fills
+  double exchangeBytes = 0; ///< halo bytes moved per time step (level)
+  double alphaBytes = 0;    ///< latency byte-equivalent of the exchanges
+  double recomputeCells = 0;    ///< RHS cells evaluated beyond valid
+  double recomputeFraction = 0; ///< recomputeCells / valid RHS cells
+  std::int64_t dispatches = 1;  ///< graph dispatches (join barriers)
+  double costBytes = 0; ///< exchange + alpha + recompute write traffic
+  int rank = 0;         ///< 1 = cheapest costBytes (dispatches tiebreak)
+  std::vector<CostNote> notes;
+};
+
+/// Price all four fuse modes for an `rhsEvals`-stage scheme over a level
+/// of `nBoxes` boxes of side `boxSize` (kStepFuseModes order, rank
+/// filled). Emits CostNoteKind::DeepHaloRecompute on the CommAvoid entry
+/// when the deepened-ghost recompute + extra halo traffic exceeds the
+/// cost of the avoided exchanges, and prices CommAvoid as infeasible
+/// (falls back; same structure as Fused) when the deepened halo exceeds
+/// the box side — exactly when StepGraphExecutor::effectiveFuse falls
+/// back. `eagerOps` is the eager path's level-wide sweep count per step
+/// (exchanges + RHS dispatches + stage combines) used for its dispatch
+/// count; pass 0 to approximate it as 4 x rhsEvals.
+std::vector<StepFusionCost> analyzeStepFusion(int rhsEvals, int boxSize,
+                                              int nBoxes,
+                                              int eagerOps = 0);
 
 } // namespace fluxdiv::analysis

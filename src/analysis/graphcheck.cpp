@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
 
 #include "analysis/region.hpp"
@@ -315,23 +316,23 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
   };
 
   // G2: every conflicting pair (shared write/write or read/write overlap)
-  // must be ordered. Accesses bucket by (field, box) so only same-storage
-  // pairs are ever intersected; writes are few (each cell has one
-  // producer), so write x write plus write x read stays near-linear.
+  // must be ordered. Accesses bucket by (field, slot, box) so only
+  // same-storage pairs are ever intersected; writes are few (each cell has
+  // one producer), so write x write plus write x read stays near-linear.
   struct Ref {
     int task;
     const TaskAccess* access;
   };
-  std::map<std::pair<int, std::size_t>,
+  std::map<std::tuple<int, int, std::size_t>,
            std::pair<std::vector<Ref>, std::vector<Ref>>>
-      buckets; // (field, box) -> (writes, reads)
+      buckets; // (field, slot, box) -> (writes, reads)
   for (std::size_t t = 0; t < m.tasks.size(); ++t) {
     for (const auto& w : m.tasks[t].writes) {
-      buckets[{static_cast<int>(w.field), w.box}].first.push_back(
+      buckets[{static_cast<int>(w.field), w.slot, w.box}].first.push_back(
           {static_cast<int>(t), &w});
     }
     for (const auto& r : m.tasks[t].reads) {
-      buckets[{static_cast<int>(r.field), r.box}].second.push_back(
+      buckets[{static_cast<int>(r.field), r.slot, r.box}].second.push_back(
           {static_cast<int>(t), &r});
     }
   }
@@ -390,6 +391,9 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
   // happen-before it (the exchange-op tasks feeding that ghost region).
   if (!m.ghostsPreExchanged) {
     for (std::size_t t = 0; t < m.tasks.size(); ++t) {
+      if (m.tasks[t].orderingOnly) {
+        continue; // sequencing barrier, not a data consumer
+      }
       for (const auto& r : m.tasks[t].reads) {
         if (r.field != FieldId::Phi0 || r.box >= m.validBoxes.size()) {
           continue;
@@ -409,9 +413,12 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
           }
           const auto gu = static_cast<std::size_t>(
               comps.members[cidx][li]);
+          if (m.tasks[gu].orderingOnly) {
+            continue; // conservative barrier footprint, not a producer
+          }
           for (const auto& w : m.tasks[gu].writes) {
             if (w.field == FieldId::Phi0 && w.box == r.box &&
-                w.comp0 <= r.comp0 &&
+                w.slot == r.slot && w.comp0 <= r.comp0 &&
                 r.comp0 + r.nComp <= w.comp0 + w.nComp) {
               cover.add(w.region);
             }
@@ -431,7 +438,8 @@ GraphCheckReport checkTaskGraph(const TaskGraphModel& m,
               continue;
             }
             for (const auto& w : m.tasks[u].writes) {
-              if (w.field != FieldId::Phi0 || w.box != r.box) {
+              if (w.field != FieldId::Phi0 || w.box != r.box ||
+                  w.slot != r.slot) {
                 continue;
               }
               const std::int64_t vol =

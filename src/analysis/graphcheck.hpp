@@ -47,26 +47,38 @@ namespace fluxdiv::analysis {
 struct TaskAccess {
   FieldId field = FieldId::Phi0;
   std::size_t box = 0; ///< owning box of the fab / per-box cache
+  /// Storage slot for multi-LevelData graphs (core/stepgraph.hpp): whole-RK
+  /// step graphs touch several LevelData objects (u plus the stage
+  /// temporaries), and slot 3's box 2 is distinct storage from slot 0's
+  /// box 2 even though both model as FieldId::Phi0. Single-level graphs
+  /// leave this 0.
+  int slot = 0;
   int comp0 = 0;
   int nComp = 1;
   Box region;
 
   /// True if the two accesses can touch the same memory.
   [[nodiscard]] bool overlaps(const TaskAccess& o) const {
-    return field == o.field && box == o.box && comp0 < o.comp0 + o.nComp &&
-           o.comp0 < comp0 + nComp && region.intersects(o.region);
+    return field == o.field && box == o.box && slot == o.slot &&
+           comp0 < o.comp0 + o.nComp && o.comp0 < comp0 + nComp &&
+           region.intersects(o.region);
   }
 };
 
 /// One task of the lowered graph: label for diagnostics, exact footprints,
 /// outgoing dependency edges. `exchangeOp` marks the ghost-exchange copy
-/// tasks whose Phi0 writes satisfy the G3 coverage rule.
+/// tasks whose Phi0 writes satisfy the G3 coverage rule. `orderingOnly`
+/// marks tasks that exist purely to sequence the graph (e.g. the step
+/// graphs' shadow-epoch barriers): their conservative whole-fab footprints
+/// still participate in G2 ordering, but G3 neither demands coverage for
+/// their reads nor accepts their writes as ghost coverage.
 struct GraphTask {
   std::string label;
   std::vector<TaskAccess> reads;
   std::vector<TaskAccess> writes;
   std::vector<int> successors;
   bool exchangeOp = false;
+  bool orderingOnly = false;
 };
 
 /// The analysis-side mirror of one core::TaskGraph, built by the level

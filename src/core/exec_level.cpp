@@ -41,7 +41,7 @@ std::string coordTag(const grid::IntVect& p) {
 }
 
 TaskAccess acc(FieldId f, std::size_t box, int c0, int nc, const Box& r) {
-  return TaskAccess{f, box, c0, nc, r};
+  return TaskAccess{f, box, /*slot=*/0, c0, nc, r};
 }
 
 // ---------------------------------------------------------------------------

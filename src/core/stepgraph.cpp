@@ -1,0 +1,797 @@
+#include "core/stepgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/exec_common.hpp"
+#include "core/runner.hpp"
+#include "kernels/footprint.hpp"
+#include "kernels/laplacian.hpp"
+
+namespace fluxdiv::core {
+
+using grid::Box;
+using grid::FArrayBox;
+using grid::IntVect;
+using grid::LevelData;
+using grid::Real;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+StepHaloPlan planStepHalos(const StepProgram& prog, StepFuse fuse) {
+  StepHaloPlan plan;
+  plan.width.assign(prog.ops.size(), 0);
+  if (fuse != StepFuse::CommAvoid) {
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      if (prog.ops[i].kind == StepOpKind::Exchange) {
+        plan.width[i] = kNumGhost;
+        plan.depth = kNumGhost;
+      }
+    }
+    return plan;
+  }
+  // Comm-avoiding transform: walk the program backward tracking, per slot,
+  // how many ghost layers of it the remaining ops still need. An RHS
+  // evaluation at width w consumes kNumGhost extra layers of its source; a
+  // copy/axpy propagates its own width; only the per-time-step exchange of
+  // the solution slot survives, deepened to cover the whole chain (every
+  // intermediate exchange/BC fill is dropped, width -1, and replaced by
+  // recomputation on the widened halo).
+  std::vector<int> needed(static_cast<std::size_t>(prog.nSlots), 0);
+  const auto need = [&](int slot) -> int& {
+    return needed[static_cast<std::size_t>(slot)];
+  };
+  for (std::size_t ri = prog.ops.size(); ri-- > 0;) {
+    const StepOp& op = prog.ops[ri];
+    switch (op.kind) {
+    case StepOpKind::Exchange:
+      if (op.dst == 0) {
+        plan.width[ri] = need(0);
+        plan.depth = std::max(plan.depth, need(0));
+        need(0) = 0;
+      } else {
+        plan.width[ri] = -1; // recomputed on the widened halo instead
+      }
+      break;
+    case StepOpKind::BoundaryFill:
+      plan.width[ri] = -1; // CommAvoid requires a fully periodic domain
+      break;
+    case StepOpKind::RhsEval: {
+      const int w = need(op.dst);
+      plan.width[ri] = w;
+      need(op.dst) = 0;
+      need(op.src) = std::max(need(op.src), w + kNumGhost);
+      break;
+    }
+    case StepOpKind::CopySlot: {
+      const int w = need(op.dst);
+      plan.width[ri] = w;
+      need(op.dst) = 0;
+      need(op.src) = std::max(need(op.src), w);
+      break;
+    }
+    case StepOpKind::AxpySlot: {
+      const int w = need(op.dst);
+      plan.width[ri] = w;
+      need(op.src) = std::max(need(op.src), w);
+      break;
+    }
+    case StepOpKind::ScaleSlot:
+      plan.width[ri] = need(op.dst);
+      break;
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+#ifdef FLUXDIV_GRAPH_VERIFY
+void throwOnStepGraphDiagnostics(const analysis::TaskGraphModel& model) {
+  const analysis::GraphCheckReport report =
+      analysis::checkTaskGraph(model, /*findRemovable=*/false);
+  if (report.ok()) {
+    return;
+  }
+  std::string msg =
+      "StepGraphExecutor: task-graph verification failed for '" +
+      model.name + "' (" + std::to_string(report.diagnostics.size()) +
+      " diagnostic(s)):";
+  const std::size_t shown =
+      std::min<std::size_t>(report.diagnostics.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    msg += "\n  " + report.diagnostics[i].message();
+  }
+  if (report.diagnostics.size() > shown) {
+    msg += "\n  (+" + std::to_string(report.diagnostics.size() - shown) +
+           " more)";
+  }
+  throw std::logic_error(msg);
+}
+#endif
+
+/// Executable graph + analysis mirror + dependence tracker for one
+/// dispatch. addTask() keeps the graph and the model in lockstep (same
+/// ids, same labels, built from the same calls, so the model cannot drift
+/// from what runs); access() records a footprint in the model AND derives
+/// the dependency edges: any earlier access of the same (slot, box) with
+/// a component/region overlap where either side writes becomes an edge.
+/// Program order makes every derived edge point forward, so the graphs
+/// are acyclic by construction (G1 re-proves it independently).
+class Lowering {
+public:
+  Lowering(std::string name, const LevelData& u) {
+    model.name = std::move(name);
+    model.ghostsPreExchanged = false;
+    for (std::size_t b = 0; b < u.size(); ++b) {
+      model.validBoxes.push_back(u.validBox(b));
+    }
+  }
+
+  int addTask(TaskGraph::Fn fn, int owner, std::string label,
+              bool exchangeOp = false, bool orderingOnly = false) {
+    const int id = graph.addTask(std::move(fn), owner, label);
+    model.addTask(std::move(label));
+    model.tasks.back().exchangeOp = exchangeOp;
+    model.tasks.back().orderingOnly = orderingOnly;
+    preds_.emplace_back();
+    return id;
+  }
+
+  void access(int task, int slot, std::size_t box, const Box& region,
+              int nc, bool write) {
+    if (region.empty()) {
+      return;
+    }
+    auto& entries = log_[{slot, box}];
+    for (const Entry& e : entries) {
+      if (e.task == task || (!write && !e.write) ||
+          !e.region.intersects(region)) {
+        continue;
+      }
+      if (preds_[static_cast<std::size_t>(task)].insert(e.task).second) {
+        graph.addDep(e.task, task);
+        model.addEdge(e.task, task);
+      }
+    }
+    entries.push_back({task, region, write});
+    analysis::TaskAccess a;
+    a.field = analysis::FieldId::Phi0;
+    a.box = box;
+    a.slot = slot;
+    a.comp0 = 0;
+    a.nComp = nc;
+    a.region = region;
+    auto& t = model.tasks[static_cast<std::size_t>(task)];
+    (write ? t.writes : t.reads).push_back(a);
+  }
+
+  TaskGraph graph;
+  analysis::TaskGraphModel model;
+  std::vector<FArrayBox*> epochFabs; ///< RHS outputs: re-arm shadow/check
+  std::vector<bool> rhsWritten;      ///< per slot, within this dispatch
+
+private:
+  struct Entry {
+    int task;
+    Box region;
+    bool write;
+  };
+  std::map<std::pair<int, std::size_t>, std::vector<Entry>> log_;
+  std::vector<std::set<int>> preds_;
+};
+
+/// Everything lowerOp() needs about the capture being built.
+struct LowerEnv {
+  const VariantConfig& cfg;
+  WorkspacePool& ws;
+  int nThreads;
+  const StepProgram& prog;
+  StepRhsSpec rhs;
+  std::vector<LevelData*> slots; ///< program slot -> backing storage
+  const StepHaloPlan& plan;
+  LevelPolicy policy;
+  StepFuse fuse;
+
+  [[nodiscard]] int ownerOf(std::size_t b) const {
+    return static_cast<int>(b % static_cast<std::size_t>(nThreads));
+  }
+  [[nodiscard]] std::string stepTag(const StepOp& op) const {
+    return prog.nSteps > 1 ? " t" + std::to_string(op.step) : std::string();
+  }
+};
+
+struct NamedRegion {
+  Box region;
+  std::string tag;
+};
+
+/// Task decomposition of one RHS evaluation over one box. Comm-avoiding
+/// runs the whole widened region as one task (the deep exchange already
+/// happened; there is nothing left to overlap). The hybrid policy turns
+/// overlapped tiles into (box x tile) tasks — the sparse cross-stage
+/// tiling: a tile's stage-(i+1) task depends only on the stage-i tasks
+/// whose footprints it reads, not on the whole level. Other policies use
+/// the level executor's interior + six halo-fringe slabs so interior
+/// compute overlaps the exchange (whole-box when the box is too small,
+/// or under the sequential policy where coarse tasks mirror the seed
+/// loop's granularity). The pieces always partition the region, and every
+/// family accumulates each cell's flux differences in the same per-cell
+/// order, so any decomposition is bit-identical.
+std::vector<NamedRegion> rhsRegions(const LowerEnv& env, const Box& valid,
+                                    int w) {
+  std::vector<NamedRegion> out;
+  if (env.fuse == StepFuse::CommAvoid) {
+    out.push_back({valid.grow(w), w > 0 ? "w" + std::to_string(w) : "all"});
+    return out;
+  }
+  if (env.policy == LevelPolicy::Hybrid &&
+      env.cfg.family == ScheduleFamily::OverlappedTiles &&
+      env.cfg.tileSize > 0) {
+    const sched::TileSet tiles = detail::makeTileSet(env.cfg, valid);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      out.push_back({tiles.tileBox(t), "tile" + std::to_string(t)});
+    }
+    return out;
+  }
+  const int g = kNumGhost;
+  const Box interior = valid.grow(-g);
+  if (env.policy == LevelPolicy::BoxSequential || interior.empty()) {
+    out.push_back({valid, "all"});
+    return out;
+  }
+  const Box zmid = valid.grow(2, -g);
+  const Box zymid = zmid.grow(1, -g);
+  out.push_back({interior, "int"});
+  out.push_back({valid.lowSlab(2, g), "z-lo"});
+  out.push_back({valid.highSlab(2, g), "z-hi"});
+  out.push_back({zmid.lowSlab(1, g), "y-lo"});
+  out.push_back({zmid.highSlab(1, g), "y-hi"});
+  out.push_back({zymid.lowSlab(0, g), "x-lo"});
+  out.push_back({zymid.highSlab(0, g), "x-hi"});
+  return out;
+}
+
+/// Task decomposition of one stage combine (copy/axpy/scale) over one
+/// box: per-tile under the hybrid policy's sparse tiling, else one task
+/// per box (already a parallel improvement over the eager integrator's
+/// serial whole-level sweeps).
+std::vector<NamedRegion> combineRegions(const LowerEnv& env,
+                                        const Box& valid, int w) {
+  std::vector<NamedRegion> out;
+  if (env.fuse != StepFuse::CommAvoid &&
+      env.policy == LevelPolicy::Hybrid &&
+      env.cfg.family == ScheduleFamily::OverlappedTiles &&
+      env.cfg.tileSize > 0) {
+    const sched::TileSet tiles = detail::makeTileSet(env.cfg, valid);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      out.push_back({tiles.tileBox(t), " tile" + std::to_string(t)});
+    }
+    return out;
+  }
+  out.push_back({valid.grow(w), w > 0 ? " w" + std::to_string(w) : ""});
+  return out;
+}
+
+void lowerExchange(Lowering& low, LowerEnv& env, const StepOp& op) {
+  LevelData& level = *env.slots[static_cast<std::size_t>(op.dst)];
+  const auto& ops = level.copier().ops();
+  const int nc = level.nComp();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const grid::CopyOp cop = ops[i];
+    LevelData* lp = &level;
+    const int t = low.addTask(
+        [lp, cop, nc](int) {
+          (*lp)[cop.destBox].copyShifted((*lp)[cop.srcBox], cop.destRegion,
+                                         cop.srcShift, 0, 0, nc);
+        },
+        env.ownerOf(cop.destBox),
+        env.prog.slotName(op.dst) + " " + level.copier().opLabel(i) +
+            env.stepTag(op),
+        /*exchangeOp=*/true);
+    low.access(t, op.dst, cop.srcBox, cop.srcRegion(), nc, false);
+    low.access(t, op.dst, cop.destBox, cop.destRegion, nc, true);
+  }
+}
+
+void lowerBoundaryFill(Lowering& low, LowerEnv& env, const StepOp& op) {
+  const grid::BoundaryFiller* bf = env.rhs.boundary;
+  if (bf == nullptr) {
+    return;
+  }
+  LevelData& level = *env.slots[static_cast<std::size_t>(op.dst)];
+  const grid::ProblemDomain& domain = level.layout().domain();
+  const Box dom = domain.box();
+  const int nc = level.nComp();
+  const int g = level.nGhost();
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    const Box valid = level.validBox(b);
+    const Box alloc = valid.grow(g);
+    // One task per (box, dimension), chained d-1 -> d by the write/write
+    // overlap of their corner slabs (the tracker orders them in program
+    // order), preserving fill()'s dimension-sweep semantics where later
+    // dimensions rebuild edge/corner ghosts from earlier results.
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      if (!bf->active(valid, d)) {
+        continue;
+      }
+      LevelData* lp = &level;
+      const int t = low.addTask(
+          [bf, lp, b, d](int) { bf->fillBoxDim(*lp, b, d); },
+          env.ownerOf(b),
+          "bc " + env.prog.slotName(op.dst) + " box" + std::to_string(b) +
+              " d" + std::to_string(d) + env.stepTag(op));
+      const auto& type = bf->spec().type[static_cast<std::size_t>(d)];
+      for (int side = 0; side < 2; ++side) {
+        const bool atFace = side == 0 ? valid.lo(d) == dom.lo(d)
+                                      : valid.hi(d) == dom.hi(d);
+        if (!atFace || type[static_cast<std::size_t>(side)] ==
+                           grid::BCType::None) {
+          continue;
+        }
+        // Writes: the g ghost planes beyond this face, spanning the full
+        // allocated cross-section (corners included, as fillSide does).
+        low.access(t, op.dst, b,
+                   side == 0 ? alloc.lowSlab(d, g) : alloc.highSlab(d, g),
+                   nc, true);
+        // Reads: the 4 interior planes the mirror/cubic/Dirichlet rules
+        // consume. Cross-section: dimensions e < d span the full
+        // allocation (their beyond-domain ghosts were rebuilt by the
+        // e-sweep, which happens-before via the corner overlap);
+        // dimensions e > d are clipped to the domain when non-periodic —
+        // fillSide does read those beyond-domain cells, but whatever it
+        // computes from them is overwritten by the later e-sweep, so the
+        // effective dataflow (what G2/G3 must order and cover) excludes
+        // them.
+        IntVect rlo = alloc.lo();
+        IntVect rhi = alloc.hi();
+        if (side == 0) {
+          rlo[d] = valid.lo(d);
+          rhi[d] = std::min(valid.lo(d) + 3, valid.hi(d));
+        } else {
+          rhi[d] = valid.hi(d);
+          rlo[d] = std::max(valid.hi(d) - 3, valid.lo(d));
+        }
+        for (int e = d + 1; e < grid::SpaceDim; ++e) {
+          if (!domain.isPeriodic(e)) {
+            rlo[e] = std::max(rlo[e], dom.lo(e));
+            rhi[e] = std::min(rhi[e], dom.hi(e));
+          }
+        }
+        low.access(t, op.dst, b, Box(rlo, rhi), nc, false);
+      }
+    }
+  }
+}
+
+void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
+  LevelData& src = *env.slots[static_cast<std::size_t>(op.src)];
+  LevelData& dst = *env.slots[static_cast<std::size_t>(op.dst)];
+  const int nc = dst.nComp();
+  const bool firstWrite = !low.rhsWritten[static_cast<std::size_t>(op.dst)];
+  low.rhsWritten[static_cast<std::size_t>(op.dst)] = true;
+  for (std::size_t b = 0; b < dst.size(); ++b) {
+    const Box valid = dst.validBox(b);
+    FArrayBox* df = &dst[b];
+    if (firstWrite) {
+      low.epochFabs.push_back(df);
+    } else {
+      // Shadow-epoch barrier: the slot is being re-written by a later
+      // stage, which the per-epoch write detector would flag as a
+      // cross-worker double write. The barrier task re-arms the epoch;
+      // its conservative whole-fab footprint (orderingOnly: G3 ignores
+      // it) sequences it after every earlier access of this fab and
+      // before every later one — exactly the WAR/WAW ordering the
+      // re-write needs anyway, so no parallelism beyond that is lost.
+      const int t = low.addTask(
+          [df](int) {
+#ifdef FLUXDIV_SHADOW_CHECK
+            df->shadowBeginEpoch();
+#else
+            (void)df;
+#endif
+          },
+          env.ownerOf(b),
+          "epoch " + env.prog.slotName(op.dst) + " box" +
+              std::to_string(b) + env.stepTag(op),
+          /*exchangeOp=*/false, /*orderingOnly=*/true);
+      low.access(t, op.dst, b, valid.grow(dst.nGhost()), nc, true);
+    }
+    const FArrayBox* sf = &src[b];
+    const VariantConfig* cfg = &env.cfg;
+    WorkspacePool* ws = &env.ws;
+    const Real scale = -env.rhs.invDx;
+    const Real diss = env.rhs.dissipation;
+    for (const NamedRegion& nr : rhsRegions(env, valid, w)) {
+      const Box region = nr.region;
+      const int t = low.addTask(
+          [cfg, ws, sf, df, region, nc, scale, diss](int worker) {
+            for (int c = 0; c < nc; ++c) {
+              df->setVal(0.0, region, c);
+            }
+            detail::runBoxSerialDispatch(*cfg, *sf, *df, region,
+                                         (*ws)[worker], scale);
+            if (diss != 0.0) {
+              kernels::addLaplacian(*sf, *df, region, diss);
+            }
+            FLUXDIV_SHADOW_WRITE(*df, region, 0, nc);
+          },
+          env.ownerOf(b),
+          "rhs " + env.prog.slotName(op.src) + "->" +
+              env.prog.slotName(op.dst) + " box" + std::to_string(b) +
+              " " + nr.tag + env.stepTag(op));
+      for (int d = 0; d < grid::SpaceDim; ++d) {
+        low.access(t, op.src, b,
+                   kernels::readRegion(kernels::Stage::FusedCell, d,
+                                       region),
+                   nc, false);
+      }
+      low.access(t, op.dst, b, region, nc, true);
+    }
+  }
+}
+
+void lowerCombine(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
+  LevelData& dst = *env.slots[static_cast<std::size_t>(op.dst)];
+  LevelData* srcLevel = op.kind == StepOpKind::ScaleSlot
+                            ? nullptr
+                            : env.slots[static_cast<std::size_t>(op.src)];
+  const int nc = dst.nComp();
+  for (std::size_t b = 0; b < dst.size(); ++b) {
+    const Box valid = dst.validBox(b);
+    FArrayBox* df = &dst[b];
+    const FArrayBox* sf =
+        srcLevel != nullptr ? &(*srcLevel)[b] : nullptr;
+    for (const NamedRegion& nr : combineRegions(env, valid, w)) {
+      const Box region = nr.region;
+      TaskGraph::Fn fn;
+      std::string label;
+      switch (op.kind) {
+      case StepOpKind::CopySlot:
+        fn = [df, sf, region, nc](int) {
+          df->copy(*sf, region, 0, 0, nc);
+        };
+        label = "copy " + env.prog.slotName(op.src) + "->" +
+                env.prog.slotName(op.dst);
+        break;
+      case StepOpKind::AxpySlot: {
+        const Real s = op.scale;
+        fn = [df, sf, region, s](int) { df->plus(*sf, s, region); };
+        label = "axpy " + env.prog.slotName(op.dst) + "+=" +
+                env.prog.slotName(op.src);
+        break;
+      }
+      default: { // ScaleSlot
+        const Real s = op.scale;
+        fn = [df, region, nc, s](int) {
+          for (int c = 0; c < nc; ++c) {
+            Real* p = df->dataPtr(c);
+            forEachCell(region, [&](int i, int j, int k) {
+              p[df->offset(i, j, k)] *= s;
+            });
+          }
+        };
+        label = "scale " + env.prog.slotName(op.dst);
+        break;
+      }
+      }
+      const int t =
+          low.addTask(std::move(fn), env.ownerOf(b),
+                      label + " box" + std::to_string(b) + nr.tag +
+                          env.stepTag(op));
+      if (sf != nullptr) {
+        low.access(t, op.src, b, region, nc, false);
+      }
+      if (op.kind != StepOpKind::CopySlot) {
+        low.access(t, op.dst, b, region, nc, false); // reads old value
+      }
+      low.access(t, op.dst, b, region, nc, true);
+    }
+  }
+}
+
+void lowerOp(Lowering& low, LowerEnv& env, std::size_t opIdx) {
+  const StepOp& op = env.prog.ops[opIdx];
+  const int w = env.plan.width[opIdx];
+  if (w < 0) {
+    return; // dropped by the comm-avoiding transform
+  }
+  switch (op.kind) {
+  case StepOpKind::Exchange:
+    lowerExchange(low, env, op);
+    break;
+  case StepOpKind::BoundaryFill:
+    lowerBoundaryFill(low, env, op);
+    break;
+  case StepOpKind::RhsEval:
+    lowerRhsEval(low, env, op, w);
+    break;
+  case StepOpKind::CopySlot:
+  case StepOpKind::AxpySlot:
+  case StepOpKind::ScaleSlot:
+    lowerCombine(low, env, op, w);
+    break;
+  }
+}
+
+} // namespace
+
+struct StepGraphExecutor::Capture {
+  // Capture key: graphs are rebuilt only when any of these change.
+  const LevelData* u = nullptr;
+  std::vector<StepOp> ops;
+  int nSlots = 0;
+  std::size_t nBoxes = 0;
+  Box firstValid;
+  Real invDx = 0.0;
+  Real dissipation = 0.0;
+  const grid::BoundaryFiller* boundary = nullptr;
+
+  // Lowered state.
+  StepFuse fuse = StepFuse::Fused;
+  int depth = kNumGhost;
+  std::vector<LevelData> stage; ///< Staged/Fused: slots 1..nSlots-1
+  std::vector<LevelData> deep;  ///< CommAvoid: all slots at `depth` ghosts
+  struct Phase {
+    TaskGraph graph;
+    analysis::TaskGraphModel model;
+    std::vector<FArrayBox*> epochFabs;
+  };
+  std::vector<Phase> phases;
+};
+
+StepGraphExecutor::StepGraphExecutor(VariantConfig cfg, int nThreads,
+                                     StepExecOptions opts)
+    : cfg_(cfg), nThreads_(nThreads < 1 ? 1 : nThreads), opts_(opts),
+      pool_(nThreads_, opts.pin), ws_(nThreads_),
+      runner_(std::make_unique<FluxDivRunner>(cfg, nThreads_)) {
+  if (opts_.fuse == StepFuse::Eager) {
+    throw std::invalid_argument(
+        "StepGraphExecutor: StepFuse::Eager is the reference path; use "
+        "the integrator's eager loop");
+  }
+}
+
+StepGraphExecutor::~StepGraphExecutor() = default;
+
+StepFuse StepGraphExecutor::effectiveFuse(const StepProgram& prog,
+                                          const grid::LevelData& u,
+                                          const StepRhsSpec& rhs) const {
+  if (opts_.fuse != StepFuse::CommAvoid) {
+    return opts_.fuse;
+  }
+  if (rhs.boundary != nullptr) {
+    return StepFuse::Fused; // BCs need the per-stage ghost rebuild
+  }
+  const int depth = planStepHalos(prog, StepFuse::CommAvoid).depth;
+  for (std::size_t b = 0; b < u.size(); ++b) {
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      if (depth > u.validBox(b).size(d)) {
+        return StepFuse::Fused; // halo deeper than the box: no exchange
+      }
+    }
+  }
+  return StepFuse::CommAvoid;
+}
+
+StepGraphExecutor::Capture&
+StepGraphExecutor::ensureCapture(const StepProgram& prog,
+                                 grid::LevelData& u,
+                                 const StepRhsSpec& rhs) {
+  const auto sameOp = [](const StepOp& a, const StepOp& b) {
+    return a.kind == b.kind && a.dst == b.dst && a.src == b.src &&
+           a.scale == b.scale && a.step == b.step;
+  };
+  if (capture_ != nullptr && capture_->u == &u &&
+      capture_->nSlots == prog.nSlots &&
+      capture_->nBoxes == u.size() &&
+      capture_->firstValid == u.validBox(0) &&
+      capture_->invDx == rhs.invDx &&
+      capture_->dissipation == rhs.dissipation &&
+      capture_->boundary == rhs.boundary &&
+      capture_->ops.size() == prog.ops.size() &&
+      std::equal(capture_->ops.begin(), capture_->ops.end(),
+                 prog.ops.begin(), sameOp)) {
+    stats_.rebuilt = false;
+    return *capture_;
+  }
+
+  if (u.nComp() != kNumComp) {
+    throw std::invalid_argument(
+        "StepGraphExecutor: solution must have kNumComp components");
+  }
+  if (u.nGhost() < kNumGhost) {
+    throw std::invalid_argument(
+        "StepGraphExecutor: solution needs at least kNumGhost ghosts");
+  }
+
+  auto cap = std::make_unique<Capture>();
+  cap->u = &u;
+  cap->ops = prog.ops;
+  cap->nSlots = prog.nSlots;
+  cap->nBoxes = u.size();
+  cap->firstValid = u.validBox(0);
+  cap->invDx = rhs.invDx;
+  cap->dissipation = rhs.dissipation;
+  cap->boundary = rhs.boundary;
+  cap->fuse = effectiveFuse(prog, u, rhs);
+
+  const StepHaloPlan plan = planStepHalos(prog, cap->fuse);
+  cap->depth = plan.depth;
+
+  // Schedule-legality, kernel-contract, and cost-advisory gates for every
+  // box shape the tasks will run (each cached per extent inside the
+  // runner, each possibly compiled out — see core/runner.hpp).
+  for (std::size_t b = 0; b < u.size(); ++b) {
+    runner_->prepare(u.validBox(b));
+  }
+
+  // Backing storage. Staged/Fused: the solution slot is the caller's
+  // level; stage slots get standard-ghost levels. CommAvoid: every slot —
+  // including a private copy of the solution — gets a deepened-halo level
+  // so the one up-front exchange can feed the whole widened chain.
+  std::vector<LevelData*> slots(static_cast<std::size_t>(prog.nSlots));
+  if (cap->fuse == StepFuse::CommAvoid) {
+    cap->deep.reserve(static_cast<std::size_t>(prog.nSlots));
+    for (int s = 0; s < prog.nSlots; ++s) {
+      cap->deep.emplace_back(u.layout(), kNumComp, cap->depth);
+      slots[static_cast<std::size_t>(s)] = &cap->deep.back();
+    }
+  } else {
+    slots[0] = &u;
+    cap->stage.reserve(static_cast<std::size_t>(prog.nSlots - 1));
+    for (int s = 1; s < prog.nSlots; ++s) {
+      cap->stage.emplace_back(u.layout(), kNumComp, kNumGhost);
+      slots[static_cast<std::size_t>(s)] = &cap->stage.back();
+    }
+  }
+
+  LowerEnv env{cfg_,  ws_,   nThreads_, prog, rhs,
+               slots, plan,  opts_.policy, cap->fuse};
+  if (cap->fuse == StepFuse::CommAvoid) {
+    env.rhs.boundary = nullptr; // periodic only; BC ops are dropped
+  }
+
+  // Phase split: Staged dispatches one graph per stage (cut before each
+  // exchange, the eager path's synchronization points); Fused/CommAvoid
+  // lower everything into a single graph.
+  std::vector<std::vector<std::size_t>> phaseOps;
+  if (cap->fuse == StepFuse::Staged) {
+    std::vector<std::size_t> cur;
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      if (prog.ops[i].kind == StepOpKind::Exchange && !cur.empty()) {
+        phaseOps.push_back(std::move(cur));
+        cur.clear();
+      }
+      cur.push_back(i);
+    }
+    if (!cur.empty()) {
+      phaseOps.push_back(std::move(cur));
+    }
+  } else {
+    std::vector<std::size_t> all(prog.ops.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = i;
+    }
+    phaseOps.push_back(std::move(all));
+  }
+
+  const int nc = u.nComp();
+  for (std::size_t p = 0; p < phaseOps.size(); ++p) {
+    std::string name = cfg_.name() + " [step " +
+                       stepFuseName(cap->fuse) + " " +
+                       levelPolicyName(opts_.policy);
+    if (phaseOps.size() > 1) {
+      name += " phase " + std::to_string(p + 1) + "/" +
+              std::to_string(phaseOps.size());
+    }
+    name += "]";
+    Lowering low(std::move(name), u);
+    low.rhsWritten.assign(static_cast<std::size_t>(prog.nSlots), false);
+
+    if (cap->fuse == StepFuse::CommAvoid && p == 0) {
+      // Copy the caller's solution into the deep slot (model slot
+      // nSlots identifies the external level).
+      for (std::size_t b = 0; b < u.size(); ++b) {
+        const Box valid = u.validBox(b);
+        FArrayBox* df = &cap->deep[0][b];
+        const FArrayBox* sf = &u[b];
+        const int t = low.addTask(
+            [df, sf, valid, nc](int) { df->copy(*sf, valid, 0, 0, nc); },
+            env.ownerOf(b), "copyin u box" + std::to_string(b));
+        low.access(t, prog.nSlots, b, valid, nc, false);
+        low.access(t, 0, b, valid, nc, true);
+      }
+    }
+    for (const std::size_t i : phaseOps[p]) {
+      lowerOp(low, env, i);
+    }
+    if (cap->fuse == StepFuse::CommAvoid && p + 1 == phaseOps.size()) {
+      for (std::size_t b = 0; b < u.size(); ++b) {
+        const Box valid = u.validBox(b);
+        FArrayBox* df = &u[b];
+        const FArrayBox* sf = &cap->deep[0][b];
+        const int t = low.addTask(
+            [df, sf, valid, nc](int) { df->copy(*sf, valid, 0, 0, nc); },
+            env.ownerOf(b), "copyout u box" + std::to_string(b));
+        low.access(t, 0, b, valid, nc, false);
+        low.access(t, prog.nSlots, b, valid, nc, true);
+      }
+    }
+
+    Capture::Phase phase;
+    phase.graph = std::move(low.graph);
+    phase.model = std::move(low.model);
+    phase.epochFabs = std::move(low.epochFabs);
+    cap->phases.push_back(std::move(phase));
+  }
+
+#ifdef FLUXDIV_GRAPH_VERIFY
+  // Prove every captured graph race-free before its first execution.
+  for (const Capture::Phase& phase : cap->phases) {
+    throwOnStepGraphDiagnostics(phase.model);
+  }
+#endif
+
+  stats_ = StepGraphStats{};
+  stats_.fuse = cap->fuse;
+  stats_.graphCount = cap->phases.size();
+  stats_.exchangeDepth = cap->depth;
+  stats_.rebuilt = true;
+  for (const Capture::Phase& phase : cap->phases) {
+    stats_.taskCount += phase.graph.size();
+    stats_.edgeCount += phase.model.edgeCount();
+    for (const auto& t : phase.model.tasks) {
+      if (t.exchangeOp) {
+        ++stats_.exchangeOps;
+      }
+    }
+  }
+
+  capture_ = std::move(cap);
+  return *capture_;
+}
+
+void StepGraphExecutor::run(const StepProgram& prog, grid::LevelData& u,
+                            const StepRhsSpec& rhs) {
+  Capture& cap = ensureCapture(prog, u, rhs);
+  const bool rebuilt = stats_.rebuilt;
+  for (Capture::Phase& phase : cap.phases) {
+#ifdef FLUXDIV_SHADOW_CHECK
+    for (FArrayBox* f : phase.epochFabs) {
+      f->shadowBeginEpoch();
+    }
+#endif
+    if (opts_.replay.order != ReplayOrder::None) {
+      pool_.runReplay(phase.graph, opts_.replay);
+    } else {
+      pool_.run(phase.graph);
+    }
+#ifdef FLUXDIV_SHADOW_CHECK
+    for (FArrayBox* f : phase.epochFabs) {
+      detail::throwOnShadowViolations(*f, "StepGraphExecutor");
+    }
+#endif
+  }
+  stats_.rebuilt = rebuilt;
+}
+
+std::vector<analysis::TaskGraphModel>
+StepGraphExecutor::lowerModels(const StepProgram& prog,
+                               grid::LevelData& u,
+                               const StepRhsSpec& rhs) {
+  Capture& cap = ensureCapture(prog, u, rhs);
+  std::vector<analysis::TaskGraphModel> models;
+  models.reserve(cap.phases.size());
+  for (const Capture::Phase& phase : cap.phases) {
+    models.push_back(phase.model);
+  }
+  return models;
+}
+
+} // namespace fluxdiv::core

@@ -1,0 +1,215 @@
+#pragma once
+// Lazy whole-RK-step task graphs (docs/perf.md, "Whole-step task graphs").
+// The eager time integrator runs each RK stage as a synchronous
+// exchange -> BC -> rhs -> axpy round-trip with a level-wide barrier
+// between stages. This layer instead *records* the whole substep chain —
+// every per-stage ghost exchange, boundary fill, flux-divergence
+// evaluation, and copy/axpy stage combine, optionally for several
+// consecutive time steps — as a slot-based StepProgram, then lowers it
+// into one dependency-tracked core::TaskGraph, so stage-(i+1) interior
+// tasks on one box start while stage-i fringe/exchange tasks on other
+// boxes are still in flight (the delayed-execution idea of the OPS
+// runtime-tiling work, applied to our RK substep chains).
+//
+// Three executable fuse modes (core::StepFuse; StepFuse::Eager stays in
+// solvers as the reference path):
+//
+//   Staged     one graph dispatch per stage: identical synchronization
+//              structure to the eager path, but the copyValid/addScaled
+//              stage combines run as per-box (or per-tile) tasks on the
+//              work-stealing pool instead of serial whole-level sweeps.
+//   Fused      one graph for the whole step (or several steps): only true
+//              data dependencies order tasks across stages, and with the
+//              hybrid level policy the (box x tile) stage tasks skew so a
+//              tile's stage-2 compute runs right after its stage-1
+//              producers (sparse cross-stage tiling over sched/tiles).
+//   CommAvoid  one *deepened* exchange of kNumGhost x rhsEvals ghost
+//              layers up front; every stage recomputes its RHS on a halo
+//              widened by a backward dataflow analysis (planStepHalos),
+//              eliminating the per-stage exchanges entirely — the paper's
+//              overlapped-tile recomputation generalized from intra-step
+//              to inter-step. Falls back to Fused when the program needs
+//              boundary conditions or the depth exceeds the box size.
+//
+// All modes are bit-identical to the eager reference: RHS tasks reuse the
+// per-region serial dispatch (every family accumulates each cell's x, y,
+// z flux differences in the same per-cell order), combines partition the
+// valid region, and comm-avoiding recomputation only changes *where*
+// ghost values come from, never the arithmetic on valid cells.
+//
+// Every captured graph is mirrored into an analysis::TaskGraphModel with
+// slot-qualified footprints (TaskAccess::slot) and — in Debug or with
+// -DFLUXDIV_VERIFY_GRAPH=ON — proven race-free by analysis/graphcheck
+// before its first execution. Shadow-epoch barrier tasks (orderingOnly in
+// the model) re-arm the FLUXDIV_SHADOW_CHECK write detector between
+// successive RHS writes into the same stage slot.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/graphcheck.hpp"
+#include "core/taskpool.hpp"
+#include "core/variant.hpp"
+#include "core/workspace.hpp"
+#include "grid/bc.hpp"
+#include "grid/leveldata.hpp"
+#include "grid/real.hpp"
+
+namespace fluxdiv::core {
+
+class FluxDivRunner; // verification/advisory gates (core/runner.hpp)
+
+/// One recorded operation of a step program. Slots name LevelData-shaped
+/// storage: slot 0 is the solution u, slots >= 1 are the integrator's
+/// stage temporaries.
+enum class StepOpKind {
+  Exchange,     ///< fill slot's ghost cells from neighbors
+  BoundaryFill, ///< apply physical BCs to slot's domain-boundary ghosts
+  RhsEval,      ///< dst = -(1/dx) div F(src) [+ dissipation Lap(src)]
+  CopySlot,     ///< dst = src on the valid region
+  AxpySlot,     ///< dst += scale * src on the valid region
+  ScaleSlot,    ///< dst *= scale on the valid region
+};
+
+struct StepOp {
+  StepOpKind kind = StepOpKind::Exchange;
+  int dst = 0;            ///< slot written (Exchange/BoundaryFill: filled)
+  int src = 0;            ///< slot read (RhsEval/CopySlot/AxpySlot)
+  grid::Real scale = 0.0; ///< AxpySlot / ScaleSlot coefficient
+  int step = 0;           ///< time-step index within a multi-step capture
+};
+
+/// The recorded substep chain of one (or several) RK time steps, built by
+/// solvers::buildStepProgram. Purely symbolic: no storage, no layout.
+struct StepProgram {
+  int nSlots = 1;   ///< slot 0 = u; 1..nSlots-1 = stage temporaries
+  int rhsEvals = 0; ///< RHS evaluations per time step
+  int nSteps = 1;   ///< consecutive time steps captured
+  std::vector<StepOp> ops;
+  std::vector<std::string> slotNames; ///< size nSlots, for task labels
+
+  /// Builder helpers; `step` is the current time-step index.
+  void exchange(int slot, int step = 0) {
+    ops.push_back({StepOpKind::Exchange, slot, slot, 0.0, step});
+  }
+  void boundaryFill(int slot, int step = 0) {
+    ops.push_back({StepOpKind::BoundaryFill, slot, slot, 0.0, step});
+  }
+  void rhs(int src, int dst, int step = 0) {
+    ops.push_back({StepOpKind::RhsEval, dst, src, 0.0, step});
+  }
+  void copy(int src, int dst, int step = 0) {
+    ops.push_back({StepOpKind::CopySlot, dst, src, 0.0, step});
+  }
+  void axpy(int dst, int src, grid::Real scale, int step = 0) {
+    ops.push_back({StepOpKind::AxpySlot, dst, src, scale, step});
+  }
+  void scale(int dst, grid::Real s, int step = 0) {
+    ops.push_back({StepOpKind::ScaleSlot, dst, dst, s, step});
+  }
+
+  [[nodiscard]] const std::string& slotName(int s) const {
+    return slotNames[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Physics of the RhsEval ops (mirrors solvers::FluxDivRhs).
+struct StepRhsSpec {
+  grid::Real invDx = 1.0;
+  grid::Real dissipation = 0.0;
+  const grid::BoundaryFiller* boundary = nullptr;
+};
+
+/// Per-op halo plan of one program under one fuse mode, from a backward
+/// dataflow pass: width[i] is the ghost width op i runs at (compute ops
+/// execute on valid.grow(width); exchanges fill `width` ghost layers), or
+/// -1 for exchanges/BC fills the comm-avoiding transform drops. `depth`
+/// is the deepest kept exchange — kNumGhost x rhsEvals for the RK schemes
+/// under StepFuse::CommAvoid, kNumGhost otherwise.
+struct StepHaloPlan {
+  std::vector<int> width;
+  int depth = 0;
+};
+
+/// Run the backward halo-width analysis. For Staged/Fused every width is
+/// 0 and every exchange keeps depth kNumGhost; for CommAvoid only the
+/// per-time-step slot-0 exchange survives, deepened so each stage can
+/// recompute its RHS on a correspondingly widened halo.
+StepHaloPlan planStepHalos(const StepProgram& prog, StepFuse fuse);
+
+struct StepExecOptions {
+  LevelPolicy policy = LevelPolicy::BoxParallel;
+  StepFuse fuse = StepFuse::Fused;
+  bool pin = false;       ///< TaskPool worker pinning
+  ReplayMode replay{};    ///< adversarial serial replay (tests)
+};
+
+/// Statistics of the most recent capture, for benches and the advisor.
+struct StepGraphStats {
+  StepFuse fuse = StepFuse::Fused;   ///< effective mode after CA fallback
+  std::size_t graphCount = 0;        ///< dispatches per run (Staged > 1)
+  std::size_t taskCount = 0;         ///< tasks across all graphs
+  std::size_t edgeCount = 0;         ///< dependency edges across all graphs
+  int exchangeDepth = 0;             ///< ghost layers the exchanges fill
+  std::size_t exchangeOps = 0;       ///< ghost copy-op tasks per run
+  bool rebuilt = false;              ///< last run() rebuilt the graphs
+};
+
+/// Captures a StepProgram over one LevelData and executes it on a
+/// persistent work-stealing TaskPool. Graphs are rebuilt only when the
+/// (program, solution, dt, options) capture key changes; re-running a
+/// cached graph is a single dispatch. Stage/deep-halo storage is owned by
+/// the executor and reused across runs.
+class StepGraphExecutor {
+public:
+  StepGraphExecutor(VariantConfig cfg, int nThreads,
+                    StepExecOptions opts = {});
+  ~StepGraphExecutor();
+
+  StepGraphExecutor(const StepGraphExecutor&) = delete;
+  StepGraphExecutor& operator=(const StepGraphExecutor&) = delete;
+
+  /// Execute the program: u advances by prog.nSteps time steps. Throws
+  /// std::logic_error when a verification gate fails (Debug / opt-in).
+  void run(const StepProgram& prog, grid::LevelData& u,
+           const StepRhsSpec& rhs);
+
+  /// Capture without executing: the analysis models of every graph run()
+  /// would dispatch, in dispatch order (one for Fused/CommAvoid, one per
+  /// stage for Staged). For the graphcheck CLI, the advisor, and tests.
+  [[nodiscard]] std::vector<analysis::TaskGraphModel>
+  lowerModels(const StepProgram& prog, grid::LevelData& u,
+              const StepRhsSpec& rhs);
+
+  /// The fuse mode that would actually execute for this program/level
+  /// (CommAvoid falls back to Fused on boundary conditions or when the
+  /// deepened halo exceeds the box size).
+  [[nodiscard]] StepFuse effectiveFuse(const StepProgram& prog,
+                                       const grid::LevelData& u,
+                                       const StepRhsSpec& rhs) const;
+
+  [[nodiscard]] const StepExecOptions& options() const { return opts_; }
+  [[nodiscard]] int nThreads() const { return nThreads_; }
+  [[nodiscard]] const StepGraphStats& stats() const { return stats_; }
+
+private:
+  struct Capture; // cached lowered graphs + bookkeeping (stepgraph.cpp)
+
+  /// (Re)capture when the (program, level, physics) key changed; returns
+  /// the up-to-date capture.
+  Capture& ensureCapture(const StepProgram& prog, grid::LevelData& u,
+                         const StepRhsSpec& rhs);
+
+  VariantConfig cfg_;
+  int nThreads_;
+  StepExecOptions opts_;
+  StepGraphStats stats_;
+  TaskPool pool_;
+  WorkspacePool ws_;
+  std::unique_ptr<FluxDivRunner> runner_; ///< schedule/kernel/advice gates
+  std::unique_ptr<Capture> capture_;
+};
+
+} // namespace fluxdiv::core

@@ -191,4 +191,33 @@ bool parseLevelPolicy(const std::string& text, LevelPolicy& out) {
   return false;
 }
 
+const char* stepFuseName(StepFuse fuse) {
+  switch (fuse) {
+  case StepFuse::Eager:
+    return "eager";
+  case StepFuse::Staged:
+    return "staged";
+  case StepFuse::Fused:
+    return "fused";
+  case StepFuse::CommAvoid:
+    return "commavoid";
+  }
+  return "?";
+}
+
+bool parseStepFuse(const std::string& text, StepFuse& out) {
+  for (const StepFuse fuse : kStepFuseModes) {
+    if (text == stepFuseName(fuse)) {
+      out = fuse;
+      return true;
+    }
+  }
+  // Accept the hyphenated long form too (CI matrix readability).
+  if (text == "comm-avoid" || text == "comm-avoiding") {
+    out = StepFuse::CommAvoid;
+    return true;
+  }
+  return false;
+}
+
 } // namespace fluxdiv::core

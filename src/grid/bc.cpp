@@ -43,23 +43,36 @@ BoundaryFiller::BoundaryFiller(const DisjointBoxLayout& layout,
 }
 
 void BoundaryFiller::fill(LevelData& level) const {
-  const Box dom = layout_.domain().box();
   // Dimension sweep: later directions overwrite edge/corner ghosts using
   // the earlier directions' results, so composite corners end consistent.
   for (int d = 0; d < SpaceDim; ++d) {
 #pragma omp parallel for schedule(static)
     for (std::size_t b = 0; b < level.size(); ++b) {
-      const Box valid = level.validBox(b);
-      if (valid.lo(d) == dom.lo(d) &&
-          spec_.type[static_cast<std::size_t>(d)][0] != BCType::None) {
-        fillSide(level[b], valid, d, 0);
-      }
-      if (valid.hi(d) == dom.hi(d) &&
-          spec_.type[static_cast<std::size_t>(d)][1] != BCType::None) {
-        fillSide(level[b], valid, d, 1);
-      }
+      fillBoxDim(level, b, d);
     }
   }
+}
+
+void BoundaryFiller::fillBoxDim(LevelData& level, std::size_t b,
+                                int d) const {
+  const Box dom = layout_.domain().box();
+  const Box valid = level.validBox(b);
+  if (valid.lo(d) == dom.lo(d) &&
+      spec_.type[static_cast<std::size_t>(d)][0] != BCType::None) {
+    fillSide(level[b], valid, d, 0);
+  }
+  if (valid.hi(d) == dom.hi(d) &&
+      spec_.type[static_cast<std::size_t>(d)][1] != BCType::None) {
+    fillSide(level[b], valid, d, 1);
+  }
+}
+
+bool BoundaryFiller::active(const Box& valid, int d) const {
+  const Box dom = layout_.domain().box();
+  return (valid.lo(d) == dom.lo(d) &&
+          spec_.type[static_cast<std::size_t>(d)][0] != BCType::None) ||
+         (valid.hi(d) == dom.hi(d) &&
+          spec_.type[static_cast<std::size_t>(d)][1] != BCType::None);
 }
 
 void BoundaryFiller::fillSide(FArrayBox& fab, const Box& valid, int d,

@@ -58,6 +58,20 @@ public:
   /// Fill the boundary ghosts of every box. Call after exchange().
   void fill(LevelData& level) const;
 
+  /// The dimension-d part of the sweep for box `b` alone (both sides where
+  /// the box touches a non-None domain face). Ghost cells in dimensions
+  /// e > d are read before their own sweep writes them, so callers issuing
+  /// per-box fills must keep the d = 0..2 order fill() uses. This is the
+  /// unit the step-graph executor (core/stepgraph) turns into a task.
+  void fillBoxDim(LevelData& level, std::size_t b, int d) const;
+
+  /// True if fillBoxDim(level, b, d) would write anything for a box with
+  /// this valid region (it touches a non-None face of dimension d). Lets
+  /// graph builders skip no-op BC tasks.
+  [[nodiscard]] bool active(const Box& valid, int d) const;
+
+  [[nodiscard]] const BoundarySpec& spec() const { return spec_; }
+
 private:
   void fillSide(FArrayBox& fab, const Box& valid, int d, int side) const;
 

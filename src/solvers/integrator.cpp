@@ -1,6 +1,8 @@
 #include "solvers/integrator.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "kernels/exemplar.hpp"
 
@@ -39,6 +41,111 @@ void scaleValid(LevelData& dst, Real scale) {
   }
 }
 
+const char* schemeName(Scheme s) {
+  switch (s) {
+  case Scheme::ForwardEuler:
+    return "euler";
+  case Scheme::Midpoint:
+    return "midpoint";
+  case Scheme::SSPRK3:
+    return "ssprk3";
+  case Scheme::RK4:
+    return "rk4";
+  }
+  return "?";
+}
+
+bool parseScheme(const std::string& text, Scheme& out) {
+  for (const Scheme s : kSchemes) {
+    if (text == schemeName(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+core::StepProgram buildStepProgram(Scheme scheme, Real dt, int nSteps,
+                                   bool withBoundary) {
+  core::StepProgram prog;
+  prog.rhsEvals = schemeRhsEvals(scheme);
+  prog.nSteps = nSteps < 1 ? 1 : nSteps;
+  switch (scheme) {
+  case Scheme::ForwardEuler:
+    prog.slotNames = {"u", "k"};
+    break;
+  case Scheme::Midpoint:
+    prog.slotNames = {"u", "k", "mid"};
+    break;
+  case Scheme::SSPRK3:
+    prog.slotNames = {"u", "k", "s1"};
+    break;
+  case Scheme::RK4:
+    prog.slotNames = {"u", "k", "acc", "stage"};
+    break;
+  }
+  prog.nSlots = static_cast<int>(prog.slotNames.size());
+
+  for (int t = 0; t < prog.nSteps; ++t) {
+    // Ghost exchange (+ BC fill) and RHS evaluation of one stage state —
+    // exactly what FluxDivRhs::operator() does eagerly.
+    const auto rhsOf = [&](int src, int dst) {
+      prog.exchange(src, t);
+      if (withBoundary) {
+        prog.boundaryFill(src, t);
+      }
+      prog.rhs(src, dst, t);
+    };
+    // Slot ids per scheme (0 is always u, 1 always the k scratch). The
+    // combine sequences replicate advanceEager() op for op, in order, so
+    // per-(slot, region) program order reproduces its FP rounding exactly.
+    switch (scheme) {
+    case Scheme::ForwardEuler:
+      rhsOf(0, 1);
+      prog.axpy(0, 1, dt, t);
+      break;
+    case Scheme::Midpoint:
+      rhsOf(0, 1);           // k1 = f(u)
+      prog.copy(0, 2, t);    // mid = u
+      prog.axpy(2, 1, 0.5 * dt, t);
+      rhsOf(2, 1);           // k2 = f(mid)
+      prog.axpy(0, 1, dt, t);
+      break;
+    case Scheme::SSPRK3:
+      rhsOf(0, 1);
+      prog.copy(0, 2, t);
+      prog.axpy(2, 1, dt, t); // u1
+      rhsOf(2, 1);
+      prog.scale(2, 0.25, t);
+      prog.axpy(2, 0, 0.75, t);
+      prog.axpy(2, 1, 0.25 * dt, t); // u2
+      rhsOf(2, 1);
+      prog.scale(0, 1.0 / 3.0, t);
+      prog.axpy(0, 2, 2.0 / 3.0, t);
+      prog.axpy(0, 1, 2.0 / 3.0 * dt, t);
+      break;
+    case Scheme::RK4:
+      rhsOf(0, 1); // k1
+      prog.copy(1, 2, t);
+      prog.copy(0, 3, t);
+      prog.axpy(3, 1, 0.5 * dt, t);
+      rhsOf(3, 1); // k2
+      prog.axpy(2, 1, 2.0, t);
+      prog.copy(0, 3, t);
+      prog.axpy(3, 1, 0.5 * dt, t);
+      rhsOf(3, 1); // k3
+      prog.axpy(2, 1, 2.0, t);
+      prog.copy(0, 3, t);
+      prog.axpy(3, 1, dt, t);
+      rhsOf(3, 1); // k4
+      prog.axpy(2, 1, 1.0, t);
+      prog.axpy(0, 2, dt / 6.0, t);
+      break;
+    }
+  }
+  return prog;
+}
+
 namespace {
 
 int stageCount(Scheme scheme) {
@@ -66,7 +173,105 @@ TimeIntegrator::TimeIntegrator(Scheme scheme,
   }
 }
 
+TimeIntegrator::~TimeIntegrator() = default;
+
+core::StepFuse TimeIntegrator::resolveFuse() const {
+  if (fuseOverride_.has_value()) {
+    return *fuseOverride_;
+  }
+  if (const char* env = std::getenv("FLUXDIV_STEP_FUSE")) {
+    core::StepFuse fuse{};
+    if (!core::parseStepFuse(env, fuse)) {
+      throw std::invalid_argument(
+          std::string("TimeIntegrator: unknown FLUXDIV_STEP_FUSE '") +
+          env + "'");
+    }
+    return fuse;
+  }
+  return core::StepFuse::Staged;
+}
+
+core::LevelPolicy TimeIntegrator::resolvePolicy() const {
+  if (policyOverride_.has_value()) {
+    return *policyOverride_;
+  }
+  if (const char* env = std::getenv("FLUXDIV_LEVEL_POLICY")) {
+    core::LevelPolicy policy{};
+    if (!core::parseLevelPolicy(env, policy)) {
+      throw std::invalid_argument(
+          std::string("TimeIntegrator: unknown FLUXDIV_LEVEL_POLICY '") +
+          env + "'");
+    }
+    return policy;
+  }
+  return core::LevelPolicy::BoxParallel;
+}
+
+const core::StepGraphStats* TimeIntegrator::stepStats() const {
+  return exec_ != nullptr ? &exec_->stats() : nullptr;
+}
+
+core::StepGraphExecutor*
+TimeIntegrator::stepExecutor(const FluxDivRhs& rhs) {
+  const core::StepFuse fuse = resolveFuse();
+  if (fuse == core::StepFuse::Eager) {
+    return nullptr;
+  }
+  core::StepExecOptions opts;
+  opts.policy = resolvePolicy();
+  opts.fuse = fuse;
+  opts.replay = replay_;
+  const bool reusable =
+      exec_ != nullptr && execCfg_ == rhs.config() &&
+      exec_->nThreads() == rhs.nThreads() &&
+      exec_->options().policy == opts.policy &&
+      exec_->options().fuse == opts.fuse &&
+      exec_->options().replay.order == opts.replay.order &&
+      exec_->options().replay.seed == opts.replay.seed;
+  if (!reusable) {
+    exec_ = std::make_unique<core::StepGraphExecutor>(rhs.config(),
+                                                      rhs.nThreads(), opts);
+    execCfg_ = rhs.config();
+  }
+  return exec_.get();
+}
+
 void TimeIntegrator::advance(LevelData& u, Real dt, FluxDivRhs& rhs) {
+  const core::StepFuse fuse = resolveFuse();
+  if (fuse == core::StepFuse::Eager) {
+    advanceEager(u, dt, rhs);
+    return;
+  }
+  advanceGraph(u, dt, rhs, 1, fuse);
+}
+
+void TimeIntegrator::advanceSteps(LevelData& u, Real dt, FluxDivRhs& rhs,
+                                  int nSteps) {
+  const core::StepFuse fuse = resolveFuse();
+  if (fuse == core::StepFuse::Eager || fuse == core::StepFuse::Staged) {
+    // No cross-step fusion to gain: run the steps one by one (Staged
+    // still reuses its captured per-stage graphs across the steps).
+    for (int t = 0; t < nSteps; ++t) {
+      advance(u, dt, rhs);
+    }
+    return;
+  }
+  advanceGraph(u, dt, rhs, nSteps, fuse);
+}
+
+void TimeIntegrator::advanceGraph(LevelData& u, Real dt, FluxDivRhs& rhs,
+                                  int nSteps, core::StepFuse /*fuse*/) {
+  core::StepGraphExecutor* exec = stepExecutor(rhs);
+  const core::StepProgram prog = buildStepProgram(
+      scheme_, dt, nSteps, rhs.boundary() != nullptr);
+  core::StepRhsSpec spec;
+  spec.invDx = rhs.invDx();
+  spec.dissipation = rhs.dissipation();
+  spec.boundary = rhs.boundary();
+  exec->run(prog, u, spec);
+}
+
+void TimeIntegrator::advanceEager(LevelData& u, Real dt, FluxDivRhs& rhs) {
   switch (scheme_) {
   case Scheme::ForwardEuler: {
     LevelData& k1 = stages_[0];

@@ -3,9 +3,25 @@
 // frameworks advance time-dependent PDEs with exactly these schemes; the
 // integrator is schedule-agnostic — any FluxDivRhs (hence any scheduling
 // variant) plugs in.
+//
+// Two execution paths per step (core::StepFuse):
+//   * Eager: the classic loop — each stage synchronously exchanges,
+//     evaluates the RHS, and combines stages with level-wide sweeps. The
+//     bit-identity reference for everything below.
+//   * Staged / Fused / CommAvoid: the stage chain is recorded as a
+//     symbolic StepProgram (buildStepProgram) and lowered by
+//     core::StepGraphExecutor into dependency-tracked task graphs — the
+//     stage combines become per-box/per-tile tasks, cross-stage tasks
+//     overlap (Fused), or per-stage exchanges are replaced by one deepened
+//     exchange plus halo recomputation (CommAvoid). Selected by the
+//     FLUXDIV_STEP_FUSE environment variable (default: staged) or
+//     setStepFuse(). All modes produce bit-identical solutions.
 
+#include <optional>
+#include <memory>
 #include <vector>
 
+#include "core/stepgraph.hpp"
 #include "grid/leveldata.hpp"
 #include "solvers/rhs.hpp"
 
@@ -34,6 +50,46 @@ constexpr int schemeOrder(Scheme s) {
   return 0;
 }
 
+/// RHS evaluations (hence ghost exchanges on the eager path) per step.
+constexpr int schemeRhsEvals(Scheme s) {
+  switch (s) {
+  case Scheme::ForwardEuler:
+    return 1;
+  case Scheme::Midpoint:
+    return 2;
+  case Scheme::SSPRK3:
+    return 3;
+  case Scheme::RK4:
+    return 4;
+  }
+  return 0;
+}
+
+/// Display / CLI name: "euler", "midpoint", "ssprk3", "rk4".
+[[nodiscard]] const char* schemeName(Scheme s);
+
+/// Parse a scheme name (the --scheme values). Returns false and leaves
+/// `out` untouched on an unknown name.
+bool parseScheme(const std::string& text, Scheme& out);
+
+/// All four schemes, in order of formal accuracy.
+inline constexpr Scheme kSchemes[] = {
+    Scheme::ForwardEuler,
+    Scheme::Midpoint,
+    Scheme::SSPRK3,
+    Scheme::RK4,
+};
+
+/// Record `nSteps` consecutive time steps of `scheme` as a symbolic
+/// core::StepProgram: per stage an Exchange (+ BoundaryFill when
+/// `withBoundary`) and RhsEval, plus the exact copy/axpy/scale stage
+/// combines of the eager path, in the eager path's order — so any lowering
+/// that preserves per-(slot, region) program order is bit-identical to it.
+/// dt is baked into the combine coefficients.
+core::StepProgram buildStepProgram(Scheme scheme, grid::Real dt,
+                                   int nSteps = 1,
+                                   bool withBoundary = false);
+
 /// Copy the valid region of `src` into `dst` (same layout).
 void copyValid(const grid::LevelData& src, grid::LevelData& dst);
 
@@ -50,16 +106,63 @@ public:
   /// Stage storage is allocated on `layout` with the exemplar's component
   /// and ghost counts.
   TimeIntegrator(Scheme scheme, const grid::DisjointBoxLayout& layout);
+  ~TimeIntegrator();
+
+  TimeIntegrator(const TimeIntegrator&) = delete;
+  TimeIntegrator& operator=(const TimeIntegrator&) = delete;
 
   [[nodiscard]] Scheme scheme() const { return scheme_; }
 
   /// Advance u by one step of size dt: u <- u + dt * combination of
-  /// rhs evaluations per the scheme.
+  /// rhs evaluations per the scheme. Dispatches on the fuse mode (see the
+  /// header comment); throws std::invalid_argument on an unparsable
+  /// FLUXDIV_STEP_FUSE / FLUXDIV_LEVEL_POLICY value.
   void advance(grid::LevelData& u, grid::Real dt, FluxDivRhs& rhs);
 
+  /// Advance u by `nSteps` steps of size dt. Under Fused/CommAvoid the
+  /// whole sequence is captured as ONE task graph (cross-time-step
+  /// fusion); otherwise equivalent to calling advance() nSteps times.
+  void advanceSteps(grid::LevelData& u, grid::Real dt, FluxDivRhs& rhs,
+                    int nSteps);
+
+  /// The eager reference path, always available regardless of fuse mode.
+  void advanceEager(grid::LevelData& u, grid::Real dt, FluxDivRhs& rhs);
+
+  /// Override the FLUXDIV_STEP_FUSE environment variable (tests/benches).
+  void setStepFuse(core::StepFuse fuse) { fuseOverride_ = fuse; }
+
+  /// Override the FLUXDIV_LEVEL_POLICY environment variable for the
+  /// step-graph executor's task granularity.
+  void setLevelPolicy(core::LevelPolicy policy) {
+    policyOverride_ = policy;
+  }
+
+  /// Adversarial serial replay of the captured graphs (tests; see
+  /// core::ReplayMode). Only affects the non-eager paths.
+  void setReplay(core::ReplayMode replay) { replay_ = replay; }
+
+  /// Capture statistics of the step-graph executor: null until a
+  /// non-eager advance() ran.
+  [[nodiscard]] const core::StepGraphStats* stepStats() const;
+
+  /// The executor a non-eager advance would use, creating it on demand
+  /// (tests poke lowerModels()/effectiveFuse() through this). Null only
+  /// for StepFuse::Eager.
+  core::StepGraphExecutor* stepExecutor(const FluxDivRhs& rhs);
+
 private:
+  [[nodiscard]] core::StepFuse resolveFuse() const;
+  [[nodiscard]] core::LevelPolicy resolvePolicy() const;
+  void advanceGraph(grid::LevelData& u, grid::Real dt, FluxDivRhs& rhs,
+                    int nSteps, core::StepFuse fuse);
+
   Scheme scheme_;
   std::vector<grid::LevelData> stages_; ///< k_i and the staging state
+  std::optional<core::StepFuse> fuseOverride_;
+  std::optional<core::LevelPolicy> policyOverride_;
+  core::ReplayMode replay_{};
+  core::VariantConfig execCfg_; ///< config the executor was built for
+  std::unique_ptr<core::StepGraphExecutor> exec_;
 };
 
 } // namespace fluxdiv::solvers

@@ -44,6 +44,12 @@ public:
   [[nodiscard]] const core::VariantConfig& config() const {
     return runner_.config();
   }
+  [[nodiscard]] int nThreads() const { return runner_.nThreads(); }
+  [[nodiscard]] grid::Real invDx() const { return invDx_; }
+  [[nodiscard]] grid::Real dissipation() const { return dissipation_; }
+  [[nodiscard]] const grid::BoundaryFiller* boundary() const {
+    return boundary_;
+  }
 
 private:
   core::FluxDivRunner runner_;

@@ -11,6 +11,7 @@
 
 #include "core/variant.hpp"
 #include "harness/machine.hpp"
+#include "kernels/exemplar.hpp"
 
 namespace fluxdiv::analysis {
 namespace {
@@ -370,6 +371,110 @@ TEST(CostModel, LevelPolicyParallelSpeedupCappedByThreads) {
       CacheSpec::typical());
   EXPECT_LE(costs[1].predictedSpeedup, 8.0 + 1e-12);
   EXPECT_GE(costs[1].predictedSpeedup, 1.0);
+}
+
+TEST(StepFusion, ComesBackInFuseModeOrderWithValidRanks) {
+  const auto costs = analyzeStepFusion(/*rhsEvals=*/4, /*boxSize=*/32,
+                                       /*nBoxes=*/8);
+  ASSERT_EQ(costs.size(), 4u);
+  EXPECT_EQ(costs[0].fuse, core::StepFuse::Eager);
+  EXPECT_EQ(costs[1].fuse, core::StepFuse::Staged);
+  EXPECT_EQ(costs[2].fuse, core::StepFuse::Fused);
+  EXPECT_EQ(costs[3].fuse, core::StepFuse::CommAvoid);
+  std::vector<int> ranks;
+  for (const auto& c : costs) {
+    ranks.push_back(c.rank);
+    EXPECT_GT(c.costBytes, 0.0);
+    EXPECT_GE(c.dispatches, 1);
+  }
+  std::sort(ranks.begin(), ranks.end());
+  EXPECT_EQ(ranks, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(StepFusion, CommAvoidDeepensOneExchangeAndRecomputes) {
+  const int evals = 4; // RK4
+  const auto costs = analyzeStepFusion(evals, 32, 8);
+  const auto& ca = costs[3];
+  EXPECT_EQ(ca.exchanges, 1);
+  EXPECT_EQ(ca.exchangeDepth, kernels::kNumGhost * evals);
+  EXPECT_GT(ca.recomputeCells, 0.0);
+  EXPECT_GT(ca.recomputeFraction, 0.0);
+  EXPECT_EQ(ca.dispatches, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(costs[i].exchanges, evals) << i;
+    EXPECT_EQ(costs[i].exchangeDepth, kernels::kNumGhost) << i;
+    EXPECT_EQ(costs[i].recomputeCells, 0.0) << i;
+  }
+  // Stage s recomputes a width g(R-1-s) shell: sum the closed form.
+  double expectCells = 0;
+  const double n = 32;
+  for (int s = 0; s < evals; ++s) {
+    const double w = kernels::kNumGhost * (evals - 1 - s);
+    expectCells += ((n + 2 * w) * (n + 2 * w) * (n + 2 * w) - n * n * n) * 8;
+  }
+  EXPECT_DOUBLE_EQ(ca.recomputeCells, expectCells);
+  // The deep halo moves more bytes than the per-stage halos combined —
+  // the fixed per-exchange cost is what comm-avoiding actually saves.
+  EXPECT_GT(ca.exchangeBytes, costs[2].exchangeBytes);
+  EXPECT_LT(ca.alphaBytes, costs[2].alphaBytes);
+}
+
+TEST(StepFusion, DispatchCountsMirrorTheExecutors) {
+  const auto costs = analyzeStepFusion(/*rhsEvals=*/3, 16, 4,
+                                       /*eagerOps=*/13);
+  EXPECT_EQ(costs[0].dispatches, 13); // caller-supplied sweep count
+  EXPECT_EQ(costs[1].dispatches, 3);  // one graph per stage
+  EXPECT_EQ(costs[2].dispatches, 1);  // whole step is one graph
+  EXPECT_EQ(costs[3].dispatches, 1);
+  const auto approx = analyzeStepFusion(3, 16, 4);
+  EXPECT_EQ(approx[0].dispatches, 12); // 4 sweeps per stage default
+}
+
+TEST(StepFusion, InfeasibleDeepHaloFallsBackToFusedStructure) {
+  // RK4 needs an 8-deep halo; a 4^3 box cannot host it — the analyzer
+  // must price what the executor would actually run (the Fused fallback).
+  const auto costs = analyzeStepFusion(/*rhsEvals=*/4, /*boxSize=*/4, 8);
+  const auto& ca = costs[3];
+  EXPECT_EQ(ca.exchanges, 4);
+  EXPECT_EQ(ca.exchangeDepth, kernels::kNumGhost);
+  EXPECT_EQ(ca.recomputeCells, 0.0);
+  EXPECT_EQ(ca.exchangeBytes, costs[2].exchangeBytes);
+  EXPECT_TRUE(ca.notes.empty());
+}
+
+TEST(StepFusion, BoxSizeDecidesTheCommAvoidingTrade) {
+  // Small boxes are latency-bound: one deep exchange beats per-stage
+  // exchanges and no note fires. Large boxes are volume-bound: the
+  // recompute + extra halo outgrow the fixed savings and the
+  // DeepHaloRecompute note names the condition.
+  const auto small = analyzeStepFusion(/*rhsEvals=*/2, /*boxSize=*/16, 8);
+  EXPECT_LT(small[3].costBytes, small[2].costBytes);
+  EXPECT_TRUE(small[3].notes.empty());
+  EXPECT_EQ(small[3].rank, 1);
+
+  const auto big = analyzeStepFusion(/*rhsEvals=*/2, /*boxSize=*/128, 8);
+  EXPECT_GT(big[3].costBytes, big[2].costBytes);
+  ASSERT_EQ(big[3].notes.size(), 1u);
+  const CostNote& note = big[3].notes.front();
+  EXPECT_EQ(note.kind, CostNoteKind::DeepHaloRecompute);
+  EXPECT_GT(note.actualBytes, note.limitBytes);
+  const std::string msg = note.message();
+  EXPECT_NE(msg.find("deep-halo-recompute"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("128^3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("comm-avoiding unprofitable"), std::string::npos)
+      << msg;
+}
+
+TEST(StepFusion, NoteFiresExactlyWhenCommAvoidPricesWorseThanFused) {
+  for (const int evals : {1, 2, 3, 4}) {
+    for (const int n : {8, 16, 32, 64, 128}) {
+      const auto costs = analyzeStepFusion(evals, n, 4);
+      const bool feasible = kernels::kNumGhost * evals <= n;
+      const bool worse = costs[3].costBytes > costs[2].costBytes;
+      EXPECT_EQ(costs[3].notes.size() == 1u, feasible && worse)
+          << "evals " << evals << " n " << n;
+    }
+  }
 }
 
 } // namespace

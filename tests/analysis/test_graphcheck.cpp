@@ -45,7 +45,7 @@ using grid::ProblemDomain;
 
 TaskAccess acc(FieldId field, std::size_t box, const Box& region,
                int comp0 = 0, int nComp = 1) {
-  return {field, box, comp0, nComp, region};
+  return {field, box, /*slot=*/0, comp0, nComp, region};
 }
 
 /// True if some diagnostic of `kind` names the (labelA, labelB) pair in

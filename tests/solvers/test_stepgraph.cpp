@@ -1,0 +1,497 @@
+// Whole-RK-step task graphs (core/stepgraph.hpp + the TimeIntegrator fuse
+// modes): bit-identity of every fuse mode against the eager reference
+// across schemes, policies, pitches, and thread counts; the deepened-halo
+// plan of the comm-avoiding transform; graphcheck verification of every
+// lowered model; seeded cross-stage edge-drop mutations; and adversarial
+// serial replay of the fused graphs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "analysis/graphcheck.hpp"
+#include "analysis/mutate.hpp"
+#include "core/stepgraph.hpp"
+#include "grid/bc.hpp"
+#include "kernels/exemplar.hpp"
+#include "kernels/init.hpp"
+#include "solvers/integrator.hpp"
+
+namespace fluxdiv::solvers {
+namespace {
+
+using analysis::DiagnosticKind;
+using analysis::GraphCheckReport;
+using analysis::TaskGraphModel;
+using core::LevelPolicy;
+using core::StepFuse;
+using grid::Box;
+using grid::DisjointBoxLayout;
+using grid::LevelData;
+using grid::Pitch;
+using grid::ProblemDomain;
+using grid::Real;
+using kernels::kNumComp;
+using kernels::kNumGhost;
+
+DisjointBoxLayout smallLayout(int n = 16, int box = 8) {
+  return DisjointBoxLayout(ProblemDomain(Box::cube(n)), box);
+}
+
+LevelData initialState(const DisjointBoxLayout& dbl,
+                       Pitch pitch = Pitch::Padded) {
+  LevelData u(dbl, kNumComp, kNumGhost, pitch);
+  kernels::initializeExemplar(u);
+  return u;
+}
+
+core::VariantConfig tiledConfig() {
+  return core::makeOverlapped(core::IntraTileSchedule::ShiftFuse, 4,
+                              core::ParallelGranularity::HybridBoxTile);
+}
+
+constexpr StepFuse kGraphModes[] = {StepFuse::Staged, StepFuse::Fused,
+                                    StepFuse::CommAvoid};
+
+/// Advance `steps` eager steps of `scheme` from the exemplar state.
+LevelData eagerReference(Scheme scheme, const DisjointBoxLayout& dbl,
+                         const core::VariantConfig& cfg, Real dt,
+                         int steps, int threads,
+                         Pitch pitch = Pitch::Padded) {
+  LevelData u = initialState(dbl, pitch);
+  FluxDivRhs rhs(cfg, threads);
+  TimeIntegrator integ(scheme, dbl);
+  integ.setStepFuse(StepFuse::Eager);
+  for (int s = 0; s < steps; ++s) {
+    integ.advance(u, dt, rhs);
+  }
+  return u;
+}
+
+std::string caseName(Scheme scheme, StepFuse fuse, LevelPolicy policy,
+                     int threads) {
+  return std::string(schemeName(scheme)) + "/" + core::stepFuseName(fuse) +
+         "/" + core::levelPolicyName(policy) + "/T" +
+         std::to_string(threads);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: every fuse mode x policy x thread count reproduces the
+// eager reference exactly.
+// ---------------------------------------------------------------------------
+
+TEST(StepGraph, BitIdenticalAcrossSchemesFuseModesAndPolicies) {
+  const auto dbl = smallLayout();
+  const Real dt = 0.005;
+  const int steps = 3;
+  const auto cfg = tiledConfig();
+  for (const Scheme scheme : kSchemes) {
+    for (const int threads : {1, 3}) {
+      const LevelData ref =
+          eagerReference(scheme, dbl, cfg, dt, steps, threads);
+      for (const StepFuse fuse : kGraphModes) {
+        for (const LevelPolicy policy : core::kLevelPolicies) {
+          LevelData u = initialState(dbl);
+          FluxDivRhs rhs(cfg, threads);
+          TimeIntegrator integ(scheme, dbl);
+          integ.setStepFuse(fuse);
+          integ.setLevelPolicy(policy);
+          for (int s = 0; s < steps; ++s) {
+            integ.advance(u, dt, rhs);
+          }
+          EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+              << caseName(scheme, fuse, policy, threads);
+        }
+      }
+    }
+  }
+}
+
+TEST(StepGraph, BitIdenticalWithDensePitch) {
+  const auto dbl = smallLayout();
+  const Real dt = 0.004;
+  const auto cfg = core::makeShiftFuse(core::ParallelGranularity::OverBoxes);
+  for (const Scheme scheme : {Scheme::SSPRK3, Scheme::RK4}) {
+    const LevelData ref =
+        eagerReference(scheme, dbl, cfg, dt, 2, 2, Pitch::Dense);
+    for (const StepFuse fuse : kGraphModes) {
+      LevelData u = initialState(dbl, Pitch::Dense);
+      FluxDivRhs rhs(cfg, 2);
+      TimeIntegrator integ(scheme, dbl);
+      integ.setStepFuse(fuse);
+      for (int s = 0; s < 2; ++s) {
+        integ.advance(u, dt, rhs);
+      }
+      EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+          << schemeName(scheme) << "/" << core::stepFuseName(fuse)
+          << " dense pitch";
+    }
+  }
+}
+
+TEST(StepGraph, BitIdenticalWithDissipation) {
+  const auto dbl = smallLayout();
+  const Real dt = 0.004;
+  const auto cfg = tiledConfig();
+  LevelData ref = initialState(dbl);
+  {
+    FluxDivRhs rhs(cfg, 2, /*invDx=*/1.0, nullptr, /*dissipation=*/0.05);
+    TimeIntegrator integ(Scheme::RK4, dbl);
+    integ.setStepFuse(StepFuse::Eager);
+    integ.advance(ref, dt, rhs);
+  }
+  for (const StepFuse fuse : kGraphModes) {
+    LevelData u = initialState(dbl);
+    FluxDivRhs rhs(cfg, 2, /*invDx=*/1.0, nullptr, /*dissipation=*/0.05);
+    TimeIntegrator integ(Scheme::RK4, dbl);
+    integ.setStepFuse(fuse);
+    integ.advance(u, dt, rhs);
+    EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+        << core::stepFuseName(fuse) << " with dissipation";
+  }
+}
+
+TEST(StepGraph, WallBoundedBitIdentical) {
+  // Walls on x, periodic y/z: the BC fill becomes per-(box, dim) tasks in
+  // the Staged/Fused graphs; CommAvoid must fall back to Fused (deepened
+  // halos cannot re-apply physical BCs between stages).
+  const int n = 16;
+  ProblemDomain domain(Box::cube(n), std::array<bool, 3>{false, true, true});
+  DisjointBoxLayout dbl(domain, 8);
+  grid::BoundarySpec spec;
+  spec.type[0] = {grid::BCType::ReflectiveWall, grid::BCType::ReflectiveWall};
+  grid::BoundaryFiller walls(dbl, spec);
+  const Real dt = 0.004;
+  const auto cfg = tiledConfig();
+  for (const Scheme scheme : {Scheme::Midpoint, Scheme::RK4}) {
+    LevelData ref = initialState(dbl);
+    {
+      FluxDivRhs rhs(cfg, 2, 1.0, &walls);
+      TimeIntegrator integ(scheme, dbl);
+      integ.setStepFuse(StepFuse::Eager);
+      for (int s = 0; s < 2; ++s) {
+        integ.advance(ref, dt, rhs);
+      }
+    }
+    for (const StepFuse fuse : kGraphModes) {
+      for (const LevelPolicy policy :
+           {LevelPolicy::BoxParallel, LevelPolicy::Hybrid}) {
+        LevelData u = initialState(dbl);
+        FluxDivRhs rhs(cfg, 2, 1.0, &walls);
+        TimeIntegrator integ(scheme, dbl);
+        integ.setStepFuse(fuse);
+        integ.setLevelPolicy(policy);
+        for (int s = 0; s < 2; ++s) {
+          integ.advance(u, dt, rhs);
+        }
+        EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+            << caseName(scheme, fuse, policy, 2) << " wall-bounded";
+        if (fuse == StepFuse::CommAvoid) {
+          ASSERT_NE(integ.stepStats(), nullptr);
+          EXPECT_EQ(integ.stepStats()->fuse, StepFuse::Fused)
+              << "boundary conditions must force the CommAvoid fallback";
+        }
+      }
+    }
+  }
+}
+
+TEST(StepGraph, MultiStepCaptureMatchesRepeatedAdvance) {
+  const auto dbl = smallLayout();
+  const Real dt = 0.004;
+  const int steps = 3;
+  const auto cfg = tiledConfig();
+  for (const Scheme scheme : {Scheme::Midpoint, Scheme::RK4}) {
+    const LevelData ref = eagerReference(scheme, dbl, cfg, dt, steps, 2);
+    for (const StepFuse fuse : {StepFuse::Fused, StepFuse::CommAvoid}) {
+      LevelData u = initialState(dbl);
+      FluxDivRhs rhs(cfg, 2);
+      TimeIntegrator integ(scheme, dbl);
+      integ.setStepFuse(fuse);
+      integ.advanceSteps(u, dt, rhs, steps);
+      EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+          << schemeName(scheme) << "/" << core::stepFuseName(fuse)
+          << " multi-step";
+      ASSERT_NE(integ.stepStats(), nullptr);
+      EXPECT_EQ(integ.stepStats()->graphCount, 1u)
+          << "a multi-step capture must dispatch as one graph";
+      EXPECT_TRUE(integ.stepStats()->rebuilt);
+      // Same key again: the cached graphs must be reused.
+      LevelData u2 = initialState(dbl);
+      integ.advanceSteps(u2, dt, rhs, steps);
+      EXPECT_TRUE(integ.stepStats()->rebuilt)
+          << "a different LevelData is a different capture key";
+      integ.advanceSteps(u2, dt, rhs, steps);
+      EXPECT_FALSE(integ.stepStats()->rebuilt);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The comm-avoiding halo plan.
+// ---------------------------------------------------------------------------
+
+TEST(StepGraph, CommAvoidDeepensTheExchangeToGhostTimesStages) {
+  for (const Scheme scheme : kSchemes) {
+    const core::StepProgram prog = buildStepProgram(scheme, 0.01);
+    EXPECT_EQ(prog.rhsEvals, schemeRhsEvals(scheme));
+
+    const core::StepHaloPlan staged =
+        core::planStepHalos(prog, StepFuse::Staged);
+    EXPECT_EQ(staged.depth, kNumGhost);
+
+    const core::StepHaloPlan ca =
+        core::planStepHalos(prog, StepFuse::CommAvoid);
+    EXPECT_EQ(ca.depth, kNumGhost * schemeRhsEvals(scheme))
+        << schemeName(scheme);
+    int keptExchanges = 0;
+    int firstRhsWidth = -1;
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      if (prog.ops[i].kind == core::StepOpKind::Exchange) {
+        if (ca.width[i] >= 0) {
+          ++keptExchanges;
+          EXPECT_EQ(prog.ops[i].dst, 0)
+              << "only the solution exchange survives";
+          EXPECT_EQ(ca.width[i], ca.depth);
+        }
+      } else if (prog.ops[i].kind == core::StepOpKind::RhsEval &&
+                 firstRhsWidth < 0) {
+        firstRhsWidth = ca.width[i];
+      }
+    }
+    EXPECT_EQ(keptExchanges, 1) << schemeName(scheme);
+    // Stage 1 recomputes on the widest halo: depth minus one stencil.
+    EXPECT_EQ(firstRhsWidth, ca.depth - kNumGhost) << schemeName(scheme);
+  }
+}
+
+TEST(StepGraph, CommAvoidFallsBackWhenHaloExceedsBox) {
+  // RK4 needs an 8-deep halo; on 4^3 boxes the Copier cannot provide it.
+  DisjointBoxLayout dbl(ProblemDomain(Box::cube(8)), 4);
+  const auto cfg = core::makeShiftFuse(core::ParallelGranularity::OverBoxes);
+  const Real dt = 0.004;
+  const LevelData ref = eagerReference(Scheme::RK4, dbl, cfg, dt, 2, 2);
+  LevelData u = initialState(dbl);
+  FluxDivRhs rhs(cfg, 2);
+  TimeIntegrator integ(Scheme::RK4, dbl);
+  integ.setStepFuse(StepFuse::CommAvoid);
+  for (int s = 0; s < 2; ++s) {
+    integ.advance(u, dt, rhs);
+  }
+  EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0);
+  ASSERT_NE(integ.stepStats(), nullptr);
+  EXPECT_EQ(integ.stepStats()->fuse, StepFuse::Fused);
+
+  // Euler only needs depth 2: CommAvoid proper must engage there.
+  LevelData v = initialState(dbl);
+  TimeIntegrator euler(Scheme::ForwardEuler, dbl);
+  euler.setStepFuse(StepFuse::CommAvoid);
+  euler.advance(v, dt, rhs);
+  ASSERT_NE(euler.stepStats(), nullptr);
+  EXPECT_EQ(euler.stepStats()->fuse, StepFuse::CommAvoid);
+  EXPECT_EQ(euler.stepStats()->exchangeDepth, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Graph verification: every lowered model must pass checkTaskGraph before
+// first execution, and the stats must reflect the capture.
+// ---------------------------------------------------------------------------
+
+TEST(StepGraph, LoweredModelsPassGraphcheck) {
+  const auto dbl = smallLayout();
+  const auto cfg = tiledConfig();
+  for (const Scheme scheme : kSchemes) {
+    const core::StepProgram prog = buildStepProgram(scheme, 0.01);
+    for (const StepFuse fuse : kGraphModes) {
+      for (const LevelPolicy policy :
+           {LevelPolicy::BoxParallel, LevelPolicy::Hybrid}) {
+        LevelData u = initialState(dbl);
+        core::StepExecOptions opts;
+        opts.fuse = fuse;
+        opts.policy = policy;
+        core::StepGraphExecutor exec(cfg, 2, opts);
+        const auto models = exec.lowerModels(prog, u, {});
+        if (fuse == StepFuse::Staged) {
+          EXPECT_EQ(models.size(),
+                    static_cast<std::size_t>(schemeRhsEvals(scheme)))
+              << "Staged must dispatch one graph per stage";
+        } else {
+          EXPECT_EQ(models.size(), 1u);
+        }
+        for (const TaskGraphModel& m : models) {
+          const GraphCheckReport rep = analysis::checkTaskGraph(m);
+          EXPECT_TRUE(rep.ok())
+              << m.name << ": "
+              << (rep.diagnostics.empty()
+                      ? std::string("-")
+                      : rep.diagnostics[0].message());
+          EXPECT_GT(rep.edgeCount, 0) << m.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(StepGraph, StatsReflectTheCapture) {
+  const auto dbl = smallLayout();
+  const auto cfg = tiledConfig();
+  const core::StepProgram prog = buildStepProgram(Scheme::RK4, 0.01);
+  LevelData u = initialState(dbl);
+
+  core::StepExecOptions fused;
+  fused.fuse = StepFuse::Fused;
+  core::StepGraphExecutor fusedExec(cfg, 2, fused);
+  fusedExec.run(prog, u, {});
+  const core::StepGraphStats fusedStats = fusedExec.stats();
+  EXPECT_EQ(fusedStats.fuse, StepFuse::Fused);
+  EXPECT_EQ(fusedStats.graphCount, 1u);
+  EXPECT_EQ(fusedStats.exchangeDepth, kNumGhost);
+  EXPECT_GT(fusedStats.taskCount, 0u);
+  EXPECT_GT(fusedStats.edgeCount, fusedStats.taskCount)
+      << "cross-stage fusion must carry more dependencies than tasks";
+
+  LevelData v = initialState(dbl);
+  core::StepExecOptions ca;
+  ca.fuse = StepFuse::CommAvoid;
+  core::StepGraphExecutor caExec(cfg, 2, ca);
+  caExec.run(prog, v, {});
+  const core::StepGraphStats caStats = caExec.stats();
+  EXPECT_EQ(caStats.fuse, StepFuse::CommAvoid);
+  EXPECT_EQ(caStats.exchangeDepth, kNumGhost * schemeRhsEvals(Scheme::RK4));
+  EXPECT_LT(caStats.exchangeOps, fusedStats.exchangeOps)
+      << "one deepened exchange must replace four shallow ones";
+}
+
+TEST(StepGraph, EagerFuseIsRejectedByTheExecutor) {
+  core::StepExecOptions opts;
+  opts.fuse = StepFuse::Eager;
+  EXPECT_THROW(core::StepGraphExecutor(tiledConfig(), 2, opts),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation: dropping a cross-stage dependency edge from the fused
+// model must be rejected by graphcheck with the predicted witness pair.
+// ---------------------------------------------------------------------------
+
+bool reported(const GraphCheckReport& rep, DiagnosticKind kind,
+              const std::string& labelA, const std::string& labelB) {
+  for (const analysis::Diagnostic& d : rep.diagnostics) {
+    if (d.kind != kind) {
+      continue;
+    }
+    if ((d.stageA == labelA && d.stageB == labelB) ||
+        (d.stageA == labelB && d.stageB == labelA)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string firstWord(const std::string& s) {
+  return s.substr(0, s.find(' '));
+}
+
+TEST(StepGraph, DroppedCrossStageEdgesAreCaught) {
+  const auto dbl = smallLayout();
+  LevelData u = initialState(dbl);
+  core::StepExecOptions opts;
+  opts.fuse = StepFuse::Fused;
+  core::StepGraphExecutor exec(tiledConfig(), 2, opts);
+  const auto models =
+      exec.lowerModels(buildStepProgram(Scheme::RK4, 0.01), u, {});
+  ASSERT_EQ(models.size(), 1u);
+  const TaskGraphModel& m = models[0];
+
+  int caught = 0;
+  int crossOp = 0;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const analysis::mutate::GraphMutation mut =
+        analysis::mutate::dropGraphEdge(m, seed);
+    if (mut.expect == DiagnosticKind::Ok) {
+      continue; // no candidate for this seed
+    }
+    const GraphCheckReport rep = analysis::checkTaskGraph(mut.model);
+    ASSERT_FALSE(rep.ok()) << "seed " << seed << ": " << mut.what
+                           << " was accepted";
+    EXPECT_TRUE(reported(rep, mut.expect, m.label(mut.taskA),
+                         m.label(mut.taskB)))
+        << "seed " << seed << ": " << mut.what << "\n  expected "
+        << analysis::diagnosticKindName(mut.expect) << " naming '"
+        << m.label(mut.taskA) << "' vs '" << m.label(mut.taskB)
+        << "', first diagnostic: " << rep.diagnostics[0].message();
+    ++caught;
+    if (firstWord(m.label(mut.taskA)) != firstWord(m.label(mut.taskB))) {
+      ++crossOp; // e.g. an rhs task racing an axpy/exchange task
+    }
+  }
+  EXPECT_GE(caught, 5) << "the fused RK4 graph must offer drop candidates";
+  EXPECT_GE(crossOp, 1)
+      << "at least one dropped edge must cross an op-kind boundary "
+      << "(a cross-stage dependency)";
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial serial replay: hostile ready-set orderings (with hostile
+// worker attribution for the shadow detector, when compiled in) stay
+// bit-identical to the eager reference.
+// ---------------------------------------------------------------------------
+
+TEST(StepGraph, AdversarialReplayIsBitIdentical) {
+  const auto dbl = smallLayout();
+  const Real dt = 0.004;
+  const auto cfg = tiledConfig();
+  const LevelData ref = eagerReference(Scheme::RK4, dbl, cfg, dt, 1, 3);
+  for (const core::ReplayOrder order : core::kReplayOrders) {
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      LevelData u = initialState(dbl);
+      FluxDivRhs rhs(cfg, 3);
+      TimeIntegrator integ(Scheme::RK4, dbl);
+      integ.setStepFuse(StepFuse::Fused);
+      integ.setLevelPolicy(LevelPolicy::Hybrid);
+      integ.setReplay({order, seed});
+      integ.advance(u, dt, rhs);
+      EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u), 0.0)
+          << "replay " << core::replayOrderName(order) << " seed " << seed;
+      if (order != core::ReplayOrder::Random) {
+        break; // seed only matters for Random
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(StepGraph, EnvironmentSelectsTheFuseMode) {
+  const auto dbl = smallLayout();
+  const auto cfg = core::makeShiftFuse(core::ParallelGranularity::OverBoxes);
+  LevelData u = initialState(dbl);
+  FluxDivRhs rhs(cfg, 2);
+
+  ::setenv("FLUXDIV_STEP_FUSE", "commavoid", 1);
+  {
+    TimeIntegrator integ(Scheme::Midpoint, dbl);
+    integ.advance(u, 0.004, rhs);
+    ASSERT_NE(integ.stepStats(), nullptr);
+    EXPECT_EQ(integ.stepStats()->fuse, StepFuse::CommAvoid);
+  }
+  ::setenv("FLUXDIV_STEP_FUSE", "bogus", 1);
+  {
+    TimeIntegrator integ(Scheme::Midpoint, dbl);
+    EXPECT_THROW(integ.advance(u, 0.004, rhs), std::invalid_argument);
+  }
+  ::unsetenv("FLUXDIV_STEP_FUSE");
+
+  core::StepFuse parsed{};
+  EXPECT_TRUE(core::parseStepFuse("comm-avoiding", parsed));
+  EXPECT_EQ(parsed, StepFuse::CommAvoid);
+  EXPECT_TRUE(core::parseStepFuse("staged", parsed));
+  EXPECT_EQ(parsed, StepFuse::Staged);
+  EXPECT_FALSE(core::parseStepFuse("nope", parsed));
+}
+
+} // namespace
+} // namespace fluxdiv::solvers

@@ -9,11 +9,20 @@
 //   ./tools/fluxdiv_advisor [--boxsize 128] [--threads 8] [--extensions]
 //                           [--l2 BYTES] [--llc BYTES] [--csv out.csv]
 //                           [--strict] [--pad] [--nboxes 1] [--kernels]
+//                           [--scheme rk4|all]
 //
 // --kernels additionally probes the shipped kernels differentially
 // (analysis/kernelcheck) and reports any declared-but-never-read stencil
 // offsets — overdeclared footprints mean the traffic model and the
 // exchange plan price ghost cells no kernel touches.
+//
+// --scheme additionally ranks the whole-RK-step fusion modes
+// (core::StepFuse: eager / staged / fused / comm-avoiding, lowered by
+// core/stepgraph) for that time scheme — or every scheme with 'all' — by
+// modeled halo traffic + deepened-ghost recompute traffic per step
+// (analysis::analyzeStepFusion), and prints a deep-halo-recompute note
+// whenever comm-avoiding's widened-halo recomputation costs more than the
+// exchanges it eliminates.
 //
 // --pad prices working sets for the default padded fab allocation (x-pitch
 // rounded to grid::kSimdDoubles, docs/perf.md) instead of dense storage.
@@ -45,6 +54,7 @@
 #include "harness/machine.hpp"
 #include "harness/table.hpp"
 #include "kernels/exemplar.hpp"
+#include "solvers/integrator.hpp"
 
 using namespace fluxdiv;
 
@@ -106,6 +116,9 @@ int main(int argc, char** argv) {
   args.addBool("kernels",
                "probe the shipped kernels and report overdeclared "
                "footprints (declared-but-never-read stencil offsets)");
+  args.addString("scheme", "",
+                 "rank RK step-fusion modes for this time scheme "
+                 "(euler/midpoint/ssprk3/rk4, or 'all')");
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -300,6 +313,59 @@ int main(int argc, char** argv) {
                 << " simulated ranks, analysis/commcheck):\n";
       std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
                 << note.message() << "\n";
+    }
+  }
+
+  const std::string schemeArg = args.getString("scheme");
+  if (!schemeArg.empty()) {
+    std::vector<solvers::Scheme> schemes;
+    if (schemeArg == "all") {
+      schemes.assign(std::begin(solvers::kSchemes),
+                     std::end(solvers::kSchemes));
+    } else {
+      solvers::Scheme s{};
+      if (!solvers::parseScheme(schemeArg, s)) {
+        std::cerr << "error: unknown --scheme '" << schemeArg
+                  << "' (euler/midpoint/ssprk3/rk4 or 'all')\n";
+        return 1;
+      }
+      schemes.push_back(s);
+    }
+    const int levelBoxes = std::max(1, nBoxes);
+    std::cout << "\nstep-fusion ranking (" << levelBoxes << " x " << n
+              << "^3 boxes, per time step; modeled halo + recompute "
+                 "traffic, analysis::analyzeStepFusion):\n\n";
+    harness::Table ftable({"scheme", "fuse", "exchanges", "depth", "halo",
+                           "alpha", "recomp", "dispatches", "cost",
+                           "rank"});
+    std::vector<std::pair<std::string, analysis::CostNote>> fuseNotes;
+    for (const solvers::Scheme s : schemes) {
+      // The eager path's dispatch count is its level-wide sweep count:
+      // one per recorded op (exchange / RHS / stage combine).
+      const int eagerOps = static_cast<int>(
+          solvers::buildStepProgram(s, /*dt=*/1.0).ops.size());
+      const auto costs = analysis::analyzeStepFusion(
+          solvers::schemeRhsEvals(s), n, levelBoxes, eagerOps);
+      for (const auto& fc : costs) {
+        ftable.addRow({solvers::schemeName(s),
+                       core::stepFuseName(fc.fuse),
+                       std::to_string(fc.exchanges),
+                       std::to_string(fc.exchangeDepth),
+                       fmtBytes(fc.exchangeBytes),
+                       fmtBytes(fc.alphaBytes),
+                       harness::formatDouble(fc.recomputeFraction, 3),
+                       std::to_string(fc.dispatches),
+                       fmtBytes(fc.costBytes),
+                       std::to_string(fc.rank)});
+        for (const auto& note : fc.notes) {
+          fuseNotes.emplace_back(solvers::schemeName(s), note);
+        }
+      }
+    }
+    ftable.print(std::cout);
+    for (const auto& [name, note] : fuseNotes) {
+      std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
+                << name << ": " << note.message() << "\n";
     }
   }
 
