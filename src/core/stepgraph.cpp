@@ -1,6 +1,7 @@
 #include "core/stepgraph.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -173,7 +174,10 @@ public:
 
   TaskGraph graph;
   analysis::TaskGraphModel model;
-  std::vector<FArrayBox*> epochFabs; ///< RHS outputs: re-arm shadow/check
+  /// RHS-output (slot, box) pairs whose shadow epochs run() re-arms and
+  /// checks. Recorded symbolically (not as FArrayBox*) so a rebind to a
+  /// reallocated LevelData needs no epoch-list rebuild.
+  std::vector<std::pair<int, std::size_t>> epochTargets;
   std::vector<bool> rhsWritten;      ///< per slot, within this dispatch
 
 private:
@@ -186,7 +190,12 @@ private:
   std::vector<std::set<int>> preds_;
 };
 
-/// Everything lowerOp() needs about the capture being built.
+/// Everything lowerOp() needs about the capture being built. `slots` is
+/// the lowering-time view (layouts, copiers, valid boxes); `tab` is the
+/// capture's *runtime* slot table, which task lambdas capture and
+/// dereference on every execution so rebinding an entry (layout-keyed
+/// reuse after the solution is reallocated) retargets every task without
+/// re-lowering.
 struct LowerEnv {
   const VariantConfig& cfg;
   WorkspacePool& ws;
@@ -194,6 +203,7 @@ struct LowerEnv {
   const StepProgram& prog;
   StepRhsSpec rhs;
   std::vector<LevelData*> slots; ///< program slot -> backing storage
+  LevelData* const* tab;         ///< runtime slot table (Capture-owned)
   const StepHaloPlan& plan;
   LevelPolicy policy;
   StepFuse fuse;
@@ -284,11 +294,13 @@ void lowerExchange(Lowering& low, LowerEnv& env, const StepOp& op) {
   const int nc = level.nComp();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const grid::CopyOp cop = ops[i];
-    LevelData* lp = &level;
+    LevelData* const* tab = env.tab;
+    const auto slot = static_cast<std::size_t>(op.dst);
     const int t = low.addTask(
-        [lp, cop, nc](int) {
-          (*lp)[cop.destBox].copyShifted((*lp)[cop.srcBox], cop.destRegion,
-                                         cop.srcShift, 0, 0, nc);
+        [tab, slot, cop, nc](int) {
+          LevelData& lp = *tab[slot];
+          lp[cop.destBox].copyShifted(lp[cop.srcBox], cop.destRegion,
+                                      cop.srcShift, 0, 0, nc);
         },
         env.ownerOf(cop.destBox),
         env.prog.slotName(op.dst) + " " + level.copier().opLabel(i) +
@@ -320,9 +332,10 @@ void lowerBoundaryFill(Lowering& low, LowerEnv& env, const StepOp& op) {
       if (!bf->active(valid, d)) {
         continue;
       }
-      LevelData* lp = &level;
+      LevelData* const* tab = env.tab;
+      const auto slot = static_cast<std::size_t>(op.dst);
       const int t = low.addTask(
-          [bf, lp, b, d](int) { bf->fillBoxDim(*lp, b, d); },
+          [bf, tab, slot, b, d](int) { bf->fillBoxDim(*tab[slot], b, d); },
           env.ownerOf(b),
           "bc " + env.prog.slotName(op.dst) + " box" + std::to_string(b) +
               " d" + std::to_string(d) + env.stepTag(op));
@@ -370,16 +383,17 @@ void lowerBoundaryFill(Lowering& low, LowerEnv& env, const StepOp& op) {
 }
 
 void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
-  LevelData& src = *env.slots[static_cast<std::size_t>(op.src)];
   LevelData& dst = *env.slots[static_cast<std::size_t>(op.dst)];
   const int nc = dst.nComp();
   const bool firstWrite = !low.rhsWritten[static_cast<std::size_t>(op.dst)];
   low.rhsWritten[static_cast<std::size_t>(op.dst)] = true;
+  LevelData* const* tab = env.tab;
+  const auto srcSlot = static_cast<std::size_t>(op.src);
+  const auto dstSlot = static_cast<std::size_t>(op.dst);
   for (std::size_t b = 0; b < dst.size(); ++b) {
     const Box valid = dst.validBox(b);
-    FArrayBox* df = &dst[b];
     if (firstWrite) {
-      low.epochFabs.push_back(df);
+      low.epochTargets.emplace_back(op.dst, b);
     } else {
       // Shadow-epoch barrier: the slot is being re-written by a later
       // stage, which the per-epoch write detector would flag as a
@@ -389,11 +403,13 @@ void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
       // before every later one — exactly the WAR/WAW ordering the
       // re-write needs anyway, so no parallelism beyond that is lost.
       const int t = low.addTask(
-          [df](int) {
+          [tab, dstSlot, b](int) {
 #ifdef FLUXDIV_SHADOW_CHECK
-            df->shadowBeginEpoch();
+            (*tab[dstSlot])[b].shadowBeginEpoch();
 #else
-            (void)df;
+            (void)tab;
+            (void)dstSlot;
+            (void)b;
 #endif
           },
           env.ownerOf(b),
@@ -402,7 +418,6 @@ void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
           /*exchangeOp=*/false, /*orderingOnly=*/true);
       low.access(t, op.dst, b, valid.grow(dst.nGhost()), nc, true);
     }
-    const FArrayBox* sf = &src[b];
     const VariantConfig* cfg = &env.cfg;
     WorkspacePool* ws = &env.ws;
     const Real scale = -env.rhs.invDx;
@@ -410,16 +425,19 @@ void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
     for (const NamedRegion& nr : rhsRegions(env, valid, w)) {
       const Box region = nr.region;
       const int t = low.addTask(
-          [cfg, ws, sf, df, region, nc, scale, diss](int worker) {
+          [cfg, ws, tab, srcSlot, dstSlot, b, region, nc, scale,
+           diss](int worker) {
+            const FArrayBox& sf = (*tab[srcSlot])[b];
+            FArrayBox& df = (*tab[dstSlot])[b];
             for (int c = 0; c < nc; ++c) {
-              df->setVal(0.0, region, c);
+              df.setVal(0.0, region, c);
             }
-            detail::runBoxSerialDispatch(*cfg, *sf, *df, region,
+            detail::runBoxSerialDispatch(*cfg, sf, df, region,
                                          (*ws)[worker], scale);
             if (diss != 0.0) {
-              kernels::addLaplacian(*sf, *df, region, diss);
+              kernels::addLaplacian(sf, df, region, diss);
             }
-            FLUXDIV_SHADOW_WRITE(*df, region, 0, nc);
+            FLUXDIV_SHADOW_WRITE(df, region, 0, nc);
           },
           env.ownerOf(b),
           "rhs " + env.prog.slotName(op.src) + "->" +
@@ -438,41 +456,41 @@ void lowerRhsEval(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
 
 void lowerCombine(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
   LevelData& dst = *env.slots[static_cast<std::size_t>(op.dst)];
-  LevelData* srcLevel = op.kind == StepOpKind::ScaleSlot
-                            ? nullptr
-                            : env.slots[static_cast<std::size_t>(op.src)];
   const int nc = dst.nComp();
+  LevelData* const* tab = env.tab;
+  const auto srcSlot = static_cast<std::size_t>(op.src);
+  const auto dstSlot = static_cast<std::size_t>(op.dst);
   for (std::size_t b = 0; b < dst.size(); ++b) {
     const Box valid = dst.validBox(b);
-    FArrayBox* df = &dst[b];
-    const FArrayBox* sf =
-        srcLevel != nullptr ? &(*srcLevel)[b] : nullptr;
     for (const NamedRegion& nr : combineRegions(env, valid, w)) {
       const Box region = nr.region;
       TaskGraph::Fn fn;
       std::string label;
       switch (op.kind) {
       case StepOpKind::CopySlot:
-        fn = [df, sf, region, nc](int) {
-          df->copy(*sf, region, 0, 0, nc);
+        fn = [tab, srcSlot, dstSlot, b, region, nc](int) {
+          (*tab[dstSlot])[b].copy((*tab[srcSlot])[b], region, 0, 0, nc);
         };
         label = "copy " + env.prog.slotName(op.src) + "->" +
                 env.prog.slotName(op.dst);
         break;
       case StepOpKind::AxpySlot: {
         const Real s = op.scale;
-        fn = [df, sf, region, s](int) { df->plus(*sf, s, region); };
+        fn = [tab, srcSlot, dstSlot, b, region, s](int) {
+          (*tab[dstSlot])[b].plus((*tab[srcSlot])[b], s, region);
+        };
         label = "axpy " + env.prog.slotName(op.dst) + "+=" +
                 env.prog.slotName(op.src);
         break;
       }
       default: { // ScaleSlot
         const Real s = op.scale;
-        fn = [df, region, nc, s](int) {
+        fn = [tab, dstSlot, b, region, nc, s](int) {
+          FArrayBox& df = (*tab[dstSlot])[b];
           for (int c = 0; c < nc; ++c) {
-            Real* p = df->dataPtr(c);
+            Real* p = df.dataPtr(c);
             forEachCell(region, [&](int i, int j, int k) {
-              p[df->offset(i, j, k)] *= s;
+              p[df.offset(i, j, k)] *= s;
             });
           }
         };
@@ -484,7 +502,7 @@ void lowerCombine(Lowering& low, LowerEnv& env, const StepOp& op, int w) {
           low.addTask(std::move(fn), env.ownerOf(b),
                       label + " box" + std::to_string(b) + nr.tag +
                           env.stepTag(op));
-      if (sf != nullptr) {
+      if (op.kind != StepOpKind::ScaleSlot) {
         low.access(t, op.src, b, region, nc, false);
       }
       if (op.kind != StepOpKind::CopySlot) {
@@ -522,12 +540,17 @@ void lowerOp(Lowering& low, LowerEnv& env, std::size_t opIdx) {
 } // namespace
 
 struct StepGraphExecutor::Capture {
-  // Capture key: graphs are rebuilt only when any of these change.
-  const LevelData* u = nullptr;
+  // Layout-signature capture key (docs/serving.md "Graph cache"): graphs
+  // are rebuilt only when any of these change. The *identity* of the
+  // solution LevelData is deliberately absent — a reallocated level with
+  // the same signature rebinds via the slot table below.
   std::vector<StepOp> ops;
   int nSlots = 0;
-  std::size_t nBoxes = 0;
-  Box firstValid;
+  Box domainBox;
+  std::array<bool, grid::SpaceDim> periodic{};
+  IntVect boxSize{0, 0, 0};
+  int uGhost = 0;
+  int uComp = 0;
   Real invDx = 0.0;
   Real dissipation = 0.0;
   const grid::BoundaryFiller* boundary = nullptr;
@@ -535,20 +558,55 @@ struct StepGraphExecutor::Capture {
   // Lowered state.
   StepFuse fuse = StepFuse::Fused;
   int depth = kNumGhost;
+  const LevelData* boundU = nullptr; ///< what the rebind slot points at
   std::vector<LevelData> stage; ///< Staged/Fused: slots 1..nSlots-1
   std::vector<LevelData> deep;  ///< CommAvoid: all slots at `depth` ghosts
+  /// Runtime slot table every task lambda dereferences: entries
+  /// 0..nSlots-1 back the program slots, entry nSlots is the external
+  /// solution under CommAvoid (copyin/copyout). Heap-allocated once per
+  /// capture so its address outlives rebinds.
+  std::unique_ptr<LevelData*[]> tab;
+  int rebindSlot = 0; ///< tab index that tracks the caller's solution
   struct Phase {
     TaskGraph graph;
     analysis::TaskGraphModel model;
-    std::vector<FArrayBox*> epochFabs;
+    std::vector<std::pair<int, std::size_t>> epochTargets;
   };
   std::vector<Phase> phases;
+
+  [[nodiscard]] bool matches(const StepProgram& prog, const LevelData& u,
+                             const StepRhsSpec& rhs) const {
+    const auto sameOp = [](const StepOp& a, const StepOp& b) {
+      return a.kind == b.kind && a.dst == b.dst && a.src == b.src &&
+             a.scale == b.scale && a.step == b.step;
+    };
+    const grid::ProblemDomain& dom = u.layout().domain();
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      if (periodic[static_cast<std::size_t>(d)] != dom.isPeriodic(d)) {
+        return false;
+      }
+    }
+    return nSlots == prog.nSlots && domainBox == dom.box() &&
+           boxSize == u.layout().boxSize() && uGhost == u.nGhost() &&
+           uComp == u.nComp() && invDx == rhs.invDx &&
+           dissipation == rhs.dissipation && boundary == rhs.boundary &&
+           ops.size() == prog.ops.size() &&
+           std::equal(ops.begin(), ops.end(), prog.ops.begin(), sameOp);
+  }
 };
 
 StepGraphExecutor::StepGraphExecutor(VariantConfig cfg, int nThreads,
                                      StepExecOptions opts)
-    : cfg_(cfg), nThreads_(nThreads < 1 ? 1 : nThreads), opts_(opts),
-      pool_(nThreads_, opts.pin), ws_(nThreads_),
+    : cfg_(cfg),
+      nThreads_(opts.sharedPool != nullptr ? opts.sharedPool->nThreads()
+                                           : (nThreads < 1 ? 1 : nThreads)),
+      opts_(opts),
+      ownedPool_(opts.sharedPool != nullptr
+                     ? nullptr
+                     : std::make_unique<TaskPool>(nThreads_, opts.pin)),
+      pool_(opts.sharedPool != nullptr ? opts.sharedPool
+                                       : ownedPool_.get()),
+      ws_(nThreads_),
       runner_(std::make_unique<FluxDivRunner>(cfg, nThreads_)) {
   if (opts_.fuse == StepFuse::Eager) {
     throw std::invalid_argument(
@@ -583,21 +641,18 @@ StepGraphExecutor::Capture&
 StepGraphExecutor::ensureCapture(const StepProgram& prog,
                                  grid::LevelData& u,
                                  const StepRhsSpec& rhs) {
-  const auto sameOp = [](const StepOp& a, const StepOp& b) {
-    return a.kind == b.kind && a.dst == b.dst && a.src == b.src &&
-           a.scale == b.scale && a.step == b.step;
-  };
-  if (capture_ != nullptr && capture_->u == &u &&
-      capture_->nSlots == prog.nSlots &&
-      capture_->nBoxes == u.size() &&
-      capture_->firstValid == u.validBox(0) &&
-      capture_->invDx == rhs.invDx &&
-      capture_->dissipation == rhs.dissipation &&
-      capture_->boundary == rhs.boundary &&
-      capture_->ops.size() == prog.ops.size() &&
-      std::equal(capture_->ops.begin(), capture_->ops.end(),
-                 prog.ops.begin(), sameOp)) {
+  if (capture_ != nullptr && capture_->matches(prog, u, rhs)) {
     stats_.rebuilt = false;
+    ++stats_.cacheHits;
+    if (capture_->boundU != &u) {
+      // Same layout signature, different allocation: rebind the solution
+      // entry of the slot table — every cached task lambda now reads and
+      // writes the new level. Nothing is re-lowered or re-verified (the
+      // graphs depend only on the signature).
+      capture_->tab[static_cast<std::size_t>(capture_->rebindSlot)] = &u;
+      capture_->boundU = &u;
+      ++stats_.rebinds;
+    }
     return *capture_;
   }
 
@@ -611,14 +666,20 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
   }
 
   auto cap = std::make_unique<Capture>();
-  cap->u = &u;
   cap->ops = prog.ops;
   cap->nSlots = prog.nSlots;
-  cap->nBoxes = u.size();
-  cap->firstValid = u.validBox(0);
+  cap->domainBox = u.layout().domain().box();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    cap->periodic[static_cast<std::size_t>(d)] =
+        u.layout().domain().isPeriodic(d);
+  }
+  cap->boxSize = u.layout().boxSize();
+  cap->uGhost = u.nGhost();
+  cap->uComp = u.nComp();
   cap->invDx = rhs.invDx;
   cap->dissipation = rhs.dissipation;
   cap->boundary = rhs.boundary;
+  cap->boundU = &u;
   cap->fuse = effectiveFuse(prog, u, rhs);
 
   const StepHaloPlan plan = planStepHalos(prog, cap->fuse);
@@ -634,14 +695,19 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
   // Backing storage. Staged/Fused: the solution slot is the caller's
   // level; stage slots get standard-ghost levels. CommAvoid: every slot —
   // including a private copy of the solution — gets a deepened-halo level
-  // so the one up-front exchange can feed the whole widened chain.
+  // so the one up-front exchange can feed the whole widened chain. The
+  // runtime slot table carries one extra entry (index nSlots) for the
+  // external solution, which CommAvoid's copyin/copyout tasks use; the
+  // entry tracking the caller's level is the rebind target.
   std::vector<LevelData*> slots(static_cast<std::size_t>(prog.nSlots));
+  cap->tab.reset(new LevelData*[static_cast<std::size_t>(prog.nSlots + 1)]);
   if (cap->fuse == StepFuse::CommAvoid) {
     cap->deep.reserve(static_cast<std::size_t>(prog.nSlots));
     for (int s = 0; s < prog.nSlots; ++s) {
       cap->deep.emplace_back(u.layout(), kNumComp, cap->depth);
       slots[static_cast<std::size_t>(s)] = &cap->deep.back();
     }
+    cap->rebindSlot = prog.nSlots;
   } else {
     slots[0] = &u;
     cap->stage.reserve(static_cast<std::size_t>(prog.nSlots - 1));
@@ -649,10 +715,16 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
       cap->stage.emplace_back(u.layout(), kNumComp, kNumGhost);
       slots[static_cast<std::size_t>(s)] = &cap->stage.back();
     }
+    cap->rebindSlot = 0;
   }
+  for (int s = 0; s < prog.nSlots; ++s) {
+    cap->tab[static_cast<std::size_t>(s)] =
+        slots[static_cast<std::size_t>(s)];
+  }
+  cap->tab[static_cast<std::size_t>(prog.nSlots)] = &u;
 
-  LowerEnv env{cfg_,  ws_,   nThreads_, prog, rhs,
-               slots, plan,  opts_.policy, cap->fuse};
+  LowerEnv env{cfg_,  ws_,  nThreads_,  prog,      rhs,
+               slots, cap->tab.get(), plan, opts_.policy, cap->fuse};
   if (cap->fuse == StepFuse::CommAvoid) {
     env.rhs.boundary = nullptr; // periodic only; BC ops are dropped
   }
@@ -694,15 +766,17 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
     Lowering low(std::move(name), u);
     low.rhsWritten.assign(static_cast<std::size_t>(prog.nSlots), false);
 
+    LevelData* const* tab = cap->tab.get();
+    const auto extSlot = static_cast<std::size_t>(prog.nSlots);
     if (cap->fuse == StepFuse::CommAvoid && p == 0) {
       // Copy the caller's solution into the deep slot (model slot
       // nSlots identifies the external level).
       for (std::size_t b = 0; b < u.size(); ++b) {
         const Box valid = u.validBox(b);
-        FArrayBox* df = &cap->deep[0][b];
-        const FArrayBox* sf = &u[b];
         const int t = low.addTask(
-            [df, sf, valid, nc](int) { df->copy(*sf, valid, 0, 0, nc); },
+            [tab, extSlot, b, valid, nc](int) {
+              (*tab[0])[b].copy((*tab[extSlot])[b], valid, 0, 0, nc);
+            },
             env.ownerOf(b), "copyin u box" + std::to_string(b));
         low.access(t, prog.nSlots, b, valid, nc, false);
         low.access(t, 0, b, valid, nc, true);
@@ -714,10 +788,10 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
     if (cap->fuse == StepFuse::CommAvoid && p + 1 == phaseOps.size()) {
       for (std::size_t b = 0; b < u.size(); ++b) {
         const Box valid = u.validBox(b);
-        FArrayBox* df = &u[b];
-        const FArrayBox* sf = &cap->deep[0][b];
         const int t = low.addTask(
-            [df, sf, valid, nc](int) { df->copy(*sf, valid, 0, 0, nc); },
+            [tab, extSlot, b, valid, nc](int) {
+              (*tab[extSlot])[b].copy((*tab[0])[b], valid, 0, 0, nc);
+            },
             env.ownerOf(b), "copyout u box" + std::to_string(b));
         low.access(t, 0, b, valid, nc, false);
         low.access(t, prog.nSlots, b, valid, nc, true);
@@ -727,7 +801,7 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
     Capture::Phase phase;
     phase.graph = std::move(low.graph);
     phase.model = std::move(low.model);
-    phase.epochFabs = std::move(low.epochFabs);
+    phase.epochTargets = std::move(low.epochTargets);
     cap->phases.push_back(std::move(phase));
   }
 
@@ -738,7 +812,11 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
   }
 #endif
 
+  const std::uint64_t hits = stats_.cacheHits;
+  const std::uint64_t rebinds = stats_.rebinds;
   stats_ = StepGraphStats{};
+  stats_.cacheHits = hits; // lifetime counters survive rebuilds
+  stats_.rebinds = rebinds;
   stats_.fuse = cap->fuse;
   stats_.graphCount = cap->phases.size();
   stats_.exchangeDepth = cap->depth;
@@ -761,24 +839,54 @@ void StepGraphExecutor::run(const StepProgram& prog, grid::LevelData& u,
                             const StepRhsSpec& rhs) {
   Capture& cap = ensureCapture(prog, u, rhs);
   const bool rebuilt = stats_.rebuilt;
-  for (Capture::Phase& phase : cap.phases) {
-#ifdef FLUXDIV_SHADOW_CHECK
-    for (FArrayBox* f : phase.epochFabs) {
-      f->shadowBeginEpoch();
-    }
-#endif
+  for (std::size_t p = 0; p < cap.phases.size(); ++p) {
+    TaskGraph& graph = beginPhase(p);
     if (opts_.replay.order != ReplayOrder::None) {
-      pool_.runReplay(phase.graph, opts_.replay);
+      pool_->runReplay(graph, opts_.replay);
+    } else if (opts_.sharedPool != nullptr) {
+      pool_->wait(pool_->submit(graph, opts_.domain));
     } else {
-      pool_.run(phase.graph);
+      pool_->run(graph);
     }
-#ifdef FLUXDIV_SHADOW_CHECK
-    for (FArrayBox* f : phase.epochFabs) {
-      detail::throwOnShadowViolations(*f, "StepGraphExecutor");
-    }
-#endif
+    endPhase(p);
   }
   stats_.rebuilt = rebuilt;
+}
+
+std::size_t StepGraphExecutor::preparePhases(const StepProgram& prog,
+                                             grid::LevelData& u,
+                                             const StepRhsSpec& rhs) {
+  return ensureCapture(prog, u, rhs).phases.size();
+}
+
+TaskGraph& StepGraphExecutor::beginPhase(std::size_t p) {
+  if (capture_ == nullptr || p >= capture_->phases.size()) {
+    throw std::logic_error(
+        "StepGraphExecutor::beginPhase: no capture (call preparePhases) "
+        "or phase out of range");
+  }
+  Capture::Phase& phase = capture_->phases[p];
+#ifdef FLUXDIV_SHADOW_CHECK
+  for (const auto& [slot, b] : phase.epochTargets) {
+    (*capture_->tab[static_cast<std::size_t>(slot)])[b].shadowBeginEpoch();
+  }
+#endif
+  return phase.graph;
+}
+
+void StepGraphExecutor::endPhase(std::size_t p) {
+  if (capture_ == nullptr || p >= capture_->phases.size()) {
+    throw std::logic_error(
+        "StepGraphExecutor::endPhase: no capture or phase out of range");
+  }
+#ifdef FLUXDIV_SHADOW_CHECK
+  const Capture::Phase& phase = capture_->phases[p];
+  for (const auto& [slot, b] : phase.epochTargets) {
+    detail::throwOnShadowViolations(
+        (*capture_->tab[static_cast<std::size_t>(slot)])[b],
+        "StepGraphExecutor");
+  }
+#endif
 }
 
 std::vector<analysis::TaskGraphModel>

@@ -45,6 +45,7 @@
 // successive RHS writes into the same stage slot.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -142,11 +143,24 @@ StepHaloPlan planStepHalos(const StepProgram& prog, StepFuse fuse);
 struct StepExecOptions {
   LevelPolicy policy = LevelPolicy::BoxParallel;
   StepFuse fuse = StepFuse::Fused;
-  bool pin = false;       ///< TaskPool worker pinning
+  bool pin = false;       ///< TaskPool worker pinning (owned pool only)
   ReplayMode replay{};    ///< adversarial serial replay (tests)
+  /// Service mode (docs/serving.md): execute on this externally-owned
+  /// pool instead of constructing a private one, submitting graphs to
+  /// task domain `domain`. The executor then adopts the pool's thread
+  /// count and spawns no threads of its own, so many concurrent solver
+  /// instances interleave in one work-stealing pool. The pool must
+  /// outlive the executor.
+  TaskPool* sharedPool = nullptr;
+  int domain = 0;         ///< task domain for sharedPool submissions
 };
 
 /// Statistics of the most recent capture, for benches and the advisor.
+/// `cacheHits` and `rebinds` accumulate over the executor's lifetime
+/// (they survive rebuilds): a hit is any run that reused the cached
+/// graphs, a rebind is the subset where the solution LevelData was a
+/// *different* allocation with an identical layout signature — the
+/// layout-keyed reuse path (docs/serving.md "Graph cache").
 struct StepGraphStats {
   StepFuse fuse = StepFuse::Fused;   ///< effective mode after CA fallback
   std::size_t graphCount = 0;        ///< dispatches per run (Staged > 1)
@@ -155,12 +169,18 @@ struct StepGraphStats {
   int exchangeDepth = 0;             ///< ghost layers the exchanges fill
   std::size_t exchangeOps = 0;       ///< ghost copy-op tasks per run
   bool rebuilt = false;              ///< last run() rebuilt the graphs
+  std::uint64_t cacheHits = 0;       ///< runs that reused cached graphs
+  std::uint64_t rebinds = 0;         ///< hits onto a reallocated LevelData
 };
 
 /// Captures a StepProgram over one LevelData and executes it on a
-/// persistent work-stealing TaskPool. Graphs are rebuilt only when the
-/// (program, solution, dt, options) capture key changes; re-running a
-/// cached graph is a single dispatch. Stage/deep-halo storage is owned by
+/// persistent work-stealing TaskPool (a private one, or a shared service
+/// pool via StepExecOptions::sharedPool). Graphs are keyed by *layout
+/// signature* — domain box, periodicity, box size, ghost depth, component
+/// count, program ops, and physics — not by LevelData pointer identity:
+/// a re-allocated solution with an identical shape rebinds into the
+/// cached graphs through the capture's slot table instead of re-lowering
+/// (stats().rebinds counts these). Stage/deep-halo storage is owned by
 /// the executor and reused across runs.
 class StepGraphExecutor {
 public:
@@ -194,10 +214,29 @@ public:
   [[nodiscard]] int nThreads() const { return nThreads_; }
   [[nodiscard]] const StepGraphStats& stats() const { return stats_; }
 
+  /// Phase-by-phase service API (docs/serving.md): capture (or rebind)
+  /// without executing and return the number of graph dispatches one
+  /// run() performs (1 for Fused/CommAvoid, stages for Staged). The
+  /// orchestrator then, per phase in order: beginPhase -> submit the
+  /// returned graph to the shared pool -> after its ticket completes,
+  /// endPhase. Phases of one executor must run in order and one at a
+  /// time; different executors interleave freely.
+  std::size_t preparePhases(const StepProgram& prog, grid::LevelData& u,
+                            const StepRhsSpec& rhs);
+
+  /// Arm phase `p` (re-arms shadow-check epochs on the stage storage the
+  /// phase overwrites) and return its executable graph for submission.
+  [[nodiscard]] TaskGraph& beginPhase(std::size_t p);
+
+  /// Complete phase `p` after its submitted graph finished: runs the
+  /// shadow-violation check (throws std::logic_error on a detected race).
+  void endPhase(std::size_t p);
+
 private:
   struct Capture; // cached lowered graphs + bookkeeping (stepgraph.cpp)
 
-  /// (Re)capture when the (program, level, physics) key changed; returns
+  /// (Re)capture when the (program, layout signature, physics) key
+  /// changed; rebind when only the solution's identity changed; returns
   /// the up-to-date capture.
   Capture& ensureCapture(const StepProgram& prog, grid::LevelData& u,
                          const StepRhsSpec& rhs);
@@ -206,7 +245,8 @@ private:
   int nThreads_;
   StepExecOptions opts_;
   StepGraphStats stats_;
-  TaskPool pool_;
+  std::unique_ptr<TaskPool> ownedPool_; ///< null when sharedPool is set
+  TaskPool* pool_ = nullptr;            ///< owned or shared
   WorkspacePool ws_;
   std::unique_ptr<FluxDivRunner> runner_; ///< schedule/kernel/advice gates
   std::unique_ptr<Capture> capture_;

@@ -28,4 +28,40 @@ SampleStats summarize(std::vector<double> samples) {
   return s;
 }
 
+namespace {
+
+// Interpolated order statistic of an already-sorted sample.
+double sortedPercentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  pct = std::max(0.0, std::min(100.0, pct));
+  const double pos =
+      pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace
+
+double percentile(std::vector<double> samples, double pct) {
+  std::sort(samples.begin(), samples.end());
+  return sortedPercentile(samples, pct);
+}
+
+LatencySummary latencySummary(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.p50 = sortedPercentile(samples, 50.0);
+  s.p90 = sortedPercentile(samples, 90.0);
+  s.p99 = sortedPercentile(samples, 99.0);
+  return s;
+}
+
 } // namespace fluxdiv::harness

@@ -25,6 +25,23 @@ struct SampleStats {
 /// Compute summary statistics. An empty sample yields a zeroed struct.
 SampleStats summarize(std::vector<double> samples);
 
+/// The `pct`-th percentile (0..100) of `samples` by linear interpolation
+/// between the two nearest order statistics (the common "type 7"
+/// estimator). Empty input yields 0; pct is clamped to [0, 100].
+double percentile(std::vector<double> samples, double pct);
+
+/// The latency percentiles every throughput report quotes
+/// (docs/serving.md): tail behavior of per-solve service latency.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::size_t count = 0;
+};
+
+/// p50/p90/p99 of `samples` in one sort. Empty input yields zeros.
+LatencySummary latencySummary(std::vector<double> samples);
+
 /// Run `f` `reps` times (after `warmups` unmeasured runs) and summarize the
 /// per-run wall times.
 template <typename F>

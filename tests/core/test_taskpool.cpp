@@ -316,5 +316,195 @@ TEST(TaskPool, ReplayRejectsCyclesLikeRun) {
   EXPECT_EQ(ran.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Service-mode surface: domains, asynchronous submissions, counters.
+
+TEST(TaskPool, DomainCreationValidatesWeight) {
+  TaskPool pool(2);
+  EXPECT_EQ(pool.domainCount(), 1) << "domain 0 preexists";
+  const int d1 = pool.createDomain(2, "heavy");
+  const int d2 = pool.createDomain();
+  EXPECT_EQ(d1, 1);
+  EXPECT_EQ(d2, 2);
+  EXPECT_EQ(pool.domainCount(), 3);
+  EXPECT_THROW(pool.createDomain(0), std::invalid_argument);
+  EXPECT_THROW(pool.createDomain(-3), std::invalid_argument);
+}
+
+TEST(TaskPool, SubmitWaitRunsEveryTaskInItsDomain) {
+  TaskPool pool(4);
+  const int dom = pool.createDomain(1, "svc");
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> runs(kTasks);
+  TaskGraph graph;
+  for (int i = 0; i < kTasks; ++i) {
+    graph.addTask([&runs, i](int) { runs[i].fetch_add(1); }, i);
+  }
+  const TaskPool::Ticket t = pool.submit(graph, dom);
+  pool.wait(t);
+  EXPECT_TRUE(pool.finished(t));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << i;
+  }
+  const DomainStats ds = pool.domainStats(dom);
+  EXPECT_EQ(ds.executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(pool.domainStats(0).executed, 0U);
+}
+
+TEST(TaskPool, FinishedStaysTrueAfterTicketRecycle) {
+  TaskPool pool(2);
+  TaskGraph graph;
+  graph.addTask([](int) {});
+  const TaskPool::Ticket t = pool.submit(graph);
+  pool.wait(t); // recycles the slot
+  EXPECT_TRUE(pool.finished(t));
+  // Another submission may reuse the slot; the stale ticket still
+  // reports finished.
+  TaskGraph graph2;
+  std::atomic<int> ran{0};
+  graph2.addTask([&ran](int) { ran.fetch_add(1); });
+  const TaskPool::Ticket t2 = pool.submit(graph2);
+  EXPECT_TRUE(pool.finished(t));
+  pool.wait(t2);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskPool, EmptyGraphSubmissionIsImmediatelyFinished) {
+  TaskPool pool(2);
+  TaskGraph empty;
+  const TaskPool::Ticket t = pool.submit(empty);
+  EXPECT_TRUE(pool.finished(t));
+  pool.wait(t); // must not block
+}
+
+TEST(TaskPool, ConcurrentSubmissionsFromDifferentDomainsInterleave) {
+  TaskPool pool(4);
+  const int d1 = pool.createDomain(1, "a");
+  const int d2 = pool.createDomain(2, "b");
+  constexpr int kTasks = 300;
+  std::vector<std::atomic<int>> runs(2 * kTasks);
+  TaskGraph g1;
+  TaskGraph g2;
+  for (int i = 0; i < kTasks; ++i) {
+    g1.addTask([&runs, i](int) { runs[i].fetch_add(1); }, i);
+    g2.addTask([&runs, i](int) { runs[kTasks + i].fetch_add(1); }, i);
+  }
+  const TaskPool::Ticket t1 = pool.submit(g1, d1);
+  const TaskPool::Ticket t2 = pool.submit(g2, d2);
+  pool.wait(t1);
+  pool.wait(t2);
+  for (int i = 0; i < 2 * kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << i;
+  }
+  EXPECT_EQ(pool.domainStats(d1).executed,
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(pool.domainStats(d2).executed,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(TaskPool, WaitAnyReturnsAFinishedSubmission) {
+  TaskPool pool(4);
+  const int dom = pool.createDomain();
+  TaskGraph quick;
+  quick.addTask([](int) {});
+  TaskGraph chain;
+  std::atomic<int> steps{0};
+  int prev = chain.addTask([&steps](int) { steps.fetch_add(1); });
+  for (int i = 1; i < 64; ++i) {
+    const int next = chain.addTask([&steps](int) { steps.fetch_add(1); });
+    chain.addDep(prev, next);
+    prev = next;
+  }
+  std::vector<TaskPool::Ticket> tickets;
+  tickets.push_back(pool.submit(chain, dom));
+  tickets.push_back(pool.submit(quick, dom));
+  // Harvest both, in whatever completion order the pool produces.
+  std::size_t k1 = pool.waitAny(tickets);
+  ASSERT_LT(k1, tickets.size());
+  EXPECT_TRUE(pool.finished(tickets[k1]));
+  const std::vector<TaskPool::Ticket> rest{tickets[1 - k1]};
+  const std::size_t k2 = pool.waitAny(rest);
+  EXPECT_EQ(k2, 0U);
+  EXPECT_EQ(steps.load(), 64);
+  EXPECT_THROW(pool.waitAny({}), std::invalid_argument);
+}
+
+TEST(TaskPool, StatsCountExecutionStealingAndSubmissions) {
+  TaskPool pool(2);
+  pool.resetStats();
+  TaskGraph graph;
+  constexpr int kTasks = 100;
+  std::atomic<int> runs{0};
+  for (int i = 0; i < kTasks; ++i) {
+    graph.addTask([&runs](int) { runs.fetch_add(1); }, i);
+  }
+  pool.run(graph);
+  const TaskPoolStats s = pool.stats();
+  EXPECT_EQ(s.executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(s.submissions, 1U);
+  EXPECT_LE(s.stolen, s.executed);
+  EXPECT_GE(s.busySeconds, 0.0);
+  pool.resetStats();
+  const TaskPoolStats z = pool.stats();
+  EXPECT_EQ(z.executed, 0U);
+  EXPECT_EQ(z.submissions, 0U);
+  EXPECT_EQ(z.busySeconds, 0.0);
+  EXPECT_EQ(pool.domainStats(0).executed, 0U);
+}
+
+TEST(TaskPool, WeightedDomainsAllMakeProgressUnderLoad) {
+  // Fairness smoke: three domains with different weights submitted
+  // back-to-back all complete, and per-domain counters attribute every
+  // task to its own domain.
+  TaskPool pool(3);
+  const int weights[3] = {1, 2, 4};
+  int doms[3];
+  for (int d = 0; d < 3; ++d) {
+    doms[d] = pool.createDomain(weights[d]);
+  }
+  constexpr int kTasks = 240;
+  std::vector<std::atomic<int>> runs(3 * kTasks);
+  TaskGraph graphs[3];
+  std::vector<TaskPool::Ticket> tickets;
+  for (int d = 0; d < 3; ++d) {
+    for (int i = 0; i < kTasks; ++i) {
+      graphs[d].addTask(
+          [&runs, d, i](int) { runs[d * kTasks + i].fetch_add(1); }, i);
+    }
+  }
+  for (int d = 0; d < 3; ++d) {
+    tickets.push_back(pool.submit(graphs[d], doms[d]));
+  }
+  std::vector<TaskPool::Ticket> pending = tickets;
+  while (!pending.empty()) {
+    const std::size_t k = pool.waitAny(pending);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  for (int i = 0; i < 3 * kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << i;
+  }
+  std::uint64_t total = 0;
+  for (int d = 0; d < 3; ++d) {
+    const DomainStats ds = pool.domainStats(doms[d]);
+    EXPECT_EQ(ds.executed, static_cast<std::uint64_t>(kTasks));
+    total += ds.executed;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(3 * kTasks));
+}
+
+TEST(TaskPool, SubmitRejectsUnknownDomainAndCycles) {
+  TaskPool pool(2);
+  TaskGraph graph;
+  graph.addTask([](int) {});
+  EXPECT_THROW(pool.submit(graph, 99), std::invalid_argument);
+  EXPECT_THROW(pool.submit(graph, -1), std::invalid_argument);
+  TaskGraph cyclic;
+  const int a = cyclic.addTask([](int) {});
+  const int b = cyclic.addTask([](int) {});
+  cyclic.addDep(a, b);
+  cyclic.addDep(b, a);
+  EXPECT_THROW(pool.submit(cyclic, 0), std::logic_error);
+}
+
 } // namespace
 } // namespace fluxdiv::core

@@ -67,5 +67,36 @@ TEST(Timer, MeasuresMonotonicNonNegative) {
   EXPECT_GE(t.seconds(), first);
 }
 
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> s{4.0, 1.0, 3.0, 2.0}; // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(s, 25.0), 1.75);
+  // Clamped, not extrapolated.
+  EXPECT_DOUBLE_EQ(percentile(s, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 250.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, LatencySummaryMatchesPercentile) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  const LatencySummary s = latencySummary(samples);
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(samples, 50.0));
+  EXPECT_DOUBLE_EQ(s.p90, percentile(samples, 90.0));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(samples, 99.0));
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+
+  const LatencySummary empty = latencySummary({});
+  EXPECT_EQ(empty.count, 0U);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
 } // namespace
 } // namespace fluxdiv::harness

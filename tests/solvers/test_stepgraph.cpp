@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -217,11 +218,19 @@ TEST(StepGraph, MultiStepCaptureMatchesRepeatedAdvance) {
       EXPECT_EQ(integ.stepStats()->graphCount, 1u)
           << "a multi-step capture must dispatch as one graph";
       EXPECT_TRUE(integ.stepStats()->rebuilt);
-      // Same key again: the cached graphs must be reused.
+      // A different LevelData with the same layout signature REBINDS into
+      // the cached graphs instead of re-lowering (layout-keyed reuse),
+      // and must still produce the bit-identical result.
+      const std::uint64_t rebinds0 = integ.stepStats()->rebinds;
       LevelData u2 = initialState(dbl);
       integ.advanceSteps(u2, dt, rhs, steps);
-      EXPECT_TRUE(integ.stepStats()->rebuilt)
-          << "a different LevelData is a different capture key";
+      EXPECT_FALSE(integ.stepStats()->rebuilt)
+          << "same layout signature must reuse the cached graphs";
+      EXPECT_GT(integ.stepStats()->rebinds, rebinds0)
+          << "a reallocated solution must be counted as a rebind";
+      EXPECT_EQ(LevelData::maxAbsDiffValid(ref, u2), 0.0)
+          << schemeName(scheme) << "/" << core::stepFuseName(fuse)
+          << " rebound multi-step";
       integ.advanceSteps(u2, dt, rhs, steps);
       EXPECT_FALSE(integ.stepStats()->rebuilt);
     }

@@ -113,5 +113,36 @@ TEST(Autotuner, TunedVariantProducesCorrectResult) {
   EXPECT_LT(LevelData::maxAbsDiffValid(expected, actual), 1e-12);
 }
 
+TEST(Autotuner, RankedOrdersTimedAscendingWithPrunedLast) {
+  // Synthetic measurement record: ranked() must sort the timed
+  // candidates fastest-first and park every pruned (untimed) candidate
+  // behind them regardless of its predicted traffic.
+  TuneResult result;
+  const auto add = [&result](double seconds, bool pruned,
+                             double predicted) {
+    TuneMeasurement m;
+    m.seconds = seconds;
+    m.pruned = pruned;
+    m.predictedBytesPerCell = predicted;
+    result.measurements.push_back(m);
+  };
+  add(3.0, false, 10.0);
+  add(0.0, true, 1.0); // pruned, best prediction: still ranked last
+  add(1.0, false, 30.0);
+  add(0.0, true, 2.0);
+  add(2.0, false, 20.0);
+
+  const std::vector<TuneMeasurement> ranked = result.ranked();
+  ASSERT_EQ(ranked.size(), 5U);
+  EXPECT_DOUBLE_EQ(ranked[0].seconds, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[1].seconds, 2.0);
+  EXPECT_DOUBLE_EQ(ranked[2].seconds, 3.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ranked[i].pruned) << i;
+  }
+  EXPECT_TRUE(ranked[3].pruned);
+  EXPECT_TRUE(ranked[4].pruned);
+}
+
 } // namespace
 } // namespace fluxdiv::tuner

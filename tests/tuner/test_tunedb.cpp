@@ -1,0 +1,166 @@
+#include "tuner/tunedb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/costmodel.hpp"
+#include "solvers/integrator.hpp"
+
+namespace fluxdiv::tuner {
+namespace {
+
+MachineSignature fakeMachine(const std::string& model = "Test CPU @ 9GHz") {
+  MachineSignature sig;
+  sig.cpuModel = model;
+  sig.logicalCores = 8;
+  sig.llcBytes = 16 * 1024 * 1024;
+  return sig;
+}
+
+TuneKey key(const std::string& scheme = "rk4", int boxSize = 16,
+            int threads = 4) {
+  return TuneKey{scheme, boxSize, 2, threads};
+}
+
+std::string tmpPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(TuneDB, RoundTripThroughDisk) {
+  const std::string path = tmpPath("tunedb_roundtrip.json");
+  TuneDB db(fakeMachine());
+  db.observe(key(), core::StepFuse::CommAvoid, core::LevelPolicy::Hybrid,
+             1.25e-3);
+  db.save(path);
+
+  TuneDB reloaded(fakeMachine());
+  ASSERT_TRUE(reloaded.load(path));
+  EXPECT_EQ(reloaded.size(), 1U);
+  const TuneEntry* e = reloaded.find(key());
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->fuse, core::StepFuse::CommAvoid);
+  EXPECT_EQ(e->policy, core::LevelPolicy::Hybrid);
+  EXPECT_DOUBLE_EQ(e->seconds, 1.25e-3);
+  EXPECT_TRUE(e->measured);
+
+  // A warm key is a hit: repeat traffic never re-tunes.
+  const TuneEntry& hit = reloaded.suggest(key());
+  EXPECT_TRUE(hit.measured);
+  EXPECT_EQ(reloaded.counters().hits, 1U);
+  EXPECT_EQ(reloaded.counters().misses, 0U);
+}
+
+TEST(TuneDB, MachineMismatchFallsBackToCostModelPrior) {
+  const std::string path = tmpPath("tunedb_foreign.json");
+  TuneDB writer(fakeMachine("Node A"));
+  writer.observe(key(), core::StepFuse::Eager,
+                 core::LevelPolicy::BoxSequential, 9.9);
+  writer.save(path);
+
+  TuneDB db(fakeMachine("Node B"));
+  ASSERT_TRUE(db.load(path));
+  EXPECT_EQ(db.size(), 0U) << "foreign measurements must not transfer";
+  EXPECT_GE(db.counters().rejected, 1U);
+
+  const TuneEntry& prior = db.suggest(key());
+  EXPECT_FALSE(prior.measured);
+  EXPECT_EQ(db.counters().misses, 1U);
+  // The fallback is the analysis ranking, not the foreign record.
+  EXPECT_NE(prior.fuse, core::StepFuse::Eager);
+}
+
+TEST(TuneDB, PriorMatchesStepFusionRanking) {
+  const TuneKey k = key("rk4", 16, 4);
+  const TuneEntry prior = costModelPrior(k, 8, fakeMachine());
+  const auto fusion = analysis::analyzeStepFusion(
+      solvers::schemeRhsEvals(solvers::Scheme::RK4), 16, 8);
+  for (const auto& f : fusion) {
+    if (f.rank == 1) {
+      EXPECT_EQ(prior.fuse, f.fuse);
+      EXPECT_DOUBLE_EQ(prior.priorCostBytes, f.costBytes);
+    }
+  }
+  EXPECT_THROW(costModelPrior(TuneKey{"rk9", 16, 2, 4}, 8, fakeMachine()),
+               std::invalid_argument);
+}
+
+TEST(TuneDB, PriorIsSeededOnceAndUpgradedByObserve) {
+  TuneDB db(fakeMachine());
+  const TuneEntry& p1 = db.suggest(key());
+  EXPECT_FALSE(p1.measured);
+  db.suggest(key());
+  EXPECT_EQ(db.counters().seeds, 1U) << "prior memoized, not re-derived";
+  EXPECT_EQ(db.counters().misses, 2U);
+
+  db.observe(key(), core::StepFuse::Fused, core::LevelPolicy::BoxParallel,
+             2.0e-3);
+  const TuneEntry& hit = db.suggest(key());
+  EXPECT_TRUE(hit.measured);
+  EXPECT_EQ(db.counters().hits, 1U);
+  EXPECT_EQ(db.size(), 1U);
+}
+
+TEST(TuneDB, ObserveKeepsTheFasterChoice) {
+  TuneDB db(fakeMachine());
+  db.observe(key(), core::StepFuse::Staged, core::LevelPolicy::BoxParallel,
+             2.0);
+  db.observe(key(), core::StepFuse::Fused, core::LevelPolicy::Hybrid, 1.0);
+  const TuneEntry* e = db.find(key());
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->fuse, core::StepFuse::Fused);
+  EXPECT_DOUBLE_EQ(e->seconds, 1.0);
+
+  // A slower repeat of a different choice does not displace the record;
+  // a faster repeat of the same choice tightens it.
+  db.observe(key(), core::StepFuse::Eager, core::LevelPolicy::Hybrid, 1.5);
+  EXPECT_EQ(db.find(key())->fuse, core::StepFuse::Fused);
+  db.observe(key(), core::StepFuse::Fused, core::LevelPolicy::Hybrid, 0.5);
+  EXPECT_DOUBLE_EQ(db.find(key())->seconds, 0.5);
+  EXPECT_EQ(db.counters().refines, 4U);
+}
+
+TEST(TuneDB, PriorsAreNotPersisted) {
+  const std::string path = tmpPath("tunedb_priors.json");
+  TuneDB db(fakeMachine());
+  db.suggest(key());
+  db.save(path);
+  TuneDB reloaded(fakeMachine());
+  ASSERT_TRUE(reloaded.load(path));
+  EXPECT_EQ(reloaded.size(), 0U);
+}
+
+TEST(TuneDB, EscapedMachineStringsRoundTrip) {
+  const std::string path = tmpPath("tunedb_escape.json");
+  const MachineSignature sig =
+      fakeMachine("Weird \"CPU\"\\ with\ttabs\nand newlines");
+  TuneDB db(sig);
+  db.observe(key(), core::StepFuse::Fused, core::LevelPolicy::BoxParallel,
+             1.0);
+  db.save(path);
+  TuneDB reloaded(sig);
+  ASSERT_TRUE(reloaded.load(path));
+  EXPECT_EQ(reloaded.size(), 1U) << "signature must match after escaping";
+}
+
+TEST(TuneDB, MissingFileIsAColdCache) {
+  TuneDB db(fakeMachine());
+  EXPECT_FALSE(db.load(tmpPath("tunedb_does_not_exist.json")));
+  EXPECT_EQ(db.size(), 0U);
+}
+
+TEST(TuneDB, KeysDiscriminateEveryField) {
+  TuneDB db(fakeMachine());
+  db.observe(key("rk4", 16, 4), core::StepFuse::Fused,
+             core::LevelPolicy::BoxParallel, 1.0);
+  EXPECT_EQ(db.find(key("rk4", 32, 4)), nullptr);
+  EXPECT_EQ(db.find(key("ssprk3", 16, 4)), nullptr);
+  EXPECT_EQ(db.find(key("rk4", 16, 8)), nullptr);
+  TuneKey g = key("rk4", 16, 4);
+  g.ghost = 3;
+  EXPECT_EQ(db.find(g), nullptr);
+  EXPECT_NE(db.find(key("rk4", 16, 4)), nullptr);
+}
+
+} // namespace
+} // namespace fluxdiv::tuner
