@@ -539,6 +539,10 @@ const char* costNoteKindName(CostNoteKind k) {
     return "overdeclared-footprint";
   case CostNoteKind::DeepHaloRecompute:
     return "deep-halo-recompute";
+  case CostNoteKind::DeadStore:
+    return "dead-store";
+  case CostNoteKind::OverDeepHalo:
+    return "over-deep-halo";
   case CostNoteKind::ModelError:
     return "model-error";
   }
@@ -588,6 +592,19 @@ std::string CostNote::message() const {
        << formatBytesD(actualBytes) << " > avoided-exchange savings "
        << formatBytesD(limitBytes)
        << " -> comm-avoiding unprofitable at this box size";
+    break;
+  case CostNoteKind::DeadStore:
+    os << "'" << where
+       << "': written values are never read by a later op -> the step "
+          "program carries dead work";
+    break;
+  case CostNoteKind::OverDeepHalo:
+    os << "'" << where << "': halo width "
+       << static_cast<std::int64_t>(actualBytes)
+       << " exceeds the proven-minimal "
+       << static_cast<std::int64_t>(limitBytes) << " -> +"
+       << static_cast<std::int64_t>(fraction)
+       << " recomputed cells per run for no accuracy gain";
     break;
   case CostNoteKind::ModelError:
     os << where;

@@ -58,6 +58,8 @@ enum class CostNoteKind {
   OverCommunicated, ///< exchange plan has redundant/mergeable ops
   OverdeclaredFootprint, ///< declared stencil offsets no kernel reads
   DeepHaloRecompute, ///< comm-avoiding recompute outweighs exchange savings
+  DeadStore,      ///< step op writes values nothing reads (stepcheck S2)
+  OverDeepHalo,   ///< halo width above proven minimum (stepcheck S3)
   ModelError,     ///< internal inconsistency (tool-level strict checks)
 };
 

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "kernels/footprint.hpp"
+
 namespace fluxdiv::analysis::mutate {
 
 ScheduleModel shallowHalo(ScheduleModel m) {
@@ -540,13 +542,47 @@ KernelMutation shiftKernelStencil(const KernelFootprintModel& m,
   for (grid::IntVect& o : r.observed) {
     o += shift;
   }
-  // The shifted high end exceeds the declared hull; the declared low end
-  // is no longer exercised (observed == declared before the shift would
-  // make both exact, but the expectation only needs containment).
+  // The witness must be an offset the kernel actually observes: for a
+  // non-rectangular stencil (the whole-pipeline fused roles) the hull
+  // corner is not a member, so pick the shifted member that left the
+  // declared set farthest along the shift axis (ties broken
+  // lexicographically — a rectangular stencil still yields its hull-hi
+  // corner). The declared low end is no longer exercised, so the shift
+  // also predicts an Overdeclared advisory when that corner was a member.
+  bool escaped = false;
+  grid::IntVect witness{};
+  for (const grid::IntVect& o : r.observed) {
+    if (std::find(r.declared.begin(), r.declared.end(), o) !=
+        r.declared.end()) {
+      continue;
+    }
+    bool better = !escaped;
+    if (escaped) {
+      if (o[d] != witness[d]) {
+        better = o[d] > witness[d];
+      } else {
+        for (int k = 0; k < 3; ++k) {
+          if (o[k] != witness[k]) {
+            better = o[k] > witness[k];
+            break;
+          }
+        }
+      }
+    }
+    if (better) {
+      witness = o;
+      escaped = true;
+    }
+  }
+  if (!escaped) {
+    mut.model = m;
+    mut.what = "shiftKernelStencil: shift leaves the declared set covered";
+    return mut;
+  }
   mut.what = "kernel stencil shifted by +e_" + std::to_string(d) + " (" +
              r.role + ")";
   mut.expect = KernelDiagKind::UndeclaredRead;
-  mut.offset = offsetHullHi(r.observed);
+  mut.offset = witness;
   mut.role = r.role;
   const grid::IntVect lostLo = offsetHullLo(r.declared);
   if (std::find(r.observed.begin(), r.observed.end(), lostLo) ==
@@ -584,6 +620,420 @@ KernelMutation forgetDeclaredOffset(const KernelFootprintModel& m,
   mut.expect = KernelDiagKind::UndeclaredRead;
   mut.role = r.role;
   mut.offset = lost;
+  return mut;
+}
+
+// ------------------------------------------------------------------ steps
+
+namespace {
+
+using core::StepFuse;
+using core::StepHaloPlan;
+using core::StepOp;
+using core::StepOpKind;
+using core::StepProgram;
+
+/// Sentinel: the slot (still) agrees with the reference at every layer.
+constexpr int kCleanLayer = 1 << 20;
+
+int stepStorageDepth(const StepProgram& prog, const StepHaloPlan& plan) {
+  const int g = kernels::kNumGhost;
+  int depth = std::max(plan.depth, g);
+  for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+    const int w = plan.width[i];
+    if (w < 0) {
+      continue;
+    }
+    depth = std::max(
+        depth, prog.ops[i].kind == StepOpKind::RhsEval ? w + g : w);
+  }
+  return depth;
+}
+
+/// Forward staleness pass predicting checkStepProgram's witness for a
+/// dropped/shaved exchange at op `from`: per slot, track the lowest layer
+/// whose content diverges from the unmutated run (the corrupt band is
+/// [c, depth]); the witness is the first op whose *written interior*
+/// (layer <= 0) the corruption reaches. Deliberately independent of the
+/// checker's band interpreter — the tests assert the two agree.
+int predictStaleWitness(const StepProgram& prog, const StepHaloPlan& plan,
+                        std::size_t from, int corruptFrom) {
+  const int g = kernels::kNumGhost;
+  const int depth = stepStorageDepth(prog, plan);
+  std::vector<int> c(static_cast<std::size_t>(prog.nSlots), kCleanLayer);
+  const auto s = [](int slot) { return static_cast<std::size_t>(slot); };
+  c[s(prog.ops[from].dst)] = corruptFrom;
+  // Old content above an op's overwritten range [.., w] survives it.
+  const auto remnant = [&](int old, int w) {
+    if (old == kCleanLayer || old > w) {
+      return old;
+    }
+    return w + 1 > depth ? kCleanLayer : w + 1;
+  };
+  for (std::size_t i = from + 1; i < prog.ops.size(); ++i) {
+    const StepOp& op = prog.ops[i];
+    const int w = plan.width[i];
+    if (w < 0) {
+      continue; // dropped by the plan
+    }
+    switch (op.kind) {
+    case StepOpKind::Exchange:
+      // A mirror-refill from a clean interior repairs ghosts up to w.
+      if (c[s(op.dst)] > 0) {
+        const int nc = std::max(c[s(op.dst)], w + 1);
+        c[s(op.dst)] = nc > depth ? kCleanLayer : nc;
+      }
+      break;
+    case StepOpKind::BoundaryFill:
+      break;
+    case StepOpKind::RhsEval: {
+      // The stencil at layer L reads src [L-g, L+g]: corruption moves
+      // inward by g and lands everywhere the op writes (layers <= w).
+      const int in = c[s(op.src)];
+      const int out = in <= w + g ? in - g : kCleanLayer;
+      c[s(op.dst)] = std::min(out, remnant(c[s(op.dst)], w));
+      break;
+    }
+    case StepOpKind::CopySlot: {
+      const int in = c[s(op.src)] <= w ? c[s(op.src)] : kCleanLayer;
+      c[s(op.dst)] = std::min(in, remnant(c[s(op.dst)], w));
+      break;
+    }
+    case StepOpKind::AxpySlot: {
+      // Accumulates in place: old corruption persists, src's joins.
+      const int in = c[s(op.src)] <= w ? c[s(op.src)] : kCleanLayer;
+      c[s(op.dst)] = std::min(c[s(op.dst)], in);
+      break;
+    }
+    case StepOpKind::ScaleSlot:
+      break; // in place: corruption neither spreads nor heals
+    }
+    const bool writesInterior = op.kind == StepOpKind::RhsEval ||
+                                op.kind == StepOpKind::CopySlot ||
+                                op.kind == StepOpKind::AxpySlot ||
+                                op.kind == StepOpKind::ScaleSlot;
+    if (writesInterior && c[s(op.dst)] <= 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Layers a slot read reaches: RHS stencils read g beyond their width,
+/// the rest read exactly the layers they run on (exchange and BC fill
+/// read interior mirrors only).
+int stepReadDepth(const StepOp& op, int w) {
+  switch (op.kind) {
+  case StepOpKind::RhsEval:
+    return w + kernels::kNumGhost;
+  case StepOpKind::CopySlot:
+  case StepOpKind::AxpySlot:
+  case StepOpKind::ScaleSlot:
+    return w;
+  case StepOpKind::Exchange:
+  case StepOpKind::BoundaryFill:
+    return 0;
+  }
+  return 0;
+}
+
+bool stepWritesInterior(StepOpKind k) {
+  return k == StepOpKind::RhsEval || k == StepOpKind::CopySlot ||
+         k == StepOpKind::AxpySlot || k == StepOpKind::ScaleSlot;
+}
+
+/// Sentinel: every layer of the slot is still unwritten.
+constexpr int kUninitAll = -kCleanLayer;
+
+/// Per slot, the lowest still-unwritten layer after executing ops
+/// [0, upTo) at their plan widths. Slot 0 starts fully defined (u plus
+/// stale-but-written ghosts); stage temps start unwritten everywhere.
+std::vector<int> stepUninitFrom(const StepProgram& prog,
+                                const StepHaloPlan& plan,
+                                std::size_t upTo) {
+  std::vector<int> u(static_cast<std::size_t>(prog.nSlots), kUninitAll);
+  u[0] = kCleanLayer;
+  for (std::size_t j = 0; j < upTo; ++j) {
+    const int w = plan.width[j];
+    if (w < 0) {
+      continue;
+    }
+    const StepOp& op = prog.ops[j];
+    int& ud = u[static_cast<std::size_t>(op.dst)];
+    if (stepWritesInterior(op.kind)) {
+      ud = std::max(ud, w + 1);
+    } else if (ud >= 1) { // ghost fill from a written interior
+      const int fill =
+          op.kind == StepOpKind::Exchange ? w : kernels::kNumGhost;
+      ud = std::max(ud, fill + 1);
+    }
+  }
+  return u;
+}
+
+std::vector<std::size_t> keptExchanges(const StepProgram& prog,
+                                       const StepHaloPlan& plan) {
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+    if (prog.ops[i].kind == StepOpKind::Exchange && plan.width[i] > 0) {
+      cand.push_back(i);
+    }
+  }
+  return cand;
+}
+
+std::vector<int> stepReadSlots(const StepOp& op) {
+  switch (op.kind) {
+  case StepOpKind::Exchange:      // mirrors its own interior into ghosts
+  case StepOpKind::BoundaryFill:
+  case StepOpKind::ScaleSlot:
+    return {op.dst};
+  case StepOpKind::RhsEval:
+  case StepOpKind::CopySlot:
+    return {op.src};
+  case StepOpKind::AxpySlot:
+    return {op.src, op.dst};
+  }
+  return {};
+}
+
+bool sameStepOp(const StepOp& a, const StepOp& b) {
+  return a.kind == b.kind && a.dst == b.dst && a.src == b.src &&
+         a.scale == b.scale && a.step == b.step;
+}
+
+std::string stepOpWhat(const StepProgram& prog, std::size_t i) {
+  const StepOp& op = prog.ops[i];
+  return "op " + std::to_string(i) + " ('" + prog.slotName(op.dst) +
+         "', step " + std::to_string(op.step) + ")";
+}
+
+/// Predict checkStepProgram's verdict for an exchange at op `from` that no
+/// longer delivers layers [corruptFrom, origWidth] of its slot. Two
+/// regimes: if those layers were never written before (a stage temp's
+/// first exchange), the first op reading that deep trips ReadBeforeWrite;
+/// if they held older (stale) values, the staleness pass locates the first
+/// interior the divergence reaches (ValueMismatch). Returns false when the
+/// damage never reaches a reader.
+bool predictExchangeWitness(const StepProgram& prog,
+                            const StepHaloPlan& plan, std::size_t from,
+                            int corruptFrom, int origWidth,
+                            StepDiagKind& kind, int& witnessOp) {
+  const int dst = prog.ops[from].dst;
+  const std::vector<int> u0 = stepUninitFrom(prog, plan, from);
+  int U = std::max(corruptFrom, u0[static_cast<std::size_t>(dst)]);
+  if (U <= origWidth) {
+    const int depth = stepStorageDepth(prog, plan);
+    for (std::size_t j = from + 1; j < prog.ops.size(); ++j) {
+      const int w = plan.width[j];
+      if (w < 0) {
+        continue;
+      }
+      const StepOp& op = prog.ops[j];
+      const std::vector<int> reads = stepReadSlots(op);
+      if (std::find(reads.begin(), reads.end(), dst) != reads.end() &&
+          stepReadDepth(op, w) >= U) {
+        kind = StepDiagKind::ReadBeforeWrite;
+        witnessOp = static_cast<int>(j);
+        return true;
+      }
+      if (op.dst == dst) { // later writes can define the missing layers
+        const int covered = stepWritesInterior(op.kind) ? w
+                            : op.kind == StepOpKind::Exchange
+                                ? w
+                                : kernels::kNumGhost;
+        U = std::max(U, covered + 1);
+        if (U > depth) {
+          return false; // fully repaired before any deep read
+        }
+      }
+    }
+    return false;
+  }
+  const int wit = predictStaleWitness(prog, plan, from, corruptFrom);
+  if (wit < 0) {
+    return false;
+  }
+  kind = StepDiagKind::ValueMismatch;
+  witnessOp = wit;
+  return true;
+}
+
+} // namespace
+
+StepMutation dropStepExchange(const core::StepProgram& prog,
+                              core::StepFuse fuse, std::uint64_t seed) {
+  StepMutation mut;
+  mut.prog = prog;
+  mut.plan = core::planStepHalos(prog, fuse);
+  const std::vector<std::size_t> cand = keptExchanges(prog, mut.plan);
+  if (cand.empty()) {
+    mut.what = "dropStepExchange: no kept exchange to drop";
+    return mut;
+  }
+  const std::size_t i = cand[seed % cand.size()];
+  const int w = mut.plan.width[i];
+  mut.plan.width[i] = -1;
+  if (!predictExchangeWitness(prog, mut.plan, i, 1, w, mut.expect,
+                              mut.witnessOp)) {
+    mut.what = "dropStepExchange: missing ghosts never reach a reader";
+    return mut;
+  }
+  mut.valid = true;
+  mut.what = "dropped exchange " + stepOpWhat(prog, i);
+  return mut;
+}
+
+StepMutation shallowStepHalo(const core::StepProgram& prog,
+                             core::StepFuse fuse, std::uint64_t seed) {
+  StepMutation mut;
+  mut.prog = prog;
+  mut.plan = core::planStepHalos(prog, fuse);
+  const std::vector<std::size_t> cand = keptExchanges(prog, mut.plan);
+  if (cand.empty()) {
+    mut.what = "shallowStepHalo: no kept exchange to shave";
+    return mut;
+  }
+  const std::size_t i = cand[seed % cand.size()];
+  const int w = mut.plan.width[i];
+  mut.plan.width[i] = w - 1;
+  // Layer w is the one the shaved exchange no longer delivers.
+  if (!predictExchangeWitness(prog, mut.plan, i, w, w, mut.expect,
+                              mut.witnessOp)) {
+    mut.what = "shallowStepHalo: shaved layer never reaches a reader";
+    return mut;
+  }
+  mut.valid = true;
+  mut.what = "exchange " + stepOpWhat(prog, i) + " shaved to width " +
+             std::to_string(w - 1);
+  return mut;
+}
+
+StepMutation reorderStepOps(const core::StepProgram& prog,
+                            core::StepFuse fuse, std::uint64_t seed) {
+  StepMutation mut;
+  mut.prog = prog;
+  mut.reference = prog;
+  // Adjacent pairs where one op writes a slot the other touches — swapping
+  // those genuinely changes the step's dataflow (independent pairs would
+  // still be flagged by the intensional lockstep, but the mutation should
+  // model a real miscompilation, not an overly strict checker).
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i + 1 < prog.ops.size(); ++i) {
+    const StepOp& x = prog.ops[i];
+    const StepOp& y = prog.ops[i + 1];
+    if (sameStepOp(x, y)) {
+      continue;
+    }
+    if (!stepWritesInterior(x.kind) && !stepWritesInterior(y.kind)) {
+      continue; // ghost-fill pairs on different slots commute
+    }
+    if (x.kind == StepOpKind::ScaleSlot && y.kind == StepOpKind::ScaleSlot) {
+      continue; // two in-place scalings commute bit-exactly
+    }
+    const auto touches = [](const StepOp& o) {
+      std::vector<int> t = stepReadSlots(o);
+      t.push_back(o.dst);
+      return t;
+    };
+    const std::vector<int> tx = touches(x);
+    const std::vector<int> ty = touches(y);
+    const bool conflict =
+        std::find(ty.begin(), ty.end(), x.dst) != ty.end() ||
+        std::find(tx.begin(), tx.end(), y.dst) != tx.end();
+    if (!conflict) {
+      continue;
+    }
+    // Both swapped ops must survive the mutated program's own plan, or
+    // the first divergence is a plan artifact, not the swap itself.
+    StepProgram probe = prog;
+    std::swap(probe.ops[i], probe.ops[i + 1]);
+    const StepHaloPlan pp = core::planStepHalos(probe, fuse);
+    if (pp.width[i] < 0 || pp.width[i + 1] < 0) {
+      continue;
+    }
+    cand.push_back(i);
+  }
+  if (cand.empty()) {
+    mut.what = "reorderStepOps: no conflicting adjacent pair";
+    return mut;
+  }
+  const std::size_t i = cand[seed % cand.size()];
+  std::swap(mut.prog.ops[i], mut.prog.ops[i + 1]);
+  mut.plan = core::planStepHalos(mut.prog, fuse);
+  mut.useReference = true;
+  mut.valid = true;
+  mut.witnessOp = static_cast<int>(i);
+  // The hoisted op (originally ops[i+1]) fires ReadBeforeWrite when any
+  // layer it now reads was never yet written (a stage temp's interior, or
+  // ghost layers whose exchange it just jumped ahead of); otherwise the
+  // lockstep sees the two runs write different values at the swap point.
+  const std::vector<int> u0 = stepUninitFrom(prog, mut.plan, i);
+  bool rbw = false;
+  for (const int r : stepReadSlots(prog.ops[i + 1])) {
+    rbw = rbw || u0[static_cast<std::size_t>(r)] <=
+                     stepReadDepth(prog.ops[i + 1], mut.plan.width[i]);
+  }
+  mut.expect =
+      rbw ? StepDiagKind::ReadBeforeWrite : StepDiagKind::ValueMismatch;
+  mut.what = "swapped adjacent ops " + std::to_string(i) + " and " +
+             std::to_string(i + 1) + " ('" +
+             prog.slotName(prog.ops[i].dst) + "' / '" +
+             prog.slotName(prog.ops[i + 1].dst) + "')";
+  return mut;
+}
+
+StepMutation skewStepCoeff(const core::StepProgram& prog,
+                           core::StepFuse fuse, std::uint64_t seed) {
+  StepMutation mut;
+  mut.prog = prog;
+  mut.reference = prog;
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+    const StepOpKind k = prog.ops[i].kind;
+    if ((k == StepOpKind::AxpySlot || k == StepOpKind::ScaleSlot) &&
+        prog.ops[i].scale != 0.0) {
+      cand.push_back(i);
+    }
+  }
+  if (cand.empty()) {
+    mut.what = "skewStepCoeff: no combine coefficient to skew";
+    return mut;
+  }
+  const std::size_t i = cand[seed % cand.size()];
+  mut.prog.ops[i].scale *= 1.0 + 1e-12;
+  mut.plan = core::planStepHalos(mut.prog, fuse);
+  mut.useReference = true;
+  mut.valid = true;
+  mut.expect = StepDiagKind::ValueMismatch;
+  mut.witnessOp = static_cast<int>(i);
+  mut.what = "combine coefficient skewed at " + stepOpWhat(prog, i);
+  return mut;
+}
+
+StepMutation deepenStepHalo(const core::StepProgram& prog,
+                            core::StepFuse fuse, std::uint64_t seed) {
+  StepMutation mut;
+  mut.prog = prog;
+  mut.plan = core::planStepHalos(prog, fuse);
+  // Only exchanges can be deepened without side effects: a mirror-fill one
+  // layer deeper is still well-defined, whereas e.g. a widened stage
+  // combine would read ghost layers its RHS never produced.
+  const std::vector<std::size_t> cand = keptExchanges(prog, mut.plan);
+  if (cand.empty()) {
+    mut.what = "deepenStepHalo: no kept exchange to deepen";
+    return mut;
+  }
+  const std::size_t i = cand[seed % cand.size()];
+  const int w = mut.plan.width[i];
+  mut.plan.width[i] = w + 1;
+  mut.plan.depth = std::max(mut.plan.depth, w + 1);
+  mut.valid = true;
+  mut.expectAdvisory = true;
+  mut.witnessOp = static_cast<int>(i);
+  mut.expectMinWidth = w;
+  mut.what = "exchange " + stepOpWhat(prog, i) + " deepened to width " +
+             std::to_string(w + 1);
   return mut;
 }
 

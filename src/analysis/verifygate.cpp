@@ -1,0 +1,46 @@
+#include "analysis/verifygate.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace fluxdiv::analysis {
+
+VerifyGate::VerifyGate(const char* envVar, bool compiledIn) {
+  if (!compiledIn) {
+    return;
+  }
+  const char* env = std::getenv(envVar);
+  enabled_ = env == nullptr || (std::strcmp(env, "0") != 0 &&
+                                std::strcmp(env, "off") != 0 &&
+                                std::strcmp(env, "false") != 0);
+}
+
+bool VerifyGate::shouldVerify(const std::string& shapeKey) {
+  if (!enabled_) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seen_.insert(shapeKey).second;
+}
+
+std::size_t VerifyGate::verifiedShapes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seen_.size();
+}
+
+std::string verifyFailureMessage(std::string header,
+                                 const std::vector<std::string>& diags) {
+  std::string msg = std::move(header);
+  msg += " (" + std::to_string(diags.size()) + " diagnostic(s)):";
+  const std::size_t shown = std::min<std::size_t>(diags.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    msg += "\n  " + diags[i];
+  }
+  if (diags.size() > shown) {
+    msg += "\n  (+" + std::to_string(diags.size() - shown) + " more)";
+  }
+  return msg;
+}
+
+} // namespace fluxdiv::analysis

@@ -135,21 +135,31 @@ void throwOnGraphDiagnostics(const analysis::TaskGraphModel& model) {
   if (report.ok()) {
     return;
   }
-  std::string msg = "LevelExecutor: task-graph verification failed for '" +
-                    model.name + "' (" +
-                    std::to_string(report.diagnostics.size()) +
-                    " diagnostic(s)):";
-  const std::size_t shown =
-      std::min<std::size_t>(report.diagnostics.size(), 4);
-  for (std::size_t i = 0; i < shown; ++i) {
-    msg += "\n  " + report.diagnostics[i].message();
+  std::vector<std::string> msgs;
+  msgs.reserve(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) {
+    msgs.push_back(d.message());
   }
-  if (report.diagnostics.size() > shown) {
-    msg += "\n  (+" +
-           std::to_string(report.diagnostics.size() - shown) + " more)";
-  }
-  throw std::logic_error(msg);
+  throw std::logic_error(analysis::verifyFailureMessage(
+      "LevelExecutor: task-graph verification failed for '" + model.name +
+          "'",
+      msgs));
 }
+#endif
+
+/// Compile-time halves of the executor's gates (analysis::VerifyGate
+/// handles the run-time environment override and the once-per-shape memo).
+constexpr bool kGraphVerifyCompiled =
+#ifdef FLUXDIV_GRAPH_VERIFY
+    true;
+#else
+    false;
+#endif
+constexpr bool kCommVerifyCompiled =
+#ifdef FLUXDIV_COMM_VERIFY
+    true;
+#else
+    false;
 #endif
 
 } // namespace
@@ -178,7 +188,9 @@ analysis::GraphTask* LevelExecutor::GraphBuild::note(int task) const {
 LevelExecutor::LevelExecutor(VariantConfig cfg, int nThreads,
                              LevelExecOptions opts)
     : cfg_(cfg), nThreads_(nThreads), opts_(opts), runner_(cfg, nThreads),
-      pool_(nThreads), taskPool_(nThreads, opts.pin) {}
+      pool_(nThreads), taskPool_(nThreads, opts.pin),
+      graphGate_("FLUXDIV_VERIFY_GRAPH", kGraphVerifyCompiled),
+      commGate_("FLUXDIV_VERIFY_COMM", kCommVerifyCompiled) {}
 
 LevelExecutor::~LevelExecutor() = default;
 
@@ -440,31 +452,27 @@ void LevelExecutor::initGraphModel(analysis::TaskGraphModel& model,
   }
 }
 
-bool LevelExecutor::recordCommShape(const LevelData& phi0) {
-  CommShape shape;
-  shape.nBoxes = phi0.size();
-  shape.firstValid = phi0.validBox(0);
-  shape.nghost = phi0.nGhost();
-  grid::IntVect lo = shape.firstValid.lo();
-  grid::IntVect hi = shape.firstValid.hi();
+std::string LevelExecutor::levelShapeKey(const LevelData& phi0) {
+  const Box first = phi0.validBox(0);
+  grid::IntVect lo = first.lo();
+  grid::IntVect hi = first.hi();
   for (std::size_t b = 1; b < phi0.size(); ++b) {
     lo = grid::IntVect::min(lo, phi0.validBox(b).lo());
     hi = grid::IntVect::max(hi, phi0.validBox(b).hi());
   }
-  shape.hull = Box(lo, hi);
-  for (const CommShape& seen : verifiedComms_) {
-    if (seen.nBoxes == shape.nBoxes &&
-        seen.firstValid == shape.firstValid && seen.hull == shape.hull &&
-        seen.nghost == shape.nghost) {
-      return false;
+  std::string key = std::to_string(phi0.size());
+  for (const grid::IntVect& v : {first.lo(), first.hi(), lo, hi}) {
+    for (int d = 0; d < grid::SpaceDim; ++d) {
+      key += ',' + std::to_string(v[d]);
     }
   }
-  verifiedComms_.push_back(shape);
-  return true;
+  return key;
 }
 
 void LevelExecutor::verifyCommOnce(const LevelData& phi0) {
-  if (phi0.size() == 0 || phi0.nGhost() <= 0 || !recordCommShape(phi0)) {
+  if (phi0.size() == 0 || phi0.nGhost() <= 0 ||
+      !commGate_.shouldVerify(levelShapeKey(phi0) + ";g" +
+                              std::to_string(phi0.nGhost()))) {
     return;
   }
   analysis::CommPlanModel model = analysis::buildCommPlanModel(
@@ -479,45 +487,16 @@ void LevelExecutor::verifyCommOnce(const LevelData& phi0) {
     if (report.ok()) {
       continue;
     }
-    std::string msg =
+    std::vector<std::string> msgs;
+    msgs.reserve(report.diagnostics.size());
+    for (const auto& d : report.diagnostics) {
+      msgs.push_back(d.message());
+    }
+    throw std::logic_error(analysis::verifyFailureMessage(
         "LevelExecutor: exchange-plan verification failed for '" +
-        model.name + "' under " + std::to_string(nranks) + " rank(s) (" +
-        std::to_string(report.diagnostics.size()) + " diagnostic(s)):";
-    const std::size_t shown =
-        std::min<std::size_t>(report.diagnostics.size(), 4);
-    for (std::size_t i = 0; i < shown; ++i) {
-      msg += "\n  " + report.diagnostics[i].message();
-    }
-    if (report.diagnostics.size() > shown) {
-      msg += "\n  (+" +
-             std::to_string(report.diagnostics.size() - shown) + " more)";
-    }
-    throw std::logic_error(msg);
+            model.name + "' under " + std::to_string(nranks) + " rank(s)",
+        msgs));
   }
-}
-
-bool LevelExecutor::recordGraphShape(const LevelData& phi0,
-                                     bool withExchange) {
-  GraphShape shape;
-  shape.nBoxes = phi0.size();
-  shape.firstValid = phi0.validBox(0);
-  shape.withExchange = withExchange;
-  grid::IntVect lo = shape.firstValid.lo();
-  grid::IntVect hi = shape.firstValid.hi();
-  for (std::size_t b = 1; b < phi0.size(); ++b) {
-    lo = grid::IntVect::min(lo, phi0.validBox(b).lo());
-    hi = grid::IntVect::max(hi, phi0.validBox(b).hi());
-  }
-  shape.hull = Box(lo, hi);
-  for (const GraphShape& seen : verifiedGraphs_) {
-    if (seen.nBoxes == shape.nBoxes &&
-        seen.firstValid == shape.firstValid && seen.hull == shape.hull &&
-        seen.withExchange == shape.withExchange) {
-      return false;
-    }
-  }
-  verifiedGraphs_.push_back(shape);
-  return true;
 }
 
 void LevelExecutor::dispatch(TaskGraph& graph) {
@@ -560,7 +539,7 @@ void LevelExecutor::run(const LevelData& phi0, LevelData& phi1,
   GraphBuild build{graph};
 #ifdef FLUXDIV_GRAPH_VERIFY
   analysis::TaskGraphModel model;
-  if (recordGraphShape(phi0, /*withExchange=*/false)) {
+  if (graphGate_.shouldVerify(levelShapeKey(phi0) + ";run")) {
     initGraphModel(model, phi0, /*withExchange=*/false);
     build.model = &model;
   }
@@ -607,7 +586,7 @@ void LevelExecutor::runStep(LevelData& phi0, LevelData& phi1, Real scale) {
   GraphBuild build{graph};
 #ifdef FLUXDIV_GRAPH_VERIFY
   analysis::TaskGraphModel model;
-  if (recordGraphShape(phi0, /*withExchange=*/true)) {
+  if (graphGate_.shouldVerify(levelShapeKey(phi0) + ";runStep")) {
     initGraphModel(model, phi0, /*withExchange=*/true);
     build.model = &model;
   }

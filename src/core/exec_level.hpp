@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifygate.hpp"
 #include "core/runner.hpp"
 #include "core/taskpool.hpp"
 #include "core/variant.hpp"
@@ -128,28 +129,6 @@ private:
     [[nodiscard]] analysis::GraphTask* note(int task) const;
   };
 
-  /// Shape key of an already-verified task graph (FLUXDIV_GRAPH_VERIFY):
-  /// graphs are a pure function of the layout's box shapes and the
-  /// exchange plan, so one verification covers every later step with the
-  /// same level shape.
-  struct GraphShape {
-    std::size_t nBoxes = 0;
-    grid::Box firstValid;
-    grid::Box hull;
-    bool withExchange = false;
-  };
-
-  /// Shape key of an already-verified exchange plan (FLUXDIV_COMM_VERIFY):
-  /// the Copier is a pure function of (layout, nghost) and the partition
-  /// sweep is fixed, so one verification covers every later step with the
-  /// same level shape.
-  struct CommShape {
-    std::size_t nBoxes = 0;
-    grid::Box firstValid;
-    grid::Box hull;
-    int nghost = 0;
-  };
-
   [[nodiscard]] int ownerOf(std::size_t box) const {
     return static_cast<int>(box % static_cast<std::size_t>(nThreads_));
   }
@@ -182,9 +161,12 @@ private:
                       const grid::LevelData& phi0,
                       bool withExchange) const;
 
-  /// FLUXDIV_GRAPH_VERIFY support: true (and records the shape) when this
-  /// level shape has not been verified yet.
-  bool recordGraphShape(const grid::LevelData& phi0, bool withExchange);
+  /// Shape key shared by the graph/comm gates: both graphs and exchange
+  /// plans are pure functions of the layout's box shapes (box count,
+  /// first valid box, level hull — plus the per-gate suffix the callers
+  /// append), so one verification covers every later step with the same
+  /// level shape.
+  static std::string levelShapeKey(const grid::LevelData& phi0);
 
   /// FLUXDIV_COMM_VERIFY support: on the first runStep() over a new
   /// (layout, nghost) shape, prove the level's exchange plan exact,
@@ -192,7 +174,6 @@ private:
   /// partitions {1,2,4,8}; throws std::logic_error with the witness
   /// diagnostics on failure. Later steps with the same shape are free.
   void verifyCommOnce(const grid::LevelData& phi0);
-  bool recordCommShape(const grid::LevelData& phi0);
 
   /// Run `graph` honoring opts_.replay.
   void dispatch(TaskGraph& graph);
@@ -208,8 +189,8 @@ private:
   WorkspacePool pool_;    ///< per-worker scratch for task bodies
   std::vector<Workspace> boxShared_; ///< per-box blocked-WF cache storage
   TaskPool taskPool_;
-  std::vector<GraphShape> verifiedGraphs_; ///< FLUXDIV_GRAPH_VERIFY cache
-  std::vector<CommShape> verifiedComms_;   ///< FLUXDIV_COMM_VERIFY cache
+  analysis::VerifyGate graphGate_; ///< FLUXDIV_GRAPH_VERIFY, once per shape
+  analysis::VerifyGate commGate_;  ///< FLUXDIV_COMM_VERIFY, once per shape
 };
 
 } // namespace fluxdiv::core

@@ -20,9 +20,6 @@
 #endif
 
 #ifdef FLUXDIV_KERNEL_VERIFY
-#include <mutex>
-#include <unordered_set>
-
 #include "analysis/kernelcheck.hpp"
 #include "core/kernelshapes.hpp"
 #endif
@@ -38,8 +35,22 @@ using detail::FArrayBox;
 using grid::LevelData;
 using grid::Real;
 
+namespace {
+
+/// Compile-time halves of the runner's gates (analysis::VerifyGate adds
+/// the run-time environment override and the once-per-shape memo).
+constexpr bool kScheduleVerifyCompiled =
+#ifdef FLUXDIV_SCHEDULE_VERIFY
+    true;
+#else
+    false;
+#endif
+
+} // namespace
+
 FluxDivRunner::FluxDivRunner(VariantConfig cfg, int nThreads)
-    : cfg_(cfg), nThreads_(nThreads), pool_(nThreads) {
+    : cfg_(cfg), nThreads_(nThreads), pool_(nThreads),
+      scheduleGate_("FLUXDIV_VERIFY_SCHEDULE", kScheduleVerifyCompiled) {
   if (nThreads < 1) {
     throw std::invalid_argument("FluxDivRunner: nThreads must be >= 1");
   }
@@ -66,10 +77,11 @@ std::size_t FluxDivRunner::totalPeakWorkspaceBytes() const {
 void FluxDivRunner::verifySchedule(const Box& valid) {
 #ifdef FLUXDIV_SCHEDULE_VERIFY
   const grid::IntVect extents = valid.size();
-  for (const auto& shape : verifiedShapes_) {
-    if (shape == extents) {
-      return;
-    }
+  const std::string key = std::to_string(extents[0]) + "x" +
+                          std::to_string(extents[1]) + "x" +
+                          std::to_string(extents[2]);
+  if (!scheduleGate_.shouldVerify(key)) {
+    return;
   }
   const Box shape(grid::IntVect::zero(), extents - grid::IntVect::unit(1));
   const analysis::Diagnostic diag = analysis::ScheduleVerifier{}.verify(
@@ -78,7 +90,6 @@ void FluxDivRunner::verifySchedule(const Box& valid) {
     throw std::logic_error("schedule verification failed for variant '" +
                            cfg_.name() + "': " + diag.message());
   }
-  verifiedShapes_.push_back(extents);
 #else
   (void)valid;
 #endif
@@ -126,15 +137,12 @@ void FluxDivRunner::verifyKernels() {
   kernelsVerified_ = true;
   // The probe executes this variant's real code path through a fresh
   // runner, whose runBox re-enters this gate under the same config name;
-  // inserting the name before probing therefore terminates the recursion
-  // (and keeps concurrent runners from probing the same config twice).
-  static std::mutex mutex;
-  static std::unordered_set<std::string> probed;
-  {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (!probed.insert(cfg_.name()).second) {
-      return;
-    }
+  // VerifyGate inserts the name before the probe runs, which terminates
+  // the recursion (and keeps concurrent runners from probing the same
+  // config twice). Process-wide: footprints depend only on the config.
+  static analysis::VerifyGate gate("FLUXDIV_VERIFY_KERNEL", true);
+  if (!gate.shouldVerify(cfg_.name())) {
+    return;
   }
   analysis::ProbeOptions opts;
   // Smallest box the config accepts; sampled probing keeps the one-time

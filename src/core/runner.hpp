@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/verifygate.hpp"
 #include "core/variant.hpp"
 #include "core/workspace.hpp"
 #include "grid/leveldata.hpp"
@@ -113,8 +114,8 @@ private:
   VariantConfig cfg_;
   int nThreads_;
   WorkspacePool pool_;
-  std::vector<grid::IntVect> verifiedShapes_; ///< box extents proven legal
-  std::vector<grid::IntVect> advisedShapes_;  ///< box extents already advised
+  analysis::VerifyGate scheduleGate_; ///< box extents proven legal
+  std::vector<grid::IntVect> advisedShapes_; ///< box extents already advised
   bool kernelsVerified_ = false; ///< this runner passed the kernel gate
   /// Lazily-built executor backing the FLUXDIV_LEVEL_POLICY override.
   std::unique_ptr<LevelExecutor> levelExec_;

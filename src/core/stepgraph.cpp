@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/stepcheck.hpp"
+#include "analysis/verifygate.hpp"
 #include "core/exec_common.hpp"
 #include "core/runner.hpp"
 #include "kernels/footprint.hpp"
@@ -24,71 +26,8 @@ using grid::Real;
 using kernels::kNumComp;
 using kernels::kNumGhost;
 
-StepHaloPlan planStepHalos(const StepProgram& prog, StepFuse fuse) {
-  StepHaloPlan plan;
-  plan.width.assign(prog.ops.size(), 0);
-  if (fuse != StepFuse::CommAvoid) {
-    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
-      if (prog.ops[i].kind == StepOpKind::Exchange) {
-        plan.width[i] = kNumGhost;
-        plan.depth = kNumGhost;
-      }
-    }
-    return plan;
-  }
-  // Comm-avoiding transform: walk the program backward tracking, per slot,
-  // how many ghost layers of it the remaining ops still need. An RHS
-  // evaluation at width w consumes kNumGhost extra layers of its source; a
-  // copy/axpy propagates its own width; only the per-time-step exchange of
-  // the solution slot survives, deepened to cover the whole chain (every
-  // intermediate exchange/BC fill is dropped, width -1, and replaced by
-  // recomputation on the widened halo).
-  std::vector<int> needed(static_cast<std::size_t>(prog.nSlots), 0);
-  const auto need = [&](int slot) -> int& {
-    return needed[static_cast<std::size_t>(slot)];
-  };
-  for (std::size_t ri = prog.ops.size(); ri-- > 0;) {
-    const StepOp& op = prog.ops[ri];
-    switch (op.kind) {
-    case StepOpKind::Exchange:
-      if (op.dst == 0) {
-        plan.width[ri] = need(0);
-        plan.depth = std::max(plan.depth, need(0));
-        need(0) = 0;
-      } else {
-        plan.width[ri] = -1; // recomputed on the widened halo instead
-      }
-      break;
-    case StepOpKind::BoundaryFill:
-      plan.width[ri] = -1; // CommAvoid requires a fully periodic domain
-      break;
-    case StepOpKind::RhsEval: {
-      const int w = need(op.dst);
-      plan.width[ri] = w;
-      need(op.dst) = 0;
-      need(op.src) = std::max(need(op.src), w + kNumGhost);
-      break;
-    }
-    case StepOpKind::CopySlot: {
-      const int w = need(op.dst);
-      plan.width[ri] = w;
-      need(op.dst) = 0;
-      need(op.src) = std::max(need(op.src), w);
-      break;
-    }
-    case StepOpKind::AxpySlot: {
-      const int w = need(op.dst);
-      plan.width[ri] = w;
-      need(op.src) = std::max(need(op.src), w);
-      break;
-    }
-    case StepOpKind::ScaleSlot:
-      plan.width[ri] = need(op.dst);
-      break;
-    }
-  }
-  return plan;
-}
+// planStepHalos moved to core/stepprogram.cpp (fluxdiv_variant) so the
+// analysis library can plan halos without linking the executors.
 
 namespace {
 
@@ -99,20 +38,71 @@ void throwOnStepGraphDiagnostics(const analysis::TaskGraphModel& model) {
   if (report.ok()) {
     return;
   }
-  std::string msg =
+  std::vector<std::string> msgs;
+  msgs.reserve(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) {
+    msgs.push_back(d.message());
+  }
+  throw std::logic_error(analysis::verifyFailureMessage(
       "StepGraphExecutor: task-graph verification failed for '" +
-      model.name + "' (" + std::to_string(report.diagnostics.size()) +
-      " diagnostic(s)):";
-  const std::size_t shown =
-      std::min<std::size_t>(report.diagnostics.size(), 4);
-  for (std::size_t i = 0; i < shown; ++i) {
-    msg += "\n  " + report.diagnostics[i].message();
+          model.name + "'",
+      msgs));
+}
+#endif
+
+/// The layout/physics half of the S4 rebind signature
+/// (analysis/stepcheck.hpp) — exactly the capture key fields beyond the
+/// program itself.
+analysis::StepShapeKey stepShapeKeyOf(const LevelData& u,
+                                      const StepRhsSpec& rhs) {
+  analysis::StepShapeKey key;
+  key.domainBox = u.layout().domain().box();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    key.periodic[static_cast<std::size_t>(d)] =
+        u.layout().domain().isPeriodic(d);
   }
-  if (report.diagnostics.size() > shown) {
-    msg += "\n  (+" + std::to_string(report.diagnostics.size() - shown) +
-           " more)";
+  key.boxSize = u.layout().boxSize();
+  key.nGhost = u.nGhost();
+  key.nComp = u.nComp();
+  key.invDx = rhs.invDx;
+  key.dissipation = rhs.dissipation;
+  key.hasBoundary = rhs.boundary != nullptr;
+  return key;
+}
+
+#ifdef FLUXDIV_STEP_VERIFY
+/// FLUXDIV_VERIFY_STEP gate: before the first capture of each distinct
+/// (program, fuse, layout, physics) signature, prove the fuse mode's halo
+/// plan semantically equivalent to the eager reference (stepcheck S1/S2).
+/// Tightness (S3) is advisory and priced offline by fluxdiv_stepcheck, so
+/// the gate skips it.
+void verifyStepOnce(const StepProgram& prog, StepFuse fuse,
+                    const StepHaloPlan& plan, const LevelData& u,
+                    const StepRhsSpec& rhs) {
+  static analysis::VerifyGate gate("FLUXDIV_VERIFY_STEP", true);
+  const std::uint64_t sig =
+      analysis::stepSignature(prog, fuse, stepShapeKeyOf(u, rhs));
+  if (!gate.shouldVerify(analysis::stepSignatureHex(sig))) {
+    return;
   }
-  throw std::logic_error(msg);
+  analysis::StepCheckOptions opts;
+  opts.boxSize = u.validBox(0).size(0);
+  opts.nBoxes = static_cast<int>(u.size());
+  opts.checkTightness = false;
+  const analysis::StepCheckReport report =
+      analysis::checkStepProgram(prog, fuse, plan, opts);
+  if (report.ok()) {
+    return;
+  }
+  std::vector<std::string> msgs;
+  msgs.reserve(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) {
+    msgs.push_back(d.message());
+  }
+  throw std::logic_error(analysis::verifyFailureMessage(
+      "StepGraphExecutor: step-program verification failed under fuse '" +
+          std::string(stepFuseName(fuse)) + "'",
+      msgs));
 }
 #endif
 
@@ -557,6 +547,9 @@ struct StepGraphExecutor::Capture {
 
   // Lowered state.
   StepFuse fuse = StepFuse::Fused;
+  /// S4 rebind signature (analysis::stepSignature over the key above plus
+  /// the program and fuse), re-derived and matched on every rebind.
+  std::uint64_t signature = 0;
   int depth = kNumGhost;
   const LevelData* boundU = nullptr; ///< what the rebind slot points at
   std::vector<LevelData> stage; ///< Staged/Fused: slots 1..nSlots-1
@@ -648,7 +641,19 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
       // Same layout signature, different allocation: rebind the solution
       // entry of the slot table — every cached task lambda now reads and
       // writes the new level. Nothing is re-lowered or re-verified (the
-      // graphs depend only on the signature).
+      // graphs depend only on the signature), so the S4 gate first proves
+      // the signature of what we are about to run equals the one the
+      // graphs were captured (and step-verified) under.
+      const std::uint64_t sig = analysis::stepSignature(
+          prog, capture_->fuse, stepShapeKeyOf(u, rhs));
+      if (sig != capture_->signature) {
+        throw std::logic_error(
+            "StepGraphExecutor: rebind signature mismatch (captured " +
+            analysis::stepSignatureHex(capture_->signature) +
+            ", rebinding against " + analysis::stepSignatureHex(sig) +
+            "): the cache key admitted a shape the graphs were never "
+            "verified for");
+      }
       capture_->tab[static_cast<std::size_t>(capture_->rebindSlot)] = &u;
       capture_->boundU = &u;
       ++stats_.rebinds;
@@ -684,6 +689,11 @@ StepGraphExecutor::ensureCapture(const StepProgram& prog,
 
   const StepHaloPlan plan = planStepHalos(prog, cap->fuse);
   cap->depth = plan.depth;
+  cap->signature =
+      analysis::stepSignature(prog, cap->fuse, stepShapeKeyOf(u, rhs));
+#ifdef FLUXDIV_STEP_VERIFY
+  verifyStepOnce(prog, cap->fuse, plan, u, rhs);
+#endif
 
   // Schedule-legality, kernel-contract, and cost-advisory gates for every
   // box shape the tasks will run (each cached per extent inside the

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "analysis/graphcheck.hpp"
+#include "core/stepprogram.hpp"
 #include "core/taskpool.hpp"
 #include "core/variant.hpp"
 #include "core/workspace.hpp"
@@ -62,59 +63,9 @@ namespace fluxdiv::core {
 
 class FluxDivRunner; // verification/advisory gates (core/runner.hpp)
 
-/// One recorded operation of a step program. Slots name LevelData-shaped
-/// storage: slot 0 is the solution u, slots >= 1 are the integrator's
-/// stage temporaries.
-enum class StepOpKind {
-  Exchange,     ///< fill slot's ghost cells from neighbors
-  BoundaryFill, ///< apply physical BCs to slot's domain-boundary ghosts
-  RhsEval,      ///< dst = -(1/dx) div F(src) [+ dissipation Lap(src)]
-  CopySlot,     ///< dst = src on the valid region
-  AxpySlot,     ///< dst += scale * src on the valid region
-  ScaleSlot,    ///< dst *= scale on the valid region
-};
-
-struct StepOp {
-  StepOpKind kind = StepOpKind::Exchange;
-  int dst = 0;            ///< slot written (Exchange/BoundaryFill: filled)
-  int src = 0;            ///< slot read (RhsEval/CopySlot/AxpySlot)
-  grid::Real scale = 0.0; ///< AxpySlot / ScaleSlot coefficient
-  int step = 0;           ///< time-step index within a multi-step capture
-};
-
-/// The recorded substep chain of one (or several) RK time steps, built by
-/// solvers::buildStepProgram. Purely symbolic: no storage, no layout.
-struct StepProgram {
-  int nSlots = 1;   ///< slot 0 = u; 1..nSlots-1 = stage temporaries
-  int rhsEvals = 0; ///< RHS evaluations per time step
-  int nSteps = 1;   ///< consecutive time steps captured
-  std::vector<StepOp> ops;
-  std::vector<std::string> slotNames; ///< size nSlots, for task labels
-
-  /// Builder helpers; `step` is the current time-step index.
-  void exchange(int slot, int step = 0) {
-    ops.push_back({StepOpKind::Exchange, slot, slot, 0.0, step});
-  }
-  void boundaryFill(int slot, int step = 0) {
-    ops.push_back({StepOpKind::BoundaryFill, slot, slot, 0.0, step});
-  }
-  void rhs(int src, int dst, int step = 0) {
-    ops.push_back({StepOpKind::RhsEval, dst, src, 0.0, step});
-  }
-  void copy(int src, int dst, int step = 0) {
-    ops.push_back({StepOpKind::CopySlot, dst, src, 0.0, step});
-  }
-  void axpy(int dst, int src, grid::Real scale, int step = 0) {
-    ops.push_back({StepOpKind::AxpySlot, dst, src, scale, step});
-  }
-  void scale(int dst, grid::Real s, int step = 0) {
-    ops.push_back({StepOpKind::ScaleSlot, dst, dst, s, step});
-  }
-
-  [[nodiscard]] const std::string& slotName(int s) const {
-    return slotNames[static_cast<std::size_t>(s)];
-  }
-};
+// StepOpKind / StepOp / StepProgram / StepHaloPlan / planStepHalos live in
+// core/stepprogram.hpp (compiled into fluxdiv_variant) so the analysis
+// library can verify step programs without linking the executors.
 
 /// Physics of the RhsEval ops (mirrors solvers::FluxDivRhs).
 struct StepRhsSpec {
@@ -122,23 +73,6 @@ struct StepRhsSpec {
   grid::Real dissipation = 0.0;
   const grid::BoundaryFiller* boundary = nullptr;
 };
-
-/// Per-op halo plan of one program under one fuse mode, from a backward
-/// dataflow pass: width[i] is the ghost width op i runs at (compute ops
-/// execute on valid.grow(width); exchanges fill `width` ghost layers), or
-/// -1 for exchanges/BC fills the comm-avoiding transform drops. `depth`
-/// is the deepest kept exchange — kNumGhost x rhsEvals for the RK schemes
-/// under StepFuse::CommAvoid, kNumGhost otherwise.
-struct StepHaloPlan {
-  std::vector<int> width;
-  int depth = 0;
-};
-
-/// Run the backward halo-width analysis. For Staged/Fused every width is
-/// 0 and every exchange keeps depth kNumGhost; for CommAvoid only the
-/// per-time-step slot-0 exchange survives, deepened so each stage can
-/// recompute its RHS on a correspondingly widened halo.
-StepHaloPlan planStepHalos(const StepProgram& prog, StepFuse fuse);
 
 struct StepExecOptions {
   LevelPolicy policy = LevelPolicy::BoxParallel;

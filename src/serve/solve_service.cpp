@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/stepcheck.hpp"
 #include "core/stepgraph.hpp"
 #include "harness/timer.hpp"
 #include "kernels/exemplar.hpp"
@@ -162,8 +163,37 @@ struct SolveService::ExecEntry {
   int domain = 0;
   std::unique_ptr<core::StepGraphExecutor> exec;
   core::StepProgram prog;
+  /// S4 rebind signature (analysis::stepSignature): what the executor's
+  /// graph cache was captured under; reuse re-derives and matches it.
+  std::uint64_t signature = 0;
   bool busy = false;
 };
+
+namespace {
+
+/// The (program, fuse, layout, physics) digest of one instance spec —
+/// the service always solves periodic kNumComp/kNumGhost levels with the
+/// default RHS physics, so the spec determines the whole key.
+std::uint64_t entrySignature(const InstanceSpec& spec, core::StepFuse fuse,
+                             const core::StepProgram& prog) {
+  const grid::DisjointBoxLayout layout = specLayout(spec);
+  analysis::StepShapeKey key;
+  key.domainBox = layout.domain().box();
+  for (int d = 0; d < grid::SpaceDim; ++d) {
+    key.periodic[static_cast<std::size_t>(d)] =
+        layout.domain().isPeriodic(d);
+  }
+  key.boxSize = layout.boxSize();
+  key.nGhost = kernels::kNumGhost;
+  key.nComp = kernels::kNumComp;
+  const core::StepRhsSpec rhs;
+  key.invDx = rhs.invDx;
+  key.dissipation = rhs.dissipation;
+  key.hasBoundary = false;
+  return analysis::stepSignature(prog, fuse, key);
+}
+
+} // namespace
 
 SolveService::SolveService(ServiceOptions opts)
     : opts_(std::move(opts)), pool_(std::max(1, opts_.threads), opts_.pin) {}
@@ -178,6 +208,21 @@ SolveService::ExecEntry& SolveService::acquireExecutor(
         e->boxSize == spec.boxSize && e->nBoxes == spec.nBoxes &&
         e->steps == spec.steps && e->dt == spec.dt && e->fuse == fuse &&
         e->policy == policy && e->weight == spec.weight) {
+      // S4 rebind gate: the shape fields just matched, so the signature
+      // of what this spec would capture must equal the one the entry's
+      // graph cache was built (and step-verified) under — a mismatch
+      // means the cache key admitted a spec the graphs were never proven
+      // for.
+      const std::uint64_t sig = entrySignature(
+          spec, fuse,
+          solvers::buildStepProgram(spec.scheme, spec.dt, spec.steps));
+      if (sig != e->signature) {
+        throw std::logic_error(
+            "SolveService: executor-cache signature mismatch for '" +
+            spec.name + "' (cached " +
+            analysis::stepSignatureHex(e->signature) + ", requested " +
+            analysis::stepSignatureHex(sig) + ")");
+      }
       e->busy = true;
       return *e;
     }
@@ -200,6 +245,7 @@ SolveService::ExecEntry& SolveService::acquireExecutor(
   entry->exec = std::make_unique<core::StepGraphExecutor>(
       opts_.cfg, pool_.nThreads(), execOpts);
   entry->prog = solvers::buildStepProgram(spec.scheme, spec.dt, spec.steps);
+  entry->signature = entrySignature(spec, fuse, entry->prog);
   entry->busy = true;
   executors_.push_back(std::move(entry));
   return *executors_.back();

@@ -45,6 +45,7 @@
 #include "analysis/commcheck.hpp"
 #include "analysis/graphcheck.hpp"
 #include "analysis/kernelcheck.hpp"
+#include "analysis/stepcheck.hpp"
 #include "core/exec_level.hpp"
 #include "grid/copier.hpp"
 #include "grid/leveldata.hpp"
@@ -366,6 +367,36 @@ int main(int argc, char** argv) {
     for (const auto& [name, note] : fuseNotes) {
       std::cout << "  [" << analysis::costNoteKindName(note.kind) << "] "
                 << name << ": " << note.message() << "\n";
+    }
+
+    // Whole-step liveness/tightness notes (analysis/stepcheck): dead
+    // stores and over-deep halo widths in each scheme's recorded program
+    // under each fuse mode's planned halos, the latter priced in extra
+    // recomputed cells per step over this level.
+    bool anyStepNote = false;
+    for (const solvers::Scheme s : schemes) {
+      const core::StepProgram prog =
+          solvers::buildStepProgram(s, /*dt=*/1.0);
+      for (const core::StepFuse fuse :
+           {core::StepFuse::Staged, core::StepFuse::Fused,
+            core::StepFuse::CommAvoid}) {
+        analysis::StepCheckOptions sopts;
+        sopts.boxSize = n;
+        sopts.nBoxes = levelBoxes;
+        const analysis::StepCheckReport rep =
+            analysis::checkStepProgram(prog, fuse, sopts);
+        for (const analysis::CostNote& note :
+             analysis::stepCheckNotes(rep, prog)) {
+          if (!anyStepNote) {
+            std::cout << "\nwhole-step notes (analysis/stepcheck):\n";
+            anyStepNote = true;
+          }
+          std::cout << "  [" << analysis::costNoteKindName(note.kind)
+                    << "] " << solvers::schemeName(s) << "/"
+                    << core::stepFuseName(fuse) << ": " << note.message()
+                    << "\n";
+        }
+      }
     }
   }
 

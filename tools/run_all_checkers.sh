@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Sweep the whole static verification stack (docs/static-analysis.md) in
+# one command — the local equivalent of CI's five checker jobs:
+#
+#   fluxdiv_verify       schedule legality over every registered variant
+#   fluxdiv_graphcheck   task-graph races, seeded graph miscompilations
+#   fluxdiv_commcheck    exchange-plan exactness/matching/deadlock
+#   fluxdiv_kernelcheck  kernel footprint contracts, sound and tight
+#   fluxdiv_stepcheck    whole-step semantic equivalence per fuse mode
+#
+# Every checker runs --strict, and every checker with a seeded-mutation
+# self-test runs --mutate, so a pass means both "the shipped artifacts
+# verify" and "the verifiers still reject the canonical miscompilations".
+#
+# Usage: tools/run_all_checkers.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build="${1:-build}"
+tools="$build/tools"
+if [[ ! -d "$tools" ]]; then
+  echo "error: '$tools' not found; configure and build first" >&2
+  echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+  exit 1
+fi
+
+failures=0
+run() {
+  echo
+  echo "==> $*"
+  if ! "$@"; then
+    failures=$((failures + 1))
+    echo "FAILED: $*" >&2
+  fi
+}
+
+# Schedules: the paper variants and the extension axes, at a small and a
+# paper-sized box.
+run "$tools/fluxdiv_verify" --boxsize 16 --extensions
+run "$tools/fluxdiv_verify" --boxsize 64 --extensions
+
+# Task graphs: both parallel policies, default shape plus a denser
+# many-small-boxes level.
+run "$tools/fluxdiv_graphcheck" --policy all --strict --mutate
+run "$tools/fluxdiv_graphcheck" --policy all --nboxes 27 --boxsize 8 \
+  --strict
+
+# Exchange plans: shared-memory and rank-partitioned, plus a ghost sweep.
+run "$tools/fluxdiv_commcheck" --strict --mutate
+run "$tools/fluxdiv_commcheck" --nranks 4 --nboxes 64 --boxsize 8 \
+  --strict --mutate
+run "$tools/fluxdiv_commcheck" --ghost 1 --strict
+run "$tools/fluxdiv_commcheck" --ghost 4 --strict
+
+# Kernel contracts: exhaustive small box and a sampled larger one.
+run "$tools/fluxdiv_kernelcheck" --boxsize 8 --strict --mutate
+run "$tools/fluxdiv_kernelcheck" --boxsize 16 --strict
+
+# Whole-step semantics: every scheme x fuse x {1,3}-step program, with
+# the seeded step miscompilations.
+run "$tools/fluxdiv_stepcheck" --strict --mutate
+
+echo
+if [[ "$failures" -ne 0 ]]; then
+  echo "run_all_checkers: $failures checker invocation(s) FAILED"
+  exit 1
+fi
+echo "run_all_checkers: all checkers clean"
